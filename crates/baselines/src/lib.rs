@@ -1,0 +1,52 @@
+//! Baseline edge-selection policies and the optimal-assignment solver.
+//!
+//! The paper's evaluation (§V-B) contrasts client-centric selection with:
+//!
+//! * **Geo-proximity** — each user gets the geographically closest node,
+//! * **Resource-aware weighted round robin** — users are forwarded to the
+//!   most-available node, weighted by capacity and current utilisation,
+//! * **Dedicated-only** — WRR restricted to the dedicated edge
+//!   infrastructure (AWS Local Zone stand-ins),
+//! * **Closest cloud** — everything goes to the cloud region,
+//!
+//! plus an **optimal** edge assignment (Fig. 7) that minimises the mean
+//! end-to-end latency of the static formulation in §III-C.
+//!
+//! All algorithms here are pure functions over an [`AssignmentProblem`]
+//! snapshot (mean RTTs + hardware + transfer delays); the dynamic
+//! behaviours (probing, churn, adaptation) live in `armada-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use armada_baselines::{AssignmentProblem, NodeSpec, UserSpec};
+//! use armada_types::{HardwareProfile, NodeClass, NodeId, SimDuration, UserId};
+//!
+//! let problem = AssignmentProblem::new(
+//!     vec![UserSpec::new(UserId::new(0)), UserSpec::new(UserId::new(1))],
+//!     vec![
+//!         NodeSpec::new(NodeId::new(0), NodeClass::Volunteer,
+//!             HardwareProfile::new("fast", 8, 24.0).with_concurrency(4)),
+//!         NodeSpec::new(NodeId::new(1), NodeClass::Cloud,
+//!             HardwareProfile::new("cloud", 4, 30.0)),
+//!     ],
+//!     20.0,
+//! )
+//! .with_rtt_ms(vec![vec![10.0, 80.0], vec![12.0, 80.0]]);
+//!
+//! let optimal = armada_baselines::optimal(&problem, 42);
+//! // Both users fit on the nearby fast node.
+//! assert_eq!(optimal.node_of(0), 0);
+//! assert_eq!(optimal.node_of(1), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod optimal;
+mod policies;
+mod problem;
+
+pub use optimal::{exhaustive_optimal, optimal, search_optimal};
+pub use policies::{closest_cloud, dedicated_only, geo_proximity, resource_aware_wrr};
+pub use problem::{Assignment, AssignmentProblem, NodeSpec, UserSpec};

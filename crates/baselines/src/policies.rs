@@ -1,0 +1,212 @@
+//! The four baseline selection policies of paper §V-B.
+
+use armada_types::NodeClass;
+
+use crate::problem::{Assignment, AssignmentProblem};
+
+/// **Geo-proximity**: each user is assigned to the geographically
+/// closest node — "latency between users and edge nodes is assumed to be
+/// proportional to the distance, and resource capacity is not considered".
+///
+/// Falls back to the lowest-RTT node when a node carries no distance
+/// data.
+///
+/// # Panics
+///
+/// Panics if the problem has no nodes (enforced at construction).
+pub fn geo_proximity(problem: &AssignmentProblem) -> Assignment {
+    let nodes = problem.nodes();
+    let have_distance = nodes.iter().all(|n| n.distance_km.len() == problem.users().len());
+    let choices = (0..problem.users().len())
+        .map(|u| {
+            (0..nodes.len())
+                .min_by(|&a, &b| {
+                    let (ka, kb) = if have_distance {
+                        (nodes[a].distance_km[u], nodes[b].distance_km[u])
+                    } else {
+                        (problem.rtt_ms(u, a), problem.rtt_ms(u, b))
+                    };
+                    ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("problems always have nodes")
+        })
+        .collect();
+    Assignment::new(choices)
+}
+
+/// **Resource-aware weighted round robin**: users arrive in order and
+/// each goes to the node with the highest remaining weight
+/// `cores / (assigned + 1)` — the generic resource view a VM-level load
+/// balancer has. Neither network heterogeneity nor the app's actual
+/// per-frame speed on each node is visible to it, which is exactly the
+/// weakness the paper demonstrates.
+pub fn resource_aware_wrr(problem: &AssignmentProblem) -> Assignment {
+    wrr_over(problem, &(0..problem.nodes().len()).collect::<Vec<_>>())
+}
+
+/// **Dedicated-only**: resource-aware WRR restricted to dedicated edge
+/// nodes, emulating a fixed Local Zone deployment. Falls back to cloud
+/// nodes if no dedicated nodes exist.
+pub fn dedicated_only(problem: &AssignmentProblem) -> Assignment {
+    let mut pool = problem.nodes_of_class(|c| c == NodeClass::Dedicated);
+    if pool.is_empty() {
+        pool = problem.nodes_of_class(|c| c == NodeClass::Cloud);
+    }
+    assert!(!pool.is_empty(), "dedicated-only baseline needs dedicated or cloud nodes");
+    wrr_over(problem, &pool)
+}
+
+/// **Closest cloud**: every user offloads to the cloud; with several
+/// cloud nodes, WRR balances among them.
+///
+/// # Panics
+///
+/// Panics if the problem contains no cloud node.
+pub fn closest_cloud(problem: &AssignmentProblem) -> Assignment {
+    let pool = problem.nodes_of_class(|c| c == NodeClass::Cloud);
+    assert!(!pool.is_empty(), "closest-cloud baseline needs a cloud node");
+    wrr_over(problem, &pool)
+}
+
+/// Weighted round robin over a node pool: each user (in index order)
+/// goes to the pool node maximising `capacity / (assigned + 1)`.
+fn wrr_over(problem: &AssignmentProblem, pool: &[usize]) -> Assignment {
+    assert!(!pool.is_empty(), "WRR needs a non-empty pool");
+    let capacity: Vec<f64> =
+        pool.iter().map(|&i| problem.nodes()[i].hw.cores() as f64).collect();
+    let mut assigned = vec![0usize; pool.len()];
+    let choices = (0..problem.users().len())
+        .map(|_| {
+            let best = (0..pool.len())
+                .max_by(|&a, &b| {
+                    let wa = capacity[a] / (assigned[a] + 1) as f64;
+                    let wb = capacity[b] / (assigned[b] + 1) as f64;
+                    wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("pool is non-empty");
+            assigned[best] += 1;
+            pool[best]
+        })
+        .collect();
+    Assignment::new(choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{NodeSpec, UserSpec};
+    use armada_types::{HardwareProfile, NodeId, UserId};
+
+    /// 3 users; volunteer close+slow, volunteer far+fast, dedicated,
+    /// cloud.
+    fn problem() -> AssignmentProblem {
+        let users: Vec<UserSpec> =
+            (0..3).map(|i| UserSpec::new(UserId::new(i))).collect();
+        let nodes = vec![
+            NodeSpec::new(
+                NodeId::new(0),
+                NodeClass::Volunteer,
+                HardwareProfile::new("slow-near", 2, 49.0),
+            )
+            .with_distances(vec![1.0, 1.5, 2.0]),
+            NodeSpec::new(
+                NodeId::new(1),
+                NodeClass::Volunteer,
+                HardwareProfile::new("fast-far", 8, 24.0).with_concurrency(4),
+            )
+            .with_distances(vec![20.0, 25.0, 30.0]),
+            NodeSpec::new(
+                NodeId::new(2),
+                NodeClass::Dedicated,
+                HardwareProfile::new("local-zone", 4, 30.0),
+            )
+            .with_distances(vec![10.0, 10.0, 10.0]),
+            NodeSpec::new(
+                NodeId::new(3),
+                NodeClass::Cloud,
+                HardwareProfile::new("cloud", 4, 30.0),
+            )
+            .with_distances(vec![900.0, 900.0, 900.0]),
+        ];
+        AssignmentProblem::new(users, nodes, 20.0).with_rtt_ms(vec![
+            vec![6.0, 25.0, 18.0, 80.0],
+            vec![7.0, 28.0, 18.0, 80.0],
+            vec![8.0, 30.0, 18.0, 80.0],
+        ])
+    }
+
+    #[test]
+    fn geo_proximity_piles_onto_nearest() {
+        let a = geo_proximity(&problem());
+        assert_eq!(a.as_slice(), &[0, 0, 0], "everyone's closest node is the slow one");
+    }
+
+    #[test]
+    fn geo_proximity_falls_back_to_rtt() {
+        let mut p = problem();
+        // Strip distances: the fallback uses RTT, same ordering here.
+        for n in 0..4 {
+            assert!(!p.nodes()[n].hw.processor().is_empty());
+        }
+        p = AssignmentProblem::new(p.users().to_vec(), {
+            let mut nodes = p.nodes().to_vec();
+            for n in &mut nodes {
+                n.distance_km.clear();
+            }
+            nodes
+        }, 20.0)
+        .with_rtt_ms(vec![
+            vec![6.0, 25.0, 18.0, 80.0],
+            vec![7.0, 28.0, 18.0, 80.0],
+            vec![8.0, 30.0, 18.0, 80.0],
+        ]);
+        assert_eq!(geo_proximity(&p).as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn wrr_spreads_by_capacity() {
+        let a = resource_aware_wrr(&problem());
+        let loads = a.loads(4);
+        // Fast-far node (333 fps capacity) takes the most; slow-near
+        // (41 fps) the least; nothing is forced to the far cloud before
+        // locals are used.
+        assert!(loads[1] >= loads[0]);
+        assert_eq!(loads.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn wrr_first_pick_is_highest_capacity() {
+        let a = resource_aware_wrr(&problem());
+        assert_eq!(a.node_of(0), 1, "first user goes to the highest-capacity node");
+    }
+
+    #[test]
+    fn dedicated_only_uses_only_dedicated() {
+        let a = dedicated_only(&problem());
+        assert_eq!(a.as_slice(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn closest_cloud_sends_everyone_to_cloud() {
+        let a = closest_cloud(&problem());
+        assert_eq!(a.as_slice(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn baseline_ordering_matches_paper_fig5_shape() {
+        // With enough users, mean latency should order:
+        // cloud ≥ geo-proximity ≥ resource-aware (in this topology where
+        // the nearest node is slow and weak).
+        let users: Vec<UserSpec> = (0..12).map(|i| UserSpec::new(UserId::new(i))).collect();
+        let base = problem();
+        let rtts: Vec<Vec<f64>> =
+            (0..12).map(|u| vec![6.0 + u as f64 * 0.2, 25.0, 18.0, 80.0]).collect();
+        let p = AssignmentProblem::new(users, base.nodes().to_vec(), 20.0).with_rtt_ms(rtts);
+        let geo = p.mean_latency_ms(&geo_proximity(&p));
+        let wrr = p.mean_latency_ms(&resource_aware_wrr(&p));
+        let cloud = p.mean_latency_ms(&closest_cloud(&p));
+        assert!(wrr < geo, "wrr {wrr:.1} vs geo {geo:.1}");
+        assert!(geo < cloud * 3.0, "geo should not be absurd: {geo:.1}");
+        assert!(cloud > 100.0, "cloud pays the WAN RTT: {cloud:.1}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the performance-critical building
+//! blocks: the event queue, GeoHash codec, proximity index, the
+//! processor-sharing executor, candidate ranking, the optimal solver,
+//! and a full end-to-end scenario tick.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armada_client::{rank_candidates, ProbeResult};
+use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_geo::{GeoHash, ProximityIndex};
+use armada_sim::{EventQueue, SimRng};
+use armada_types::{
+    GeoPoint, HardwareProfile, LocalSelectionPolicy, NodeId, QosRequirement, SimDuration,
+    SimTime, UserId,
+};
+use armada_workload::PsExecutor;
+use rand::Rng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(SimTime::from_micros(t), t);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_geohash(c: &mut Criterion) {
+    c.bench_function("geohash/encode_p8", |b| {
+        let p = GeoPoint::new(44.9778, -93.2650);
+        b.iter(|| black_box(GeoHash::encode(black_box(p), 8)))
+    });
+    c.bench_function("geohash/neighbors_p6", |b| {
+        let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 6);
+        b.iter(|| black_box(h.neighbors()))
+    });
+}
+
+fn bench_proximity_index(c: &mut Criterion) {
+    let mut index = ProximityIndex::new();
+    let origin = GeoPoint::new(44.9778, -93.2650);
+    let mut rng = SimRng::seed_from(2);
+    for i in 0..1_000 {
+        let e = rng.uniform(-80.0, 80.0);
+        let n = rng.uniform(-80.0, 80.0);
+        index.insert(NodeId::new(i), origin.offset_km(e, n));
+    }
+    c.bench_function("proximity/widening_search_1k_nodes", |b| {
+        b.iter(|| black_box(index.widening_search(origin, 10.0, 5)))
+    });
+}
+
+fn bench_ps_executor(c: &mut Criterion) {
+    c.bench_function("ps_executor/admit_advance_100_frames", |b| {
+        let hw = HardwareProfile::new("bench", 4, 30.0);
+        b.iter(|| {
+            let mut exec = PsExecutor::new(&hw);
+            for i in 0..100u32 {
+                exec.admit(i, SimTime::from_millis(i as u64 * 10));
+            }
+            black_box(exec.advance(SimTime::from_secs(100)).len())
+        })
+    });
+    c.bench_function("ps_executor/whatif_under_load", |b| {
+        let hw = HardwareProfile::new("bench", 4, 30.0);
+        let mut exec = PsExecutor::new(&hw);
+        for i in 0..16u32 {
+            exec.admit(i, SimTime::ZERO);
+        }
+        b.iter(|| black_box(exec.whatif_response()))
+    });
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(3);
+    let results: Vec<ProbeResult> = (0..32)
+        .map(|i| ProbeResult {
+            node: NodeId::new(i),
+            rtt: SimDuration::from_millis_f64(rng.uniform(5.0, 80.0)),
+            whatif_proc: SimDuration::from_millis_f64(rng.uniform(20.0, 120.0)),
+            current_proc: SimDuration::from_millis_f64(rng.uniform(20.0, 120.0)),
+            attached_users: rng.gen_range(0..8),
+            seq_num: 0,
+        })
+        .collect();
+    for policy in
+        [LocalSelectionPolicy::BestLocal, LocalSelectionPolicy::GlobalOverhead]
+    {
+        c.bench_with_input(
+            BenchmarkId::new("rank_candidates_32", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(rank_candidates(
+                        results.clone(),
+                        policy,
+                        QosRequirement::default(),
+                    ))
+                })
+            },
+        );
+    }
+}
+
+fn bench_optimal(c: &mut Criterion) {
+    use armada_baselines::{AssignmentProblem, NodeSpec, UserSpec};
+    let mut rng = SimRng::seed_from(4);
+    let users: Vec<UserSpec> = (0..15).map(|i| UserSpec::new(UserId::new(i))).collect();
+    let nodes: Vec<NodeSpec> = (0..9)
+        .map(|i| {
+            NodeSpec::new(
+                NodeId::new(i),
+                armada_types::NodeClass::Volunteer,
+                HardwareProfile::new(format!("hw{i}"), rng.gen_range(1..9), 30.0),
+            )
+        })
+        .collect();
+    let rtts: Vec<Vec<f64>> =
+        (0..15).map(|_| (0..9).map(|_| rng.uniform(8.0, 55.0)).collect()).collect();
+    let problem = AssignmentProblem::new(users, nodes, 20.0).with_rtt_ms(rtts);
+    c.bench_function("optimal/search_15users_9nodes", |b| {
+        b.iter(|| black_box(armada_baselines::search_optimal(&problem, 7)))
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    group.bench_function("realworld_5users_10s", |b| {
+        b.iter(|| {
+            let result =
+                Scenario::new(EnvSpec::realworld(5), Strategy::client_centric())
+                    .duration(SimDuration::from_secs(10))
+                    .seed(1)
+                    .run();
+            black_box(result.recorder().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_geohash,
+    bench_proximity_index,
+    bench_ps_executor,
+    bench_ranking,
+    bench_optimal,
+    bench_scenario,
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure 1: RTT measurements from 15 home-Wi-Fi participants to
+//! (1) five volunteer edge nodes, (2) the AWS Local Zone, and (3) the
+//! closest cloud region.
+//!
+//! Paper shape: volunteer nodes deliver lower RTT than the Local Zone
+//! (which pays an intra-ISP peering penalty), and both are far below the
+//! closest cloud.
+
+use armada_bench::{dur_ms, print_csv, print_table};
+use armada_core::EnvSpec;
+use armada_net::{Addr, MeasurementCampaign};
+use armada_sim::SimRng;
+use armada_types::{NodeClass, NodeId, UserId};
+
+fn main() {
+    let env = EnvSpec::realworld(15);
+    let net = env.to_network();
+
+    let sources: Vec<Addr> =
+        (0..15).map(|i| Addr::User(UserId::new(i))).collect();
+    // Targets: V1–V5 individually, one Local Zone instance (D6), and
+    // the cloud.
+    let mut targets = Vec::new();
+    let mut labels = Vec::new();
+    for (i, node) in env.nodes.iter().enumerate() {
+        let keep = match node.class {
+            NodeClass::Volunteer => true,
+            NodeClass::Dedicated => node.label == "D6",
+            NodeClass::Cloud => true,
+        };
+        if keep {
+            targets.push(Addr::Node(NodeId::new(i as u64)));
+            labels.push(node.label.clone());
+        }
+    }
+
+    let campaign = MeasurementCampaign::new(sources, targets, 100);
+    let mut rng = SimRng::seed_from(1);
+    let summaries = campaign.run(&net, &mut rng);
+
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .zip(&labels)
+        .map(|(s, label)| {
+            vec![
+                label.clone(),
+                s.samples.to_string(),
+                dur_ms(s.min),
+                dur_ms(s.median),
+                dur_ms(s.mean),
+                dur_ms(s.p95),
+                dur_ms(s.max),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1 — RTT from 15 participants (ms)",
+        &["target", "samples", "min", "median", "mean", "p95", "max"],
+        &rows,
+    );
+    print_csv(
+        "fig1_rtt",
+        &["target", "median_ms", "p95_ms"],
+        &summaries
+            .iter()
+            .zip(&labels)
+            .map(|(s, l)| vec![l.clone(), dur_ms(s.median), dur_ms(s.p95)])
+            .collect::<Vec<_>>(),
+    );
+
+    let volunteer_best = summaries[..5].iter().map(|s| s.median).min().unwrap();
+    let lz = summaries[5].median;
+    let cloud = summaries[6].median;
+    println!(
+        "\nshape check: best volunteer {} < local zone {} < cloud {} : {}",
+        dur_ms(volunteer_best),
+        dur_ms(lz),
+        dur_ms(cloud),
+        volunteer_best < lz && lz < cloud
+    );
+}

@@ -1,0 +1,86 @@
+//! Robustness check: the headline Fig. 5 comparison (client-centric vs.
+//! the edge baselines at 15 users) across many independent seeds, so the
+//! reported reduction cannot be a lucky draw.
+//!
+//! Reports per-strategy mean latency distribution over seeds and the
+//! distribution of the relative reduction achieved by client-centric.
+
+use armada_bench::{ms, print_table};
+use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_metrics::{mean, percentile, stddev};
+use armada_types::{SimDuration, SimTime};
+
+const USERS: usize = 15;
+const SEEDS: u64 = 10;
+
+fn steady(strategy: Strategy, seed: u64) -> f64 {
+    Scenario::new(EnvSpec::realworld(USERS), strategy)
+        .duration(SimDuration::from_secs(40))
+        .seed(seed)
+        .run()
+        .recorder()
+        .user_mean_in_window(SimTime::from_secs(20), SimTime::from_secs(40))
+        .map(|d| d.as_millis_f64())
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let strategies: &[(&str, fn() -> Strategy)] = &[
+        ("client-centric", Strategy::client_centric),
+        ("geo-proximity", || Strategy::GeoProximity),
+        ("resource-aware", || Strategy::ResourceAwareWrr),
+        ("dedicated-only", || Strategy::DedicatedOnly),
+        ("closest-cloud", || Strategy::ClosestCloud),
+    ];
+
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for seed in 100..100 + SEEDS {
+        for (i, (_, make)) in strategies.iter().enumerate() {
+            per_strategy[i].push(steady(make(), seed));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = strategies
+        .iter()
+        .zip(&per_strategy)
+        .map(|((name, _), values)| {
+            vec![
+                name.to_string(),
+                ms(mean(values).unwrap()),
+                ms(stddev(values).unwrap()),
+                ms(percentile(values, 0.0).unwrap()),
+                ms(percentile(values, 1.0).unwrap()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Seed sweep — 15 users, {SEEDS} seeds, steady-state mean latency (ms)"),
+        &["strategy", "mean", "stddev", "best seed", "worst seed"],
+        &rows,
+    );
+
+    // Per-seed reduction of client-centric against the best edge baseline
+    // of that same seed (geo / wrr / dedicated).
+    let reductions: Vec<f64> = (0..SEEDS as usize)
+        .map(|s| {
+            let cc = per_strategy[0][s];
+            let best_baseline = per_strategy[1][s]
+                .min(per_strategy[2][s])
+                .min(per_strategy[3][s]);
+            100.0 * (1.0 - cc / best_baseline)
+        })
+        .collect();
+    println!(
+        "\nreduction vs best edge baseline per seed: mean {:.0}%, min {:.0}%, max {:.0}% (paper: 18-46%)",
+        mean(&reductions).unwrap(),
+        percentile(&reductions, 0.0).unwrap(),
+        percentile(&reductions, 1.0).unwrap(),
+    );
+    let wins = (0..SEEDS as usize)
+        .filter(|&s| {
+            per_strategy[0][s]
+                < per_strategy[1][s].min(per_strategy[2][s]).min(per_strategy[3][s])
+        })
+        .count();
+    println!("client-centric wins in {wins}/{SEEDS} seeds");
+}

@@ -1,0 +1,39 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for the
+//! recorded outcomes). Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p armada-bench --bin fig5_elasticity
+//! ```
+//!
+//! The binaries print both a human-readable table and (where a figure is
+//! a line/CDF plot) CSV series ready for any plotting tool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use armada_metrics::render_table;
+
+/// Prints a titled, aligned table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    print!("{}", render_table(header, rows));
+}
+
+/// Prints a titled CSV block (for series destined for a plotting tool).
+pub fn print_csv(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n-- {title} (csv) --");
+    print!("{}", armada_metrics::render_csv(header, rows));
+}
+
+/// Formats a millisecond quantity to one decimal.
+pub fn ms(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+/// Formats a `SimDuration` in milliseconds to one decimal.
+pub fn dur_ms(d: armada_types::SimDuration) -> String {
+    ms(d.as_millis_f64())
+}

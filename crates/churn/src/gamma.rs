@@ -1,0 +1,92 @@
+//! The gamma function, needed to convert a Weibull mean into a scale
+//! parameter (`mean = scale · Γ(1 + 1/shape)`).
+
+/// Lanczos approximation coefficients (g = 7, n = 9).
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// The gamma function Γ(x) for positive real `x` (Lanczos
+/// approximation, ~15 significant digits).
+///
+/// # Panics
+///
+/// Panics if `x` is not strictly positive and finite — the churn models
+/// only ever need Γ on the positive reals.
+///
+/// # Examples
+///
+/// ```
+/// use armada_churn::gamma;
+///
+/// assert!((gamma(5.0) - 24.0).abs() < 1e-9); // Γ(5) = 4!
+/// assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+/// ```
+pub fn gamma(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "gamma requires positive finite input");
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos series in its sweet spot.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS[0];
+        for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_values_are_factorials() {
+        let mut fact = 1.0;
+        for n in 1..10 {
+            assert!((gamma(n as f64) - fact).abs() / fact < 1e-12, "Γ({n})");
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn half_integer_values() {
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!((gamma(0.5) - sqrt_pi).abs() < 1e-12);
+        assert!((gamma(1.5) - 0.5 * sqrt_pi).abs() < 1e-12);
+        assert!((gamma(2.5) - 1.329_340_388_179_137).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_mean_factor_for_paper_shape() {
+        // Γ(1 + 1/1.5) = Γ(5/3) ≈ 0.902745292950934.
+        assert!((gamma(1.0 + 1.0 / 1.5) - 0.902_745_292_950_934).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_non_positive() {
+        let _ = gamma(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn recurrence_holds(x in 0.1f64..20.0) {
+            // Γ(x+1) = x·Γ(x)
+            let lhs = gamma(x + 1.0);
+            let rhs = x * gamma(x);
+            prop_assert!((lhs - rhs).abs() / rhs.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! The per-user client state machine.
+
+use armada_types::{ClientConfig, GeoPoint, NodeId, SimDuration, SimTime, UserId};
+use armada_workload::AimdController;
+
+use crate::probe::{rank_candidates, ProbeResult};
+
+/// What the client wants to do after a probing round (Algorithm 2,
+/// lines 11–20).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientDecision {
+    /// The current node is still the best candidate; only the backup
+    /// list was refreshed.
+    Stay,
+    /// A better candidate was found: send `Join(seq)` to `target`.
+    AttemptJoin {
+        /// The node to join.
+        target: NodeId,
+        /// The sequence number to present (from the probe).
+        seq: u64,
+    },
+    /// No candidate survived ranking (e.g. QoS filtering emptied the
+    /// list): restart from edge discovery.
+    Rediscover,
+}
+
+/// What the client does after hearing back from a `Join()` attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinFollowup {
+    /// Join accepted: notify the previous node (if any) with `Leave()`
+    /// and start offloading to the new one.
+    SwitchComplete {
+        /// The node to send `Leave()` to.
+        leave: Option<NodeId>,
+    },
+    /// Join rejected (stale sequence number): repeat the probing process
+    /// from the edge-discovery step (Algorithm 2, line 14).
+    Rediscover,
+    /// The reply raced with a failover or detach that already abandoned
+    /// this join attempt; ignore it.
+    Stale,
+}
+
+/// What the client does upon detecting its serving node failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverDecision {
+    /// Immediately switch to the best warm backup via
+    /// `Unexpected_join()` — the proactive path.
+    SwitchToBackup {
+        /// The backup taking over.
+        target: NodeId,
+    },
+    /// All backups are gone too: fall back to full re-discovery (this is
+    /// what the paper counts as a *failure* in Fig. 10).
+    Rediscover,
+}
+
+/// Client-side counters for the evaluation figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Individual probe requests sent (Fig. 9a).
+    pub probes_sent: u64,
+    /// Completed probing rounds.
+    pub probe_rounds: u64,
+    /// Voluntary node switches (better candidate found).
+    pub switches: u64,
+    /// Failovers absorbed by a warm backup.
+    pub backup_failovers: u64,
+    /// Failures requiring full re-discovery (Fig. 10b counts these).
+    pub hard_failures: u64,
+    /// Joins rejected by sequence mismatch.
+    pub join_rejections: u64,
+    /// Frames sent.
+    pub frames_sent: u64,
+    /// Frame responses received.
+    pub frames_acked: u64,
+}
+
+/// The state machine of one application user.
+///
+/// Pure logic over virtual time: the scenario runner (or live runtime)
+/// performs the actual network operations and feeds results back in.
+///
+/// # Examples
+///
+/// ```
+/// use armada_client::{ClientDecision, EdgeClient, ProbeResult};
+/// use armada_types::{ClientConfig, GeoPoint, NodeId, SimDuration, SimTime, UserId};
+///
+/// let mut client = EdgeClient::new(
+///     UserId::new(1),
+///     GeoPoint::new(44.98, -93.26),
+///     ClientConfig::default(),
+/// );
+/// let results = vec![ProbeResult {
+///     node: NodeId::new(7),
+///     rtt: SimDuration::from_millis(12),
+///     whatif_proc: SimDuration::from_millis(24),
+///     current_proc: SimDuration::from_millis(24),
+///     attached_users: 0,
+///     seq_num: 3,
+/// }];
+/// match client.on_probe_round(results, SimTime::ZERO) {
+///     ClientDecision::AttemptJoin { target, seq } => {
+///         assert_eq!(target, NodeId::new(7));
+///         assert_eq!(seq, 3);
+///     }
+///     other => panic!("expected a join, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeClient {
+    id: UserId,
+    location: GeoPoint,
+    config: ClientConfig,
+    current: Option<NodeId>,
+    /// Warm backups, best first (Algorithm 2, line 20: `C[1:]`).
+    backups: Vec<NodeId>,
+    /// The join target while a `Join()` is in flight.
+    pending_join: Option<NodeId>,
+    rate: AimdController,
+    next_seq: u64,
+    /// Frames sent but not yet acknowledged; capped by
+    /// `config.max_inflight`.
+    outstanding: u32,
+    stats: ClientStats,
+}
+
+impl EdgeClient {
+    /// Creates a client at `location` with the given configuration.
+    pub fn new(id: UserId, location: GeoPoint, config: ClientConfig) -> Self {
+        let rate = AimdController::new(config.max_fps, config.target_latency);
+        EdgeClient {
+            id,
+            location,
+            config,
+            current: None,
+            backups: Vec::new(),
+            pending_join: None,
+            rate,
+            next_seq: 0,
+            outstanding: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// This client's user id.
+    pub fn id(&self) -> UserId {
+        self.id
+    }
+
+    /// The client's position.
+    pub fn location(&self) -> GeoPoint {
+        self.location
+    }
+
+    /// The client configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// The node currently serving this client, if any.
+    pub fn current_node(&self) -> Option<NodeId> {
+        self.current
+    }
+
+    /// The warm backup list, best first.
+    pub fn backups(&self) -> &[NodeId] {
+        &self.backups
+    }
+
+    /// The adaptive-rate controller.
+    pub fn rate(&self) -> &AimdController {
+        &self.rate
+    }
+
+    /// Evaluation counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Records that `count` probe requests were sent this round.
+    pub fn note_probes_sent(&mut self, count: usize) {
+        self.stats.probes_sent += count as u64;
+    }
+
+    /// Algorithm 2, lines 11–20: rank this round's probe results, decide
+    /// whether to stay or switch, and refresh the backup list.
+    pub fn on_probe_round(&mut self, results: Vec<ProbeResult>, _now: SimTime) -> ClientDecision {
+        self.stats.probe_rounds += 1;
+        let ranked = rank_candidates(results, self.config.policy, self.config.qos);
+        if ranked.is_empty() {
+            return ClientDecision::Rediscover;
+        }
+        let best = ranked[0];
+        // Backups are the unselected candidates, best first (Algorithm 2
+        // line 20: `C[1:]`), capped at TopN − 1 — re-probing the current
+        // node for the stay-or-switch comparison must not inflate the
+        // warm-connection pool beyond what TopN budgets.
+        self.backups = ranked.iter().skip(1).map(|r| r.node).collect();
+        self.backups.truncate(self.config.top_n.saturating_sub(1));
+        if Some(best.node) == self.current {
+            // Guard against duplicate probe entries for the current node.
+            self.backups.retain(|&n| Some(n) != self.current);
+            return ClientDecision::Stay;
+        }
+        // Hysteresis: if the current node was probed this round, only
+        // migrate when the winner is meaningfully better; probe jitter
+        // would otherwise flip near-equal candidates back and forth.
+        if let Some(current_result) = self
+            .current
+            .and_then(|c| ranked.iter().find(|r| r.node == c))
+        {
+            let current_overhead = current_result.overhead(self.config.policy).as_millis_f64();
+            let best_overhead = best.overhead(self.config.policy).as_millis_f64();
+            if best_overhead > current_overhead * (1.0 - self.config.switch_margin) {
+                self.backups.retain(|&n| Some(n) != self.current);
+                return ClientDecision::Stay;
+            }
+        }
+        self.pending_join = Some(best.node);
+        ClientDecision::AttemptJoin { target: best.node, seq: best.seq_num }
+    }
+
+    /// Feeds the outcome of the `Join()` attempt issued after
+    /// [`EdgeClient::on_probe_round`].
+    pub fn on_join_result(&mut self, node: NodeId, accepted: bool, _now: SimTime) -> JoinFollowup {
+        if self.pending_join != Some(node) {
+            // A failover/detach raced with this reply: the attempt was
+            // already abandoned.
+            return JoinFollowup::Stale;
+        }
+        self.pending_join = None;
+        if !accepted {
+            self.stats.join_rejections += 1;
+            return JoinFollowup::Rediscover;
+        }
+        let previous = self.current;
+        if previous.is_some() {
+            self.stats.switches += 1;
+        }
+        self.current = Some(node);
+        // Performance on the new node is unrelated to the old one's, and
+        // frames in flight to the old node will never be acknowledged.
+        self.rate.reset();
+        self.outstanding = 0;
+        // The backup list is exactly the unselected probed candidates
+        // (`C[1:]`, size TopN − 1); the departed node is not retained.
+        self.backups.retain(|&n| n != node);
+        JoinFollowup::SwitchComplete { leave: previous }
+    }
+
+    /// The failure monitor: the serving node stopped responding. Promote
+    /// the best backup (proactive path) or, if none remain, fall back to
+    /// re-discovery — which the paper counts as a hard failure.
+    ///
+    /// `is_alive` lets the caller veto backups it already knows are dead
+    /// (e.g. simultaneous failures).
+    pub fn on_node_failure(
+        &mut self,
+        now: SimTime,
+        mut is_alive: impl FnMut(NodeId) -> bool,
+    ) -> FailoverDecision {
+        let _ = now;
+        self.current = None;
+        while let Some(backup) = first_nonempty(&mut self.backups) {
+            if is_alive(backup) {
+                self.current = Some(backup);
+                self.rate.reset();
+                self.outstanding = 0;
+                self.stats.backup_failovers += 1;
+                return FailoverDecision::SwitchToBackup { target: backup };
+            }
+        }
+        self.stats.hard_failures += 1;
+        FailoverDecision::Rediscover
+    }
+
+    /// Drops the current attachment without consulting backups — the
+    /// *reactive* (re-connect) failure handling the paper compares
+    /// against: the client stalls until a full re-discovery completes.
+    pub fn detach(&mut self) {
+        self.current = None;
+        self.pending_join = None;
+        self.outstanding = 0;
+    }
+
+    /// Adopts a discovery-produced assignment directly (used by baseline
+    /// strategies and by recovery after hard failures).
+    pub fn force_attach(&mut self, node: NodeId, backups: Vec<NodeId>) {
+        self.current = Some(node);
+        self.backups = backups;
+        self.backups.retain(|&n| n != node);
+        self.pending_join = None;
+        self.rate.reset();
+        self.outstanding = 0;
+    }
+
+    /// `true` if the in-flight window has room for another frame; when
+    /// full, the client skips (drops) the frame rather than queueing a
+    /// backlog behind a slow node.
+    pub fn can_send_frame(&self) -> bool {
+        self.outstanding < self.config.max_inflight
+    }
+
+    /// Frames currently awaiting acknowledgement.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// Produces the next frame sequence number and counts it.
+    pub fn next_frame_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.frames_sent += 1;
+        self.outstanding += 1;
+        seq
+    }
+
+    /// Feeds one end-to-end frame latency into the adaptive rate
+    /// controller and releases its in-flight slot.
+    pub fn on_frame_latency(&mut self, latency: SimDuration) {
+        self.stats.frames_acked += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.rate.on_latency(latency);
+    }
+
+    /// The current inter-frame interval.
+    pub fn frame_interval(&self) -> SimDuration {
+        self.rate.frame_interval()
+    }
+}
+
+/// Pops the front element, if any.
+fn first_nonempty(v: &mut Vec<NodeId>) -> Option<NodeId> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(id: u64, rtt_ms: u64, proc_ms: u64, seq: u64) -> ProbeResult {
+        ProbeResult {
+            node: NodeId::new(id),
+            rtt: SimDuration::from_millis(rtt_ms),
+            whatif_proc: SimDuration::from_millis(proc_ms),
+            current_proc: SimDuration::from_millis(proc_ms),
+            attached_users: 0,
+            seq_num: seq,
+        }
+    }
+
+    fn client() -> EdgeClient {
+        EdgeClient::new(UserId::new(1), GeoPoint::new(44.98, -93.26), ClientConfig::default())
+    }
+
+    #[test]
+    fn first_round_joins_best_candidate() {
+        let mut c = client();
+        let decision = c.on_probe_round(
+            vec![probe(1, 30, 30, 0), probe(2, 10, 24, 5), probe(3, 20, 30, 0)],
+            SimTime::ZERO,
+        );
+        assert_eq!(decision, ClientDecision::AttemptJoin { target: NodeId::new(2), seq: 5 });
+        assert_eq!(c.backups(), &[NodeId::new(3), NodeId::new(1)]);
+        let followup = c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
+        assert_eq!(followup, JoinFollowup::SwitchComplete { leave: None });
+        assert_eq!(c.current_node(), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn staying_on_best_node_requires_no_action() {
+        let mut c = client();
+        c.force_attach(NodeId::new(2), vec![]);
+        let decision = c.on_probe_round(
+            vec![probe(2, 10, 24, 7), probe(3, 20, 30, 0)],
+            SimTime::ZERO,
+        );
+        assert_eq!(decision, ClientDecision::Stay);
+        assert_eq!(c.backups(), &[NodeId::new(3)]);
+        assert_eq!(c.stats().switches, 0);
+    }
+
+    #[test]
+    fn marginally_better_candidate_does_not_trigger_switch() {
+        let mut c = client();
+        c.force_attach(NodeId::new(1), vec![]);
+        // Node 2 is ~4% better: within the 10% hysteresis margin.
+        let decision = c.on_probe_round(
+            vec![probe(1, 12, 40, 0), probe(2, 10, 40, 3)],
+            SimTime::ZERO,
+        );
+        assert_eq!(decision, ClientDecision::Stay);
+        assert_eq!(c.current_node(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn better_candidate_triggers_switch_and_leave() {
+        let mut c = client();
+        c.force_attach(NodeId::new(1), vec![]);
+        let decision = c.on_probe_round(
+            vec![probe(1, 40, 40, 0), probe(2, 10, 24, 3)],
+            SimTime::ZERO,
+        );
+        assert_eq!(decision, ClientDecision::AttemptJoin { target: NodeId::new(2), seq: 3 });
+        let followup = c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
+        assert_eq!(followup, JoinFollowup::SwitchComplete { leave: Some(NodeId::new(1)) });
+        assert_eq!(c.stats().switches, 1);
+        // The backup list is C[1:]: the departed node was probed and
+        // ranked second, so it is the first backup.
+        assert_eq!(c.backups(), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    fn rejected_join_forces_rediscovery() {
+        let mut c = client();
+        let d = c.on_probe_round(vec![probe(1, 10, 24, 0)], SimTime::ZERO);
+        assert!(matches!(d, ClientDecision::AttemptJoin { .. }));
+        let followup = c.on_join_result(NodeId::new(1), false, SimTime::ZERO);
+        assert_eq!(followup, JoinFollowup::Rediscover);
+        assert_eq!(c.current_node(), None);
+        assert_eq!(c.stats().join_rejections, 1);
+    }
+
+    #[test]
+    fn failover_prefers_first_alive_backup() {
+        let mut c = client();
+        c.force_attach(NodeId::new(1), vec![NodeId::new(2), NodeId::new(3)]);
+        let d = c.on_node_failure(SimTime::ZERO, |n| n != NodeId::new(2));
+        // Backup 2 is dead, 3 takes over.
+        assert_eq!(d, FailoverDecision::SwitchToBackup { target: NodeId::new(3) });
+        assert_eq!(c.current_node(), Some(NodeId::new(3)));
+        assert_eq!(c.stats().backup_failovers, 1);
+        assert_eq!(c.stats().hard_failures, 0);
+    }
+
+    #[test]
+    fn simultaneous_backup_death_is_a_hard_failure() {
+        let mut c = client();
+        c.force_attach(NodeId::new(1), vec![NodeId::new(2)]);
+        let d = c.on_node_failure(SimTime::ZERO, |_| false);
+        assert_eq!(d, FailoverDecision::Rediscover);
+        assert_eq!(c.current_node(), None);
+        assert_eq!(c.stats().hard_failures, 1);
+    }
+
+    #[test]
+    fn top_n_one_has_no_backups() {
+        let mut c = EdgeClient::new(
+            UserId::new(1),
+            GeoPoint::new(44.98, -93.26),
+            ClientConfig::default().with_top_n(1),
+        );
+        let d = c.on_probe_round(vec![probe(1, 10, 24, 0)], SimTime::ZERO);
+        assert!(matches!(d, ClientDecision::AttemptJoin { .. }));
+        c.on_join_result(NodeId::new(1), true, SimTime::ZERO);
+        assert!(c.backups().is_empty());
+        let d = c.on_node_failure(SimTime::ZERO, |_| true);
+        assert_eq!(d, FailoverDecision::Rediscover, "TopN=1 cannot absorb failures");
+    }
+
+    #[test]
+    fn empty_probe_round_rediscovers() {
+        let mut c = client();
+        assert_eq!(c.on_probe_round(vec![], SimTime::ZERO), ClientDecision::Rediscover);
+    }
+
+    #[test]
+    fn frame_seq_increments_and_counts() {
+        let mut c = client();
+        assert_eq!(c.next_frame_seq(), 0);
+        assert_eq!(c.next_frame_seq(), 1);
+        assert_eq!(c.stats().frames_sent, 2);
+        c.on_frame_latency(SimDuration::from_millis(42));
+        assert_eq!(c.stats().frames_acked, 1);
+    }
+
+    #[test]
+    fn switch_resets_rate_controller() {
+        let mut c = client();
+        c.force_attach(NodeId::new(1), vec![]);
+        for _ in 0..50 {
+            c.on_frame_latency(SimDuration::from_millis(400));
+        }
+        assert!(c.rate().fps() < 20.0);
+        let _ = c.on_probe_round(vec![probe(2, 5, 20, 0)], SimTime::ZERO);
+        c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
+        assert_eq!(c.rate().fps(), 20.0);
+    }
+
+    #[test]
+    fn join_reply_after_detach_is_stale() {
+        let mut c = client();
+        let _ = c.on_probe_round(vec![probe(1, 10, 24, 0)], SimTime::ZERO);
+        // Node failure races ahead of the join reply.
+        c.detach();
+        let followup = c.on_join_result(NodeId::new(1), true, SimTime::ZERO);
+        assert_eq!(followup, JoinFollowup::Stale);
+        assert_eq!(c.current_node(), None, "stale accept must not attach");
+    }
+
+    #[test]
+    fn inflight_window_caps_sends() {
+        let mut c = client();
+        assert!(c.can_send_frame());
+        for _ in 0..4 {
+            let _ = c.next_frame_seq();
+        }
+        assert_eq!(c.outstanding(), 4);
+        assert!(!c.can_send_frame(), "default window is 4 frames");
+        c.on_frame_latency(SimDuration::from_millis(50));
+        assert!(c.can_send_frame());
+        assert_eq!(c.outstanding(), 3);
+    }
+
+    #[test]
+    fn switching_nodes_clears_the_window() {
+        let mut c = client();
+        c.force_attach(NodeId::new(1), vec![]);
+        for _ in 0..4 {
+            let _ = c.next_frame_seq();
+        }
+        assert!(!c.can_send_frame());
+        let _ = c.on_probe_round(vec![probe(2, 5, 20, 0)], SimTime::ZERO);
+        c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
+        assert!(c.can_send_frame(), "in-flight frames to the old node are written off");
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn current_node_never_in_backups() {
+        let mut c = client();
+        c.force_attach(NodeId::new(2), vec![NodeId::new(2), NodeId::new(3)]);
+        assert!(!c.backups().contains(&NodeId::new(2)));
+        let _ = c.on_probe_round(
+            vec![probe(2, 10, 24, 0), probe(3, 20, 30, 0), probe(2, 12, 24, 0)],
+            SimTime::ZERO,
+        );
+        assert!(!c.backups().contains(&NodeId::new(2)));
+    }
+}

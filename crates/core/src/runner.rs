@@ -1,0 +1,621 @@
+//! The protocol event functions: everything that happens on the virtual
+//! timeline.
+//!
+//! Each function is one step of the paper's protocol (discovery, probe,
+//! join, offload, failover), expressed as events against the [`World`].
+//! Network delays are sampled from `armada-net`; node and client logic
+//! stay in their own crates — this module only wires messages between
+//! them.
+
+use std::collections::HashSet;
+
+use armada_client::{ClientDecision, FailoverDecision, JoinFollowup, ProbeResult};
+use armada_net::Addr;
+use armada_node::{NodeAction, ProbeReply};
+use armada_sim::Context;
+use armada_types::{NodeClass, NodeId, SimDuration, UserId};
+use armada_workload::{Frame, FrameResponse, FRAME_SIZE};
+
+use crate::strategy::Strategy;
+use crate::world::{PendingProbe, World};
+
+type Ctx<'a> = Context<'a, World>;
+
+/// A probing round concludes after this long even if replies are
+/// missing (dead candidates fail fast, so this rarely fires).
+const PROBE_TIMEOUT: SimDuration = SimDuration::from_millis(1_000);
+/// Backoff before repeating discovery after a rejected join or an empty
+/// candidate list.
+const REDISCOVER_BACKOFF: SimDuration = SimDuration::from_millis(300);
+/// Retry cadence while a client has no serving node.
+const IDLE_RETRY: SimDuration = SimDuration::from_millis(100);
+/// Without a pre-established backup connection, noticing that a server
+/// is gone takes a transport-level timeout before re-discovery can even
+/// begin — the dominant cost of the reactive (re-connect) approach.
+const RECONNECT_TIMEOUT: SimDuration = SimDuration::from_millis(1_000);
+
+/// Entry point: a user joins the system.
+pub(crate) fn user_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    if w.strategy.is_client_centric() {
+        start_probe_round(w, ctx, user);
+    } else {
+        baseline_assign(w, ctx, user);
+    }
+}
+
+/// Edge discovery + probe fan-out (Algorithm 2, lines 1–10).
+pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    let Some(client) = w.clients.get(&user) else { return };
+    let loc = client.location();
+    let top_n = w.client_config.top_n;
+    let Some(rtt_m) = w.net.rtt(Addr::User(user), Addr::Manager, ctx.rng()) else {
+        ctx.schedule_in(IDLE_RETRY, move |w, ctx| start_probe_round(w, ctx, user));
+        return;
+    };
+    ctx.schedule_in(rtt_m, move |w, ctx| {
+        let now = ctx.now();
+        let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
+        let mut candidates = w.manager.discover(loc, &affiliations, top_n, now);
+        if candidates.is_empty() {
+            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| start_probe_round(w, ctx, user));
+            return;
+        }
+        // Always re-probe the currently serving node as well, so the
+        // stay-or-switch comparison is made on fresh measurements even
+        // when the manager's shortlist has moved on.
+        if let Some(current) = w.clients.get(&user).and_then(|c| c.current_node()) {
+            if !candidates.contains(&current) && w.node_is_up(current) {
+                candidates.push(current);
+            }
+        }
+        if let Some(client) = w.clients.get_mut(&user) {
+            client.note_probes_sent(candidates.len());
+        }
+        let round = w.fresh_round();
+        w.pending_probes.insert(
+            user,
+            PendingProbe {
+                round,
+                expected: candidates.len(),
+                results: Vec::new(),
+                failed: 0,
+                finished: false,
+            },
+        );
+        for node in candidates {
+            send_probe(w, ctx, user, node, round);
+        }
+        ctx.schedule_in(PROBE_TIMEOUT, move |w, ctx| {
+            conclude_probe_round(w, ctx, user, round);
+        });
+    });
+}
+
+/// One `RTT_probe()` + `Process_probe()` exchange.
+fn send_probe(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, node: NodeId, round: u64) {
+    let Some(d1) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) else {
+        probe_failed(w, ctx, user, round);
+        return;
+    };
+    ctx.schedule_in(d1, move |w, ctx| {
+        let now = ctx.now();
+        if !w.node_is_up(node) {
+            probe_failed(w, ctx, user, round);
+            return;
+        }
+        let Some(n) = w.nodes.get_mut(&node) else {
+            probe_failed(w, ctx, user, round);
+            return;
+        };
+        let (reply, actions) = n.process_probe(now);
+        handle_node_actions(w, ctx, node, actions);
+        schedule_node_wakeup(w, ctx, node);
+        match w.net.one_way(Addr::Node(node), Addr::User(user), ctx.rng()) {
+            Some(d2) => {
+                let rtt = d1 + d2;
+                ctx.schedule_in(d2, move |w, ctx| {
+                    probe_reply(w, ctx, user, round, reply, rtt);
+                });
+            }
+            None => probe_failed(w, ctx, user, round),
+        }
+    });
+}
+
+fn probe_reply(
+    w: &mut World,
+    ctx: &mut Ctx<'_>,
+    user: UserId,
+    round: u64,
+    reply: ProbeReply,
+    rtt: SimDuration,
+) {
+    let Some(p) = w.pending_probes.get_mut(&user) else { return };
+    if p.round != round || p.finished {
+        return;
+    }
+    p.results.push(ProbeResult {
+        node: reply.node,
+        rtt,
+        whatif_proc: reply.whatif_proc,
+        current_proc: reply.current_proc,
+        attached_users: reply.attached_users,
+        seq_num: reply.seq_num,
+    });
+    if p.is_complete() {
+        conclude_probe_round(w, ctx, user, round);
+    }
+}
+
+fn probe_failed(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u64) {
+    let Some(p) = w.pending_probes.get_mut(&user) else { return };
+    if p.round != round || p.finished {
+        return;
+    }
+    p.failed += 1;
+    if p.is_complete() {
+        conclude_probe_round(w, ctx, user, round);
+    }
+}
+
+/// Algorithm 2, lines 11–20: rank, decide, switch.
+fn conclude_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u64) {
+    let Some(p) = w.pending_probes.get_mut(&user) else { return };
+    if p.round != round || p.finished {
+        return;
+    }
+    p.finished = true;
+    let results = std::mem::take(&mut p.results);
+    let now = ctx.now();
+    let Some(client) = w.clients.get_mut(&user) else { return };
+    match client.on_probe_round(results, now) {
+        ClientDecision::Stay => {
+            ensure_streaming(w, ctx, user);
+        }
+        ClientDecision::AttemptJoin { target, seq } => {
+            attempt_join(w, ctx, user, target, seq);
+        }
+        ClientDecision::Rediscover => {
+            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| start_probe_round(w, ctx, user));
+        }
+    }
+}
+
+/// `Join()` with sequence-number synchronisation (Algorithm 1).
+fn attempt_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, seq: u64) {
+    match w.net.one_way(Addr::User(user), Addr::Node(target), ctx.rng()) {
+        Some(d1) => {
+            ctx.schedule_in(d1, move |w, ctx| {
+                let now = ctx.now();
+                let accepted = if w.node_is_up(target) {
+                    match w.nodes.get_mut(&target) {
+                        Some(n) => {
+                            let (res, actions) = n.join(user, seq, now);
+                            handle_node_actions(w, ctx, target, actions);
+                            schedule_node_wakeup(w, ctx, target);
+                            res.is_ok()
+                        }
+                        None => false,
+                    }
+                } else {
+                    false
+                };
+                let d2 = w
+                    .net
+                    .one_way(Addr::Node(target), Addr::User(user), ctx.rng())
+                    // If the node died between request and reply, the
+                    // client learns via (approximately symmetric) timeout.
+                    .unwrap_or(d1);
+                ctx.schedule_in(d2, move |w, ctx| {
+                    join_reply(w, ctx, user, target, accepted);
+                });
+            });
+        }
+        None => {
+            // Target unreachable: treat as rejection.
+            join_reply(w, ctx, user, target, false);
+        }
+    }
+}
+
+fn join_reply(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, accepted: bool) {
+    let now = ctx.now();
+    let Some(client) = w.clients.get_mut(&user) else { return };
+    match client.on_join_result(target, accepted, now) {
+        JoinFollowup::SwitchComplete { leave } => {
+            if let Some(previous) = leave {
+                send_leave(w, ctx, user, previous);
+            }
+            ensure_streaming(w, ctx, user);
+            ensure_periodic_probing(w, ctx, user);
+        }
+        JoinFollowup::Rediscover => {
+            // Algorithm 2, line 14: repeat from the edge-discovery step.
+            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| start_probe_round(w, ctx, user));
+        }
+        JoinFollowup::Stale => {}
+    }
+}
+
+/// `Leave()` notification to the previous node.
+fn send_leave(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, node: NodeId) {
+    let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) else {
+        return; // previous node already gone
+    };
+    ctx.schedule_in(d, move |w, ctx| {
+        if !w.node_is_up(node) {
+            return;
+        }
+        if let Some(n) = w.nodes.get_mut(&node) {
+            let actions = n.leave(user, ctx.now());
+            handle_node_actions(w, ctx, node, actions);
+            schedule_node_wakeup(w, ctx, node);
+        }
+    });
+}
+
+/// Starts the frame loop once per user.
+fn ensure_streaming(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    if w.streaming.insert(user) {
+        send_frame(w, ctx, user);
+    }
+}
+
+/// Starts the periodic re-probing loop once per user (`T_probing`).
+fn ensure_periodic_probing(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    if !w.periodic_started.insert(user) {
+        return;
+    }
+    let period = w.client_config.probing_period;
+    schedule_next_probe_tick(w, ctx, user, period);
+}
+
+/// Self-rescheduling probing tick with ±5 % jitter, so the fleet's probe
+/// rounds desynchronise instead of herding onto the same best node at
+/// the same instant.
+fn schedule_next_probe_tick(
+    _w: &mut World,
+    ctx: &mut Ctx<'_>,
+    user: UserId,
+    period: SimDuration,
+) {
+    let jitter = ctx.rng().uniform(0.95, 1.05);
+    ctx.schedule_in(period.mul_f64(jitter), move |w, ctx| {
+        if ctx.now() >= w.end_time {
+            return;
+        }
+        start_probe_round(w, ctx, user);
+        let period = w.client_config.probing_period;
+        schedule_next_probe_tick(w, ctx, user, period);
+    });
+}
+
+/// The client frame loop: one frame per interval to the serving node,
+/// with failure detection on send.
+fn send_frame(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    let now = ctx.now();
+    if now >= w.end_time {
+        return;
+    }
+    let Some(client) = w.clients.get_mut(&user) else { return };
+    match client.current_node() {
+        None => {
+            // Not attached (e.g. reactive recovery in flight): retry soon.
+            ctx.schedule_in(IDLE_RETRY, move |w, ctx| send_frame(w, ctx, user));
+        }
+        Some(node) => {
+            let interval = client.frame_interval();
+            if !client.can_send_frame() {
+                // In-flight window full: drop this frame rather than
+                // queue a backlog (real AR clients skip frames).
+                ctx.schedule_in(interval, move |w, ctx| send_frame(w, ctx, user));
+                return;
+            }
+            let seq = client.next_frame_seq();
+            let frame = Frame::live(user, seq, now);
+            match w.net.delivery_delay(Addr::User(user), Addr::Node(node), FRAME_SIZE, ctx.rng())
+            {
+                Some(d) => {
+                    ctx.schedule_in(d, move |w, ctx| receive_frame(w, ctx, node, frame));
+                }
+                None => {
+                    // Connection interruption detected (paper §IV-E).
+                    handle_node_failure(w, ctx, user);
+                }
+            }
+            ctx.schedule_in(interval, move |w, ctx| send_frame(w, ctx, user));
+        }
+    }
+}
+
+/// A frame arrives at an edge node.
+fn receive_frame(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId, frame: Frame) {
+    if !w.node_is_up(node) {
+        return; // node died while the frame was in flight: frame lost
+    }
+    let Some(n) = w.nodes.get_mut(&node) else { return };
+    let actions = n.offload(frame, ctx.now());
+    handle_node_actions(w, ctx, node, actions);
+    schedule_node_wakeup(w, ctx, node);
+}
+
+/// A response arrives back at the client.
+fn receive_response(w: &mut World, ctx: &mut Ctx<'_>, response: FrameResponse) {
+    let now = ctx.now();
+    let latency = now.saturating_since(response.created_at);
+    if let Some(client) = w.clients.get_mut(&response.user) {
+        client.on_frame_latency(latency);
+    }
+    w.recorder.record(response.user, now, latency);
+}
+
+/// Interprets node-produced effects.
+pub(crate) fn handle_node_actions(
+    w: &mut World,
+    ctx: &mut Ctx<'_>,
+    node: NodeId,
+    actions: Vec<NodeAction>,
+) {
+    for action in actions {
+        match action {
+            NodeAction::InvokeTestWorkload { after } => {
+                ctx.schedule_in(after, move |w, ctx| {
+                    if !w.node_is_up(node) {
+                        return;
+                    }
+                    if let Some(n) = w.nodes.get_mut(&node) {
+                        let actions = n.invoke_test_workload(ctx.now());
+                        handle_node_actions(w, ctx, node, actions);
+                        schedule_node_wakeup(w, ctx, node);
+                    }
+                });
+            }
+            NodeAction::Respond(response) => {
+                let size = response.size;
+                match w.net.delivery_delay(
+                    Addr::Node(node),
+                    Addr::User(response.user),
+                    size,
+                    ctx.rng(),
+                ) {
+                    Some(d) => {
+                        ctx.schedule_in(d, move |w, ctx| receive_response(w, ctx, response));
+                    }
+                    None => {
+                        // Node died between processing and reply: the
+                        // response is lost; the client's failure monitor
+                        // will notice at its next send.
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Schedules the executor's next completion wake-up, dropping stale
+/// epochs without rescheduling (the interaction that changed the epoch
+/// scheduled its own wake-up).
+pub(crate) fn schedule_node_wakeup(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId) {
+    let Some(n) = w.nodes.get(&node) else { return };
+    let Some((epoch, at)) = n.next_wakeup(ctx.now()) else { return };
+    ctx.schedule_at(at, move |w, ctx| {
+        if !w.node_is_up(node) {
+            return;
+        }
+        let Some(n) = w.nodes.get(&node) else { return };
+        match n.next_wakeup(ctx.now()) {
+            Some((current_epoch, _)) if current_epoch == epoch => {}
+            _ => return, // stale or idle
+        }
+        let Some(n) = w.nodes.get_mut(&node) else { return };
+        let actions = n.on_wakeup(epoch, ctx.now());
+        handle_node_actions(w, ctx, node, actions);
+        schedule_node_wakeup(w, ctx, node);
+    });
+}
+
+/// The failure monitor (paper §IV-E): reacts to a dead serving node.
+fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    let now = ctx.now();
+    w.failure_events.push((user, now));
+    if w.strategy.is_client_centric() && w.strategy.is_proactive() {
+        let Some(client) = w.clients.get(&user) else { return };
+        let alive: HashSet<NodeId> = client
+            .backups()
+            .iter()
+            .copied()
+            .filter(|&n| w.node_is_up(n))
+            .collect();
+        let Some(client) = w.clients.get_mut(&user) else { return };
+        match client.on_node_failure(now, |n| alive.contains(&n)) {
+            FailoverDecision::SwitchToBackup { target } => {
+                // The connection is pre-established; Unexpected_join
+                // cannot be rejected (Table I). Frames resume on the next
+                // tick of the send loop.
+                if let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(target), ctx.rng())
+                {
+                    ctx.schedule_in(d, move |w, ctx| {
+                        if !w.node_is_up(target) {
+                            return;
+                        }
+                        if let Some(n) = w.nodes.get_mut(&target) {
+                            let actions = n.unexpected_join(user, ctx.now());
+                            handle_node_actions(w, ctx, target, actions);
+                            schedule_node_wakeup(w, ctx, target);
+                        }
+                    });
+                }
+                // The failover consumed a backup: refresh the candidate
+                // list immediately rather than waiting out `T_probing`,
+                // so simultaneous later failures still find warm spares.
+                start_probe_round(w, ctx, user);
+            }
+            FailoverDecision::Rediscover => {
+                start_probe_round(w, ctx, user);
+            }
+        }
+    } else if w.strategy.is_client_centric() {
+        // Reactive comparison: no warm backups. The client first has to
+        // *notice* the dead server (transport timeout), then stall
+        // through a full re-discovery — the downtime of Fig. 4's
+        // "re-connect" line.
+        if let Some(client) = w.clients.get_mut(&user) {
+            client.detach();
+        }
+        ctx.schedule_in(RECONNECT_TIMEOUT, move |w, ctx| start_probe_round(w, ctx, user));
+    } else {
+        // Baselines re-assign through the manager.
+        if let Some(client) = w.clients.get_mut(&user) {
+            client.detach();
+        }
+        baseline_assign(w, ctx, user);
+    }
+}
+
+/// Server-side one-shot assignment for the baseline strategies.
+pub(crate) fn baseline_assign(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    let Some(rtt_m) = w.net.rtt(Addr::User(user), Addr::Manager, ctx.rng()) else {
+        ctx.schedule_in(IDLE_RETRY, move |w, ctx| baseline_assign(w, ctx, user));
+        return;
+    };
+    ctx.schedule_in(rtt_m, move |w, ctx| {
+        let Some(node) = pick_baseline_node(w, user) else {
+            ctx.schedule_in(SimDuration::from_secs(1), move |w, ctx| {
+                baseline_assign(w, ctx, user);
+            });
+            return;
+        };
+        if let Some(client) = w.clients.get_mut(&user) {
+            client.force_attach(node, Vec::new());
+        }
+        if let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) {
+            ctx.schedule_in(d, move |w, ctx| {
+                if !w.node_is_up(node) {
+                    return;
+                }
+                if let Some(n) = w.nodes.get_mut(&node) {
+                    let actions = n.unexpected_join(user, ctx.now());
+                    handle_node_actions(w, ctx, node, actions);
+                    schedule_node_wakeup(w, ctx, node);
+                }
+            });
+        }
+        ensure_streaming(w, ctx, user);
+    });
+}
+
+/// The baseline assignment rules (paper §V-B), evaluated with the
+/// manager-side information each baseline is allowed to see.
+fn pick_baseline_node(w: &World, user: UserId) -> Option<NodeId> {
+    let client = w.clients.get(&user)?;
+    let loc = client.location();
+    let alive: Vec<&armada_node::EdgeNode> = {
+        let mut v: Vec<_> =
+            w.nodes.values().filter(|n| w.node_is_up(n.id())).collect();
+        v.sort_by_key(|n| n.id());
+        v
+    };
+    if alive.is_empty() {
+        return None;
+    }
+    let nearest = |pool: &[&armada_node::EdgeNode]| -> Option<NodeId> {
+        pool.iter()
+            .min_by(|a, b| {
+                let da = loc.distance_km(a.location());
+                let db = loc.distance_km(b.location());
+                da.partial_cmp(&db)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id().cmp(&b.id()))
+            })
+            .map(|n| n.id())
+    };
+    let wrr = |pool: &[&armada_node::EdgeNode]| -> Option<NodeId> {
+        pool.iter()
+            .max_by(|a, b| {
+                // Generic resource view: a VM-level load balancer sees
+                // core counts and utilisation, not the app's
+                // heterogeneous per-frame speeds (paper §V-B).
+                let weight = |n: &armada_node::EdgeNode| {
+                    n.hardware().cores() as f64 / (n.attached_count() + 1) as f64
+                };
+                weight(a)
+                    .partial_cmp(&weight(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.id().cmp(&a.id()))
+            })
+            .map(|n| n.id())
+    };
+    match w.strategy {
+        Strategy::GeoProximity => nearest(&alive),
+        Strategy::ResourceAwareWrr => {
+            // Exclude the cloud: WRR balances the edge tier.
+            let edge: Vec<_> = alive
+                .iter()
+                .copied()
+                .filter(|n| n.class() != NodeClass::Cloud)
+                .collect();
+            if edge.is_empty() {
+                wrr(&alive)
+            } else {
+                wrr(&edge)
+            }
+        }
+        Strategy::DedicatedOnly => {
+            let dedicated: Vec<_> = alive
+                .iter()
+                .copied()
+                .filter(|n| n.class() == NodeClass::Dedicated)
+                .collect();
+            if dedicated.is_empty() {
+                let cloud: Vec<_> = alive
+                    .iter()
+                    .copied()
+                    .filter(|n| n.class() == NodeClass::Cloud)
+                    .collect();
+                wrr(&cloud)
+            } else {
+                wrr(&dedicated)
+            }
+        }
+        Strategy::ClosestCloud => {
+            let cloud: Vec<_> = alive
+                .iter()
+                .copied()
+                .filter(|n| n.class() == NodeClass::Cloud)
+                .collect();
+            nearest(&cloud)
+        }
+        Strategy::Pinned { ref map } => {
+            let target = map.get(&user).copied()?;
+            alive.iter().find(|n| n.id() == target).map(|n| n.id())
+        }
+        Strategy::ClientCentric { .. } => {
+            unreachable!("client-centric users never take the baseline path")
+        }
+    }
+}
+
+/// Registers a node with the manager and starts its heartbeat loop.
+pub(crate) fn start_node_lifecycle(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId) {
+    let now = ctx.now();
+    if let Some(n) = w.nodes.get(&node) {
+        w.manager.register(n.status(), now);
+    }
+    let period = w.system.heartbeat_period;
+    ctx.schedule_periodic(period, period, move |w: &mut World, ctx: &mut Ctx<'_>| {
+        if !w.node_is_up(node) || ctx.now() >= w.end_time {
+            return false;
+        }
+        if let Some(n) = w.nodes.get(&node) {
+            w.manager.heartbeat(n.status(), ctx.now());
+        }
+        true
+    });
+}
+
+/// A churned node leaves abruptly: the network drops its links; the
+/// manager only learns via missed heartbeats.
+pub(crate) fn node_leave(w: &mut World, _ctx: &mut Ctx<'_>, node: NodeId) {
+    w.net.set_down(Addr::Node(node));
+    w.dead_nodes.insert(node);
+}

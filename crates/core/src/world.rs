@@ -1,0 +1,152 @@
+//! The simulation world: all mutable system state.
+
+use std::collections::{HashMap, HashSet};
+
+use armada_client::{EdgeClient, ProbeResult};
+use armada_manager::CentralManager;
+use armada_metrics::LatencyRecorder;
+use armada_net::Network;
+use armada_node::EdgeNode;
+use armada_types::{ClientConfig, NodeId, SimTime, SystemConfig, UserId};
+
+use crate::strategy::Strategy;
+
+/// An in-flight probing round for one user.
+#[derive(Debug)]
+pub(crate) struct PendingProbe {
+    /// Monotone round identifier (stale replies are dropped).
+    pub round: u64,
+    /// Probes sent this round.
+    pub expected: usize,
+    /// Replies received so far.
+    pub results: Vec<ProbeResult>,
+    /// Probes known to have failed (dead candidate).
+    pub failed: usize,
+    /// Set once the round has been concluded (by completion or timeout).
+    pub finished: bool,
+}
+
+impl PendingProbe {
+    pub(crate) fn is_complete(&self) -> bool {
+        self.results.len() + self.failed >= self.expected
+    }
+}
+
+/// Everything the scenario events read and mutate.
+///
+/// Obtained from [`crate::Scenario::run`] via [`crate::RunResult`]; the
+/// public accessors expose the measurement surfaces (recorder, client
+/// and node statistics, manager counters).
+pub struct World {
+    pub(crate) net: Network,
+    pub(crate) manager: CentralManager,
+    pub(crate) nodes: HashMap<NodeId, EdgeNode>,
+    pub(crate) clients: HashMap<UserId, EdgeClient>,
+    pub(crate) recorder: LatencyRecorder,
+    pub(crate) strategy: Strategy,
+    pub(crate) client_config: ClientConfig,
+    pub(crate) system: SystemConfig,
+    pub(crate) pending_probes: HashMap<UserId, PendingProbe>,
+    pub(crate) streaming: HashSet<UserId>,
+    pub(crate) periodic_started: HashSet<UserId>,
+    pub(crate) next_round: u64,
+    /// Nodes that have left for good (churn departures); wake-ups and
+    /// actions for them are dropped.
+    pub(crate) dead_nodes: HashSet<NodeId>,
+    /// Scenario horizon: self-perpetuating loops stop past this point.
+    pub(crate) end_time: SimTime,
+    /// Serving-node failures as observed by clients: `(user, when)`.
+    pub(crate) failure_events: Vec<(UserId, SimTime)>,
+    /// Declared network affiliations per user, passed to discovery.
+    pub(crate) affiliations: HashMap<UserId, Vec<NodeId>>,
+}
+
+impl World {
+    /// The latency measurements collected during the run.
+    pub fn recorder(&self) -> &LatencyRecorder {
+        &self.recorder
+    }
+
+    /// The network substrate.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The Central Manager.
+    pub fn manager(&self) -> &CentralManager {
+        &self.manager
+    }
+
+    /// All edge nodes ever present (including churned-out ones).
+    pub fn nodes(&self) -> impl Iterator<Item = &EdgeNode> {
+        self.nodes.values()
+    }
+
+    /// A specific node, if it ever existed.
+    pub fn node(&self, id: NodeId) -> Option<&EdgeNode> {
+        self.nodes.get(&id)
+    }
+
+    /// All clients.
+    pub fn clients(&self) -> impl Iterator<Item = &EdgeClient> {
+        self.clients.values()
+    }
+
+    /// A specific client.
+    pub fn client(&self, id: UserId) -> Option<&EdgeClient> {
+        self.clients.get(&id)
+    }
+
+    /// The strategy that ran.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Total probe requests sent by all clients (Fig. 9a).
+    pub fn total_probes_sent(&self) -> u64 {
+        self.clients.values().map(|c| c.stats().probes_sent).sum()
+    }
+
+    /// Total test-workload invocations across all nodes (Fig. 9b).
+    pub fn total_test_invocations(&self) -> u64 {
+        self.nodes.values().map(|n| n.stats().test_invocations).sum()
+    }
+
+    /// Total hard failures (re-discovery required) across all clients
+    /// (Fig. 10b).
+    pub fn total_hard_failures(&self) -> u64 {
+        self.clients.values().map(|c| c.stats().hard_failures).sum()
+    }
+
+    /// Total failovers absorbed by warm backups.
+    pub fn total_backup_failovers(&self) -> u64 {
+        self.clients.values().map(|c| c.stats().backup_failovers).sum()
+    }
+
+    /// Every serving-node failure observed by a client, with its time —
+    /// the events Fig. 10a measures recovery gaps around.
+    pub fn failure_events(&self) -> &[(UserId, SimTime)] {
+        &self.failure_events
+    }
+
+    /// `true` while the node is present and reachable.
+    pub(crate) fn node_is_up(&self, id: NodeId) -> bool {
+        !self.dead_nodes.contains(&id) && self.net.is_up(armada_net::Addr::Node(id))
+    }
+
+    pub(crate) fn fresh_round(&mut self) -> u64 {
+        self.next_round += 1;
+        self.next_round
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("nodes", &self.nodes.len())
+            .field("clients", &self.clients.len())
+            .field("samples", &self.recorder.len())
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}

@@ -1,0 +1,343 @@
+//! A from-scratch GeoHash codec (base-32, interleaved bit encoding).
+//!
+//! GeoHash maps a latitude/longitude to a short string such that shared
+//! prefixes imply spatial proximity — the property the paper's manager
+//! exploits for its widening geo-proximity search [32].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use armada_types::GeoPoint;
+
+/// The standard GeoHash base-32 alphabet (no `a`, `i`, `l`, `o`).
+const ALPHABET: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Maximum supported precision (characters). Twelve characters resolve to
+/// roughly 3.7 cm × 1.9 cm — far below anything edge selection needs.
+pub const MAX_PRECISION: usize = 12;
+
+/// Decodes a base-32 character to its 5-bit value.
+fn decode_char(c: u8) -> Option<u8> {
+    ALPHABET.iter().position(|&a| a == c.to_ascii_lowercase()).map(|p| p as u8)
+}
+
+/// An encoded GeoHash cell.
+///
+/// # Examples
+///
+/// ```
+/// use armada_geo::GeoHash;
+/// use armada_types::GeoPoint;
+///
+/// let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 6);
+/// let center = h.decode_center();
+/// assert!(center.distance_km(GeoPoint::new(44.9778, -93.2650)) < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GeoHash(String);
+
+impl GeoHash {
+    /// Encodes `point` at the given precision (number of characters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is zero or greater than [`MAX_PRECISION`].
+    pub fn encode(point: GeoPoint, precision: usize) -> Self {
+        assert!(
+            (1..=MAX_PRECISION).contains(&precision),
+            "precision must be in 1..={MAX_PRECISION}"
+        );
+        let mut lat = (-90.0f64, 90.0f64);
+        let mut lon = (-180.0f64, 180.0f64);
+        let mut out = String::with_capacity(precision);
+        let mut bits = 0u8;
+        let mut bit_count = 0u8;
+        let mut even = true; // longitude first, per the GeoHash spec
+
+        while out.len() < precision {
+            let (range, value) =
+                if even { (&mut lon, point.lon()) } else { (&mut lat, point.lat()) };
+            let mid = (range.0 + range.1) / 2.0;
+            bits <<= 1;
+            if value >= mid {
+                bits |= 1;
+                range.0 = mid;
+            } else {
+                range.1 = mid;
+            }
+            even = !even;
+            bit_count += 1;
+            if bit_count == 5 {
+                out.push(ALPHABET[bits as usize] as char);
+                bits = 0;
+                bit_count = 0;
+            }
+        }
+        GeoHash(out)
+    }
+
+    /// Parses an existing hash string.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string is empty, longer than
+    /// [`MAX_PRECISION`], or contains characters outside the GeoHash
+    /// alphabet.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > MAX_PRECISION {
+            return None;
+        }
+        if s.bytes().all(|b| decode_char(b).is_some()) {
+            Some(GeoHash(s.to_ascii_lowercase()))
+        } else {
+            None
+        }
+    }
+
+    /// The hash string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Number of characters (precision) of this hash.
+    pub fn precision(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The bounding box of this cell as
+    /// `((lat_min, lat_max), (lon_min, lon_max))`.
+    pub fn bounds(&self) -> ((f64, f64), (f64, f64)) {
+        let mut lat = (-90.0f64, 90.0f64);
+        let mut lon = (-180.0f64, 180.0f64);
+        let mut even = true;
+        for b in self.0.bytes() {
+            let value = decode_char(b).expect("validated at construction");
+            for shift in (0..5).rev() {
+                let bit = (value >> shift) & 1;
+                let range = if even { &mut lon } else { &mut lat };
+                let mid = (range.0 + range.1) / 2.0;
+                if bit == 1 {
+                    range.0 = mid;
+                } else {
+                    range.1 = mid;
+                }
+                even = !even;
+            }
+        }
+        (lat, lon)
+    }
+
+    /// The centre point of this cell.
+    pub fn decode_center(&self) -> GeoPoint {
+        let ((lat_min, lat_max), (lon_min, lon_max)) = self.bounds();
+        GeoPoint::new((lat_min + lat_max) / 2.0, (lon_min + lon_max) / 2.0)
+    }
+
+    /// Truncates to a coarser precision, producing the enclosing cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is zero or greater than the current precision.
+    pub fn truncate(&self, precision: usize) -> GeoHash {
+        assert!(
+            precision >= 1 && precision <= self.precision(),
+            "cannot truncate {} chars to {precision}",
+            self.precision()
+        );
+        GeoHash(self.0[..precision].to_string())
+    }
+
+    /// `true` if `other` lies inside this cell (i.e. this hash is a prefix
+    /// of the other).
+    pub fn contains(&self, other: &GeoHash) -> bool {
+        other.0.starts_with(&self.0)
+    }
+
+    /// The eight neighbouring cells at the same precision (clockwise from
+    /// north), computed by re-encoding offset centre points. Cells at the
+    /// poles may produce fewer than eight distinct neighbours.
+    pub fn neighbors(&self) -> Vec<GeoHash> {
+        let ((lat_min, lat_max), (lon_min, lon_max)) = self.bounds();
+        let dlat = lat_max - lat_min;
+        let dlon = lon_max - lon_min;
+        let center = self.decode_center();
+        let mut out = Vec::with_capacity(8);
+        for (dy, dx) in [
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (-1.0, 1.0),
+            (-1.0, 0.0),
+            (-1.0, -1.0),
+            (0.0, -1.0),
+            (1.0, -1.0),
+        ] {
+            let p = GeoPoint::new(center.lat() + dy * dlat, center.lon() + dx * dlon);
+            let h = GeoHash::encode(p, self.precision());
+            if h != *self && !out.contains(&h) {
+                out.push(h);
+            }
+        }
+        out
+    }
+
+    /// Approximate width/height of a cell at `precision`, in kilometres.
+    /// Useful for choosing a precision that covers a target search radius.
+    pub fn cell_size_km(precision: usize) -> (f64, f64) {
+        // Longitude gets ceil(5p/2) bits, latitude floor(5p/2).
+        let total_bits = 5 * precision as u32;
+        let lon_bits = total_bits.div_ceil(2);
+        let lat_bits = total_bits / 2;
+        let lon_deg = 360.0 / (1u64 << lon_bits) as f64;
+        let lat_deg = 180.0 / (1u64 << lat_bits) as f64;
+        // 1 degree latitude ≈ 111.32 km; use the equatorial scale for
+        // longitude (worst case / widest cell).
+        (lon_deg * 111.32, lat_deg * 111.32)
+    }
+
+    /// The coarsest precision whose cell is still at least `radius_km`
+    /// wide in both dimensions — the starting precision for a proximity
+    /// search that must cover that radius.
+    pub fn precision_for_radius_km(radius_km: f64) -> usize {
+        for p in (1..=MAX_PRECISION).rev() {
+            let (w, h) = Self::cell_size_km(p);
+            if w >= radius_km && h >= radius_km {
+                return p;
+            }
+        }
+        1
+    }
+}
+
+impl fmt::Display for GeoHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vector_ezs42() {
+        // Classic reference vector: (42.605, -5.603) encodes to "ezs42".
+        let h = GeoHash::encode(GeoPoint::new(42.605, -5.603), 5);
+        assert_eq!(h.as_str(), "ezs42");
+    }
+
+    #[test]
+    fn known_vector_minneapolis() {
+        let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 7);
+        assert!(h.as_str().starts_with("9zvxv"), "got {h}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(GeoHash::parse("").is_none());
+        assert!(GeoHash::parse("abc").is_none()); // 'a' not in alphabet
+        assert!(GeoHash::parse("9zvx!").is_none());
+        assert!(GeoHash::parse(&"9".repeat(13)).is_none());
+        assert!(GeoHash::parse("9ZVXV").is_some()); // case-insensitive
+    }
+
+    #[test]
+    fn truncate_produces_prefix_cell() {
+        let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 8);
+        let t = h.truncate(4);
+        assert_eq!(t.precision(), 4);
+        assert!(t.contains(&h));
+        assert!(!h.contains(&t));
+    }
+
+    #[test]
+    fn bounds_contain_encoded_point() {
+        let p = GeoPoint::new(44.9778, -93.2650);
+        let h = GeoHash::encode(p, 6);
+        let ((lat_min, lat_max), (lon_min, lon_max)) = h.bounds();
+        assert!(lat_min <= p.lat() && p.lat() <= lat_max);
+        assert!(lon_min <= p.lon() && p.lon() <= lon_max);
+    }
+
+    #[test]
+    fn neighbors_are_distinct_and_adjacent() {
+        let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 6);
+        let ns = h.neighbors();
+        assert_eq!(ns.len(), 8);
+        let (w, ht) = GeoHash::cell_size_km(6);
+        let max_dist = 2.0 * (w + ht);
+        for n in &ns {
+            assert_ne!(n, &h);
+            assert!(h.decode_center().distance_km(n.decode_center()) < max_dist);
+        }
+    }
+
+    #[test]
+    fn cell_sizes_shrink_with_precision() {
+        let mut prev = f64::INFINITY;
+        for p in 1..=MAX_PRECISION {
+            let (w, h) = GeoHash::cell_size_km(p);
+            assert!(w < prev);
+            assert!(w > 0.0 && h > 0.0);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn precision_for_radius_covers_radius() {
+        for radius in [1.0, 10.0, 80.0, 500.0] {
+            let p = GeoHash::precision_for_radius_km(radius);
+            let (w, h) = GeoHash::cell_size_km(p);
+            assert!(
+                w >= radius && h >= radius || p == 1,
+                "precision {p} cell {w}x{h} does not cover {radius}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be")]
+    fn zero_precision_panics() {
+        let _ = GeoHash::encode(GeoPoint::new(0.0, 0.0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip_stays_in_cell(
+            lat in -89.0f64..89.0,
+            lon in -179.0f64..179.0,
+            precision in 1usize..=10,
+        ) {
+            let p = GeoPoint::new(lat, lon);
+            let h = GeoHash::encode(p, precision);
+            // Re-encoding the decoded centre must land in the same cell.
+            let again = GeoHash::encode(h.decode_center(), precision);
+            prop_assert_eq!(again, h);
+        }
+
+        #[test]
+        fn prefix_property(
+            lat in -89.0f64..89.0,
+            lon in -179.0f64..179.0,
+            coarse in 1usize..=5,
+            extra in 1usize..=5,
+        ) {
+            let p = GeoPoint::new(lat, lon);
+            let long = GeoHash::encode(p, coarse + extra);
+            let short = GeoHash::encode(p, coarse);
+            // Encoding at lower precision is exactly the prefix.
+            prop_assert_eq!(long.truncate(coarse), short);
+        }
+
+        #[test]
+        fn parse_accepts_all_encodings(
+            lat in -89.0f64..89.0,
+            lon in -179.0f64..179.0,
+        ) {
+            let h = GeoHash::encode(GeoPoint::new(lat, lon), 8);
+            prop_assert_eq!(GeoHash::parse(h.as_str()), Some(h));
+        }
+    }
+}

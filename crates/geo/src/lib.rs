@@ -1,0 +1,36 @@
+//! GeoHash encoding and geo-proximity search.
+//!
+//! The Central Manager's global edge selection (paper §IV-B) first applies a
+//! geo-proximity filter: it uses GeoHash prefixes to find edge nodes near a
+//! requesting user, widening the search area when too few local candidates
+//! exist so that remote nodes remain available as a last resort.
+//!
+//! This crate provides the [`GeoHash`] codec and the [`ProximityIndex`]
+//! used by `armada-manager`.
+//!
+//! # Examples
+//!
+//! ```
+//! use armada_geo::{GeoHash, ProximityIndex};
+//! use armada_types::{GeoPoint, NodeId};
+//!
+//! let msp = GeoPoint::new(44.9778, -93.2650);
+//! let hash = GeoHash::encode(msp, 6);
+//! assert_eq!(hash.as_str().len(), 6);
+//!
+//! let mut index = ProximityIndex::new();
+//! index.insert(NodeId::new(1), msp.offset_km(2.0, 1.0));
+//! index.insert(NodeId::new(2), msp.offset_km(400.0, 0.0));
+//! let near = index.within_km(msp, 50.0);
+//! assert_eq!(near.len(), 1);
+//! assert_eq!(near[0].id, NodeId::new(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geohash;
+mod search;
+
+pub use geohash::{GeoHash, MAX_PRECISION};
+pub use search::{ProximityIndex, RankedNeighbor};

@@ -1,0 +1,298 @@
+//! Geo-proximity index with widening search.
+//!
+//! The manager stores every registered node's position here and answers
+//! "which nodes are near this user?" queries. The search starts at a
+//! GeoHash precision covering the configured radius and *widens* (coarser
+//! prefixes) until enough candidates are found, so that remote nodes are
+//! reachable as a last resort — exactly the behaviour described in paper
+//! §IV-B.
+
+use std::collections::HashMap;
+
+use armada_types::{GeoPoint, NodeId};
+
+use crate::geohash::GeoHash;
+
+/// A node returned by a proximity query, with its distance to the query
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedNeighbor {
+    /// The matching node.
+    pub id: NodeId,
+    /// Great-circle distance from the query point, in kilometres.
+    pub distance_km: f64,
+}
+
+/// An in-memory spatial index over edge-node positions.
+///
+/// Internally nodes are bucketed by a fine GeoHash; queries scan matching
+/// prefix buckets and rank by true haversine distance, so results are
+/// exact while candidate generation stays cheap.
+///
+/// # Examples
+///
+/// ```
+/// use armada_geo::ProximityIndex;
+/// use armada_types::{GeoPoint, NodeId};
+///
+/// let origin = GeoPoint::new(44.98, -93.26);
+/// let mut idx = ProximityIndex::new();
+/// idx.insert(NodeId::new(1), origin.offset_km(1.0, 0.0));
+/// idx.insert(NodeId::new(2), origin.offset_km(30.0, 0.0));
+/// let ranked = idx.nearest(origin, 2);
+/// assert_eq!(ranked[0].id, NodeId::new(1));
+/// assert!(ranked[0].distance_km < ranked[1].distance_km);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProximityIndex {
+    /// Index precision: fine enough to bucket metro-scale deployments.
+    precision: usize,
+    positions: HashMap<NodeId, GeoPoint>,
+    buckets: HashMap<GeoHash, Vec<NodeId>>,
+}
+
+impl ProximityIndex {
+    /// Creates an empty index at the default bucketing precision (6
+    /// characters, cells ≈ 1.2 km × 0.6 km).
+    pub fn new() -> Self {
+        Self::with_precision(6)
+    }
+
+    /// Creates an empty index with a custom bucketing precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is outside `1..=MAX_PRECISION`.
+    pub fn with_precision(precision: usize) -> Self {
+        assert!(
+            (1..=crate::geohash::MAX_PRECISION).contains(&precision),
+            "invalid index precision"
+        );
+        ProximityIndex { precision, positions: HashMap::new(), buckets: HashMap::new() }
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if no nodes are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Inserts or moves a node. Returns the previous position if the node
+    /// was already present.
+    pub fn insert(&mut self, id: NodeId, point: GeoPoint) -> Option<GeoPoint> {
+        let prev = self.remove(id);
+        let hash = GeoHash::encode(point, self.precision);
+        self.positions.insert(id, point);
+        self.buckets.entry(hash).or_default().push(id);
+        prev
+    }
+
+    /// Removes a node, returning its position if it was present.
+    pub fn remove(&mut self, id: NodeId) -> Option<GeoPoint> {
+        let point = self.positions.remove(&id)?;
+        let hash = GeoHash::encode(point, self.precision);
+        if let Some(bucket) = self.buckets.get_mut(&hash) {
+            bucket.retain(|&n| n != id);
+            if bucket.is_empty() {
+                self.buckets.remove(&hash);
+            }
+        }
+        Some(point)
+    }
+
+    /// Returns the stored position of `id`, if indexed.
+    pub fn position(&self, id: NodeId) -> Option<GeoPoint> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Iterates over all `(id, position)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, GeoPoint)> + '_ {
+        self.positions.iter().map(|(&id, &p)| (id, p))
+    }
+
+    /// All nodes within `radius_km` of `from`, sorted nearest-first
+    /// (ties broken by `NodeId` for determinism).
+    pub fn within_km(&self, from: GeoPoint, radius_km: f64) -> Vec<RankedNeighbor> {
+        let mut out: Vec<RankedNeighbor> = self
+            .positions
+            .iter()
+            .map(|(&id, &p)| RankedNeighbor { id, distance_km: from.distance_km(p) })
+            .filter(|n| n.distance_km <= radius_km)
+            .collect();
+        sort_ranked(&mut out);
+        out
+    }
+
+    /// The `count` nearest nodes to `from` regardless of distance, sorted
+    /// nearest-first.
+    pub fn nearest(&self, from: GeoPoint, count: usize) -> Vec<RankedNeighbor> {
+        let mut out: Vec<RankedNeighbor> = self
+            .positions
+            .iter()
+            .map(|(&id, &p)| RankedNeighbor { id, distance_km: from.distance_km(p) })
+            .collect();
+        sort_ranked(&mut out);
+        out.truncate(count);
+        out
+    }
+
+    /// The paper's widening proximity search: returns nodes within
+    /// `radius_km`, but if fewer than `min_candidates` are found, widens
+    /// the radius (doubling each step) until either enough candidates are
+    /// found or every indexed node is included. Remote nodes therefore
+    /// remain discoverable as a last resort.
+    pub fn widening_search(
+        &self,
+        from: GeoPoint,
+        radius_km: f64,
+        min_candidates: usize,
+    ) -> Vec<RankedNeighbor> {
+        let mut radius = radius_km.max(0.1);
+        loop {
+            let found = self.within_km(from, radius);
+            if found.len() >= min_candidates || found.len() == self.len() {
+                return found;
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+/// Sorts nearest-first with deterministic NodeId tie-breaking.
+fn sort_ranked(out: &mut [RankedNeighbor]) {
+    out.sort_by(|a, b| {
+        a.distance_km
+            .partial_cmp(&b.distance_km)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(44.9778, -93.2650)
+    }
+
+    fn build(offsets_km: &[(f64, f64)]) -> ProximityIndex {
+        let mut idx = ProximityIndex::new();
+        for (i, &(e, n)) in offsets_km.iter().enumerate() {
+            idx.insert(NodeId::new(i as u64), origin().offset_km(e, n));
+        }
+        idx
+    }
+
+    #[test]
+    fn within_filters_by_radius() {
+        let idx = build(&[(1.0, 0.0), (5.0, 5.0), (100.0, 0.0)]);
+        let near = idx.within_km(origin(), 20.0);
+        assert_eq!(near.len(), 2);
+        assert!(near.iter().all(|n| n.distance_km <= 20.0));
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let idx = build(&[(30.0, 0.0), (1.0, 0.0), (10.0, 0.0)]);
+        let ranked = idx.nearest(origin(), 3);
+        assert_eq!(
+            ranked.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(0)]
+        );
+    }
+
+    #[test]
+    fn widening_search_reaches_remote_nodes() {
+        // Only one local node, but the caller wants three candidates:
+        // the search must widen until the two remote ones appear.
+        let idx = build(&[(2.0, 0.0), (300.0, 0.0), (500.0, 100.0)]);
+        let found = idx.widening_search(origin(), 10.0, 3);
+        assert_eq!(found.len(), 3);
+        // Still sorted nearest-first.
+        assert!(found[0].distance_km <= found[1].distance_km);
+        assert!(found[1].distance_km <= found[2].distance_km);
+    }
+
+    #[test]
+    fn widening_search_stops_at_population() {
+        let idx = build(&[(2.0, 0.0)]);
+        let found = idx.widening_search(origin(), 1.0, 5);
+        assert_eq!(found.len(), 1, "cannot find more nodes than exist");
+    }
+
+    #[test]
+    fn remove_then_query_excludes_node() {
+        let mut idx = build(&[(1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(idx.len(), 2);
+        let pos = idx.remove(NodeId::new(0));
+        assert!(pos.is_some());
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(NodeId::new(0)).is_none());
+        let near = idx.within_km(origin(), 50.0);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].id, NodeId::new(1));
+    }
+
+    #[test]
+    fn reinsert_moves_node() {
+        let mut idx = ProximityIndex::new();
+        idx.insert(NodeId::new(7), origin());
+        let prev = idx.insert(NodeId::new(7), origin().offset_km(100.0, 0.0));
+        assert!(prev.is_some());
+        assert_eq!(idx.len(), 1);
+        assert!(idx.within_km(origin(), 10.0).is_empty());
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = ProximityIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.within_km(origin(), 1000.0).is_empty());
+        assert!(idx.nearest(origin(), 3).is_empty());
+        assert!(idx.widening_search(origin(), 1.0, 1).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_is_prefix_of_full_sort(
+            seeds in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..20),
+            k in 1usize..10,
+        ) {
+            let idx = build(&seeds);
+            let all = idx.nearest(origin(), seeds.len());
+            let some = idx.nearest(origin(), k);
+            prop_assert_eq!(&all[..k.min(seeds.len())], &some[..]);
+        }
+
+        #[test]
+        fn within_results_respect_radius_and_order(
+            seeds in proptest::collection::vec((-200.0f64..200.0, -200.0f64..200.0), 0..30),
+            radius in 1.0f64..300.0,
+        ) {
+            let idx = build(&seeds);
+            let found = idx.within_km(origin(), radius);
+            for pair in found.windows(2) {
+                prop_assert!(pair[0].distance_km <= pair[1].distance_km);
+            }
+            for n in &found {
+                prop_assert!(n.distance_km <= radius);
+            }
+        }
+
+        #[test]
+        fn widening_always_meets_demand_or_exhausts(
+            seeds in proptest::collection::vec((-400.0f64..400.0, -400.0f64..400.0), 0..25),
+            want in 1usize..10,
+        ) {
+            let idx = build(&seeds);
+            let found = idx.widening_search(origin(), 5.0, want);
+            prop_assert!(found.len() >= want.min(seeds.len()));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! A live, networked implementation of the Armada protocol over TCP.
+//!
+//! The simulator (`armada-core`) reproduces the paper's figures; this
+//! crate demonstrates that the same protocol is a real networked system:
+//! a [`LiveManager`], [`LiveNode`]s and [`LiveClient`]s speak a
+//! length-prefixed JSON protocol over tokio TCP sockets, with per-node
+//! artificial delays standing in for geographic distance when everything
+//! runs on localhost.
+//!
+//! The node really executes its workload (a core-bounded busy interval
+//! behind a semaphore sized to the hardware profile's core count), so
+//! probing observes genuine queueing and contention; clients probe
+//! candidates concurrently, rank them with the same `LO`/`GO` policies
+//! as the simulator (`armada-client` is shared code), hold warm backup
+//! connections, and fail over without re-discovery.
+//!
+//! # Examples
+//!
+//! See `examples/live_cluster.rs` at the workspace root for a complete
+//! localhost deployment, and this crate's integration tests for minimal
+//! usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod manager;
+mod node;
+mod proto;
+
+pub use client::{LiveClient, SessionReport};
+pub use manager::LiveManager;
+pub use node::{LiveNode, NodeConfig};
+pub use proto::{read_message, write_message, Request, Response};

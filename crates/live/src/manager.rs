@@ -1,0 +1,230 @@
+//! The live Central Manager server.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::Mutex;
+use tokio::task::JoinHandle;
+
+use armada_types::GeoPoint;
+
+use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus};
+
+/// Heartbeats older than this mark a node dead.
+const LIVENESS_WINDOW: Duration = Duration::from_secs(6);
+
+#[derive(Debug, Clone)]
+struct Registration {
+    status: WireNodeStatus,
+    listen_addr: String,
+    last_seen: Instant,
+}
+
+#[derive(Default)]
+struct ManagerState {
+    nodes: HashMap<u64, Registration>,
+    discoveries: u64,
+}
+
+/// A running Central Manager: accepts node registrations/heartbeats and
+/// serves discovery queries with a distance+load ranking.
+///
+/// # Examples
+///
+/// ```no_run
+/// # async fn demo() -> std::io::Result<()> {
+/// let (manager, addr) = armada_live::LiveManager::bind().await?;
+/// println!("manager listening on {addr}");
+/// # drop(manager); Ok(()) }
+/// ```
+pub struct LiveManager {
+    state: Arc<Mutex<ManagerState>>,
+    handle: JoinHandle<()>,
+}
+
+impl LiveManager {
+    /// Binds to an ephemeral localhost port and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub async fn bind() -> std::io::Result<(LiveManager, SocketAddr)> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(Mutex::new(ManagerState::default()));
+        let accept_state = Arc::clone(&state);
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else { break };
+                let conn_state = Arc::clone(&accept_state);
+                tokio::spawn(async move {
+                    let _ = serve_connection(stream, conn_state).await;
+                });
+            }
+        });
+        Ok((LiveManager { state, handle }, addr))
+    }
+
+    /// Number of nodes currently considered alive.
+    pub async fn alive_count(&self) -> usize {
+        let state = self.state.lock().await;
+        let now = Instant::now();
+        state
+            .nodes
+            .values()
+            .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW)
+            .count()
+    }
+
+    /// Total discovery queries served.
+    pub async fn discoveries_served(&self) -> u64 {
+        self.state.lock().await.discoveries
+    }
+}
+
+impl Drop for LiveManager {
+    fn drop(&mut self) {
+        self.handle.abort();
+    }
+}
+
+async fn serve_connection(
+    mut stream: TcpStream,
+    state: Arc<Mutex<ManagerState>>,
+) -> std::io::Result<()> {
+    loop {
+        let request: Request = read_message(&mut stream).await?;
+        let response = handle_request(request, &state).await;
+        write_message(&mut stream, &response).await?;
+    }
+}
+
+async fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
+    match request {
+        Request::Register { status, listen_addr } => {
+            let mut s = state.lock().await;
+            s.nodes.insert(
+                status.id,
+                Registration { status, listen_addr, last_seen: Instant::now() },
+            );
+            Response::Registered
+        }
+        Request::Heartbeat { status } => {
+            let mut s = state.lock().await;
+            match s.nodes.get_mut(&status.id) {
+                Some(reg) => {
+                    reg.status = status;
+                    reg.last_seen = Instant::now();
+                    Response::HeartbeatAck
+                }
+                None => Response::Error {
+                    message: format!("heartbeat from unregistered node {}", status.id),
+                },
+            }
+        }
+        Request::Discover { user: _, lat, lon, top_n } => {
+            let mut s = state.lock().await;
+            s.discoveries += 1;
+            let user_loc = GeoPoint::new(lat, lon);
+            let now = Instant::now();
+            let mut alive: Vec<&Registration> = s
+                .nodes
+                .values()
+                .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW)
+                .collect();
+            // Same coarse ranking as the simulated manager: load first,
+            // distance as the tiebreaker scale.
+            alive.sort_by(|a, b| {
+                let score = |r: &Registration| {
+                    10.0 * r.status.load_score
+                        + 0.2 * user_loc.distance_km(r.status.location)
+                };
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.status.id.cmp(&b.status.id))
+            });
+            Response::Candidates {
+                nodes: alive
+                    .into_iter()
+                    .take(top_n)
+                    .map(|r| (r.status.id, r.listen_addr.clone()))
+                    .collect(),
+            }
+        }
+        other => Response::Error {
+            message: format!("manager cannot serve {other:?}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::NodeClass;
+
+    fn status(id: u64, load: f64) -> WireNodeStatus {
+        WireNodeStatus {
+            id,
+            class: NodeClass::Volunteer,
+            location: GeoPoint::new(44.98, -93.26),
+            attached_users: 0,
+            load_score: load,
+        }
+    }
+
+    async fn rpc(addr: SocketAddr, req: Request) -> Response {
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        write_message(&mut stream, &req).await.unwrap();
+        read_message(&mut stream).await.unwrap()
+    }
+
+    #[tokio::test]
+    async fn register_then_discover() {
+        let (mgr, addr) = LiveManager::bind().await.unwrap();
+        for id in 0..3 {
+            let resp = rpc(
+                addr,
+                Request::Register {
+                    status: status(id, id as f64 * 0.5),
+                    listen_addr: format!("127.0.0.1:{}", 9000 + id),
+                },
+            )
+            .await;
+            assert_eq!(resp, Response::Registered);
+        }
+        assert_eq!(mgr.alive_count().await, 3);
+        let resp = rpc(
+            addr,
+            Request::Discover { user: 1, lat: 44.98, lon: -93.26, top_n: 2 },
+        )
+        .await;
+        match resp {
+            Response::Candidates { nodes } => {
+                assert_eq!(nodes.len(), 2);
+                // Least-loaded node ranks first.
+                assert_eq!(nodes[0].0, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mgr.discoveries_served().await, 1);
+    }
+
+    #[tokio::test]
+    async fn heartbeat_from_unknown_node_errors() {
+        let (_mgr, addr) = LiveManager::bind().await.unwrap();
+        let resp = rpc(addr, Request::Heartbeat { status: status(9, 0.0) }).await;
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[tokio::test]
+    async fn frame_request_to_manager_is_an_error() {
+        let (_mgr, addr) = LiveManager::bind().await.unwrap();
+        let resp =
+            rpc(addr, Request::Frame { user: 0, seq: 0, payload_len: 10 }).await;
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+}

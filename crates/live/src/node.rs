@@ -1,0 +1,410 @@
+//! The live edge-node server.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{Mutex, Semaphore};
+use tokio::task::JoinHandle;
+
+use armada_types::{GeoPoint, HardwareProfile, NodeClass};
+use armada_workload::offered_load;
+
+use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus};
+
+/// Configuration of one live edge node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Node identity.
+    pub id: u64,
+    /// Node class.
+    pub class: NodeClass,
+    /// Hardware profile: the frame concurrency sizes the execution
+    /// semaphore, the base frame time is the per-frame busy interval.
+    pub hw: HardwareProfile,
+    /// Advertised position.
+    pub location: GeoPoint,
+    /// Artificial one-way network delay, standing in for geographic
+    /// distance on localhost. Applied once per direction per request.
+    pub one_way_delay: Duration,
+}
+
+struct NodeState {
+    cfg: NodeConfig,
+    /// `cores` permits: frames queue here, so probing observes real
+    /// contention.
+    execution: Semaphore,
+    seq: Mutex<u64>,
+    attached: Mutex<std::collections::HashSet<u64>>,
+    /// Cached what-if measurement, µs (0 = not yet measured).
+    whatif_us: AtomicU64,
+    /// Most recent live-frame processing time, µs.
+    current_us: AtomicU64,
+    /// A test workload is already queued/running (triggers coalesce).
+    refresh_pending: AtomicBool,
+    test_invocations: AtomicU64,
+    frames_processed: AtomicU64,
+}
+
+/// A running live edge node.
+///
+/// Registers with the manager, heartbeats every 2 seconds, and serves
+/// the Table I APIs over TCP. Dropping the handle aborts the server and
+/// every open connection — which is exactly how an abrupt volunteer
+/// departure looks to its clients.
+pub struct LiveNode {
+    state: Arc<NodeState>,
+    accept_handle: JoinHandle<()>,
+    heartbeat_handle: Option<JoinHandle<()>>,
+    connections: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl LiveNode {
+    /// Binds to an ephemeral localhost port, optionally registering with
+    /// a manager (and heartbeating thereafter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and registration I/O failures.
+    pub async fn bind(
+        cfg: NodeConfig,
+        manager_addr: Option<SocketAddr>,
+    ) -> std::io::Result<(LiveNode, SocketAddr)> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(NodeState {
+            execution: Semaphore::new(cfg.hw.concurrency() as usize),
+            seq: Mutex::new(0),
+            attached: Mutex::new(Default::default()),
+            whatif_us: AtomicU64::new(0),
+            current_us: AtomicU64::new(0),
+            refresh_pending: AtomicBool::new(false),
+            test_invocations: AtomicU64::new(0),
+            frames_processed: AtomicU64::new(0),
+            cfg,
+        });
+
+        let connections: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let accept_state = Arc::clone(&state);
+        let accept_connections = Arc::clone(&connections);
+        let accept_handle = tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else { break };
+                let conn_state = Arc::clone(&accept_state);
+                let handle = tokio::spawn(async move {
+                    let _ = serve_connection(stream, conn_state).await;
+                });
+                let mut conns = accept_connections.lock().expect("not poisoned");
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+        });
+
+        let heartbeat_handle = match manager_addr {
+            Some(mgr) => {
+                let hb_state = Arc::clone(&state);
+                // Initial registration happens synchronously so callers
+                // can discover the node as soon as bind returns.
+                let mut stream = TcpStream::connect(mgr).await?;
+                write_message(
+                    &mut stream,
+                    &Request::Register {
+                        status: status_of(&hb_state).await,
+                        listen_addr: addr.to_string(),
+                    },
+                )
+                .await?;
+                let _: Response = read_message(&mut stream).await?;
+                Some(tokio::spawn(async move {
+                    loop {
+                        tokio::time::sleep(Duration::from_secs(2)).await;
+                        let status = status_of(&hb_state).await;
+                        let ok = async {
+                            write_message(&mut stream, &Request::Heartbeat { status })
+                                .await?;
+                            read_message::<_, Response>(&mut stream).await
+                        }
+                        .await;
+                        if ok.is_err() {
+                            break;
+                        }
+                    }
+                }))
+            }
+            None => None,
+        };
+
+        Ok((LiveNode { state, accept_handle, heartbeat_handle, connections }, addr))
+    }
+
+    /// Number of test-workload invocations so far.
+    pub fn test_invocations(&self) -> u64 {
+        self.state.test_invocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of live frames fully processed.
+    pub fn frames_processed(&self) -> u64 {
+        self.state.frames_processed.load(Ordering::Relaxed)
+    }
+
+    /// Currently attached users.
+    pub async fn attached_count(&self) -> usize {
+        self.state.attached.lock().await.len()
+    }
+}
+
+impl LiveNode {
+    /// Abruptly terminates the node: stops accepting, severs every open
+    /// connection and silences heartbeats — a volunteer departing
+    /// "anytime without notifications".
+    pub fn shutdown(&self) {
+        self.accept_handle.abort();
+        if let Some(h) = &self.heartbeat_handle {
+            h.abort();
+        }
+        for conn in self.connections.lock().expect("not poisoned").drain(..) {
+            conn.abort();
+        }
+    }
+}
+
+impl Drop for LiveNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+async fn status_of(state: &NodeState) -> WireNodeStatus {
+    let attached = state.attached.lock().await.len();
+    WireNodeStatus {
+        id: state.cfg.id,
+        class: state.cfg.class,
+        location: state.cfg.location,
+        attached_users: attached,
+        load_score: offered_load(&state.cfg.hw, attached, 20.0),
+    }
+}
+
+/// Executes one frame's worth of work: queue on the core semaphore,
+/// then hold a core for the base frame time. Returns total elapsed
+/// (queueing + execution).
+async fn execute_frame(state: &NodeState) -> Duration {
+    let started = Instant::now();
+    let _permit = state.execution.acquire().await.expect("semaphore never closes");
+    tokio::time::sleep(Duration::from_micros(
+        state.cfg.hw.base_frame_time().as_micros(),
+    ))
+    .await;
+    started.elapsed()
+}
+
+/// Runs the synthetic test workload and refreshes the what-if cache.
+/// Concurrent triggers coalesce into one invocation.
+async fn run_test_workload(state: Arc<NodeState>) {
+    if state.refresh_pending.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    state.test_invocations.fetch_add(1, Ordering::Relaxed);
+    let elapsed = execute_frame(&state).await;
+    state
+        .whatif_us
+        .store(elapsed.as_micros() as u64, Ordering::Relaxed);
+    state.refresh_pending.store(false, Ordering::Release);
+}
+
+async fn serve_connection(
+    mut stream: TcpStream,
+    state: Arc<NodeState>,
+) -> std::io::Result<()> {
+    loop {
+        let request: Request = read_message(&mut stream).await?;
+        // Inbound leg of the artificial geographic delay.
+        tokio::time::sleep(state.cfg.one_way_delay).await;
+        let response = handle_request(request, &state).await;
+        // Outbound leg.
+        tokio::time::sleep(state.cfg.one_way_delay).await;
+        write_message(&mut stream, &response).await?;
+    }
+}
+
+async fn handle_request(request: Request, state: &Arc<NodeState>) -> Response {
+    match request {
+        Request::RttProbe => Response::RttPong,
+        Request::ProcessProbe => {
+            let seq = *state.seq.lock().await;
+            let attached = state.attached.lock().await.len();
+            let base_us = state.cfg.hw.base_frame_time().as_micros();
+            let whatif = state.whatif_us.load(Ordering::Relaxed);
+            let current = state.current_us.load(Ordering::Relaxed);
+            Response::ProbeReply {
+                whatif_us: if whatif == 0 { base_us } else { whatif },
+                current_us: if current == 0 { base_us } else { current },
+                attached,
+                seq,
+            }
+        }
+        Request::Join { user, seq: presented } => {
+            let mut seq = state.seq.lock().await;
+            if *seq != presented {
+                return Response::JoinResult { accepted: false };
+            }
+            *seq += 1;
+            drop(seq);
+            state.attached.lock().await.insert(user);
+            // Refresh the what-if after the new user's traffic starts
+            // (the paper delays by ~2× the common RTT).
+            let refresh_state = Arc::clone(state);
+            let delay = state.cfg.one_way_delay * 4;
+            tokio::spawn(async move {
+                tokio::time::sleep(delay).await;
+                run_test_workload(refresh_state).await;
+            });
+            Response::JoinResult { accepted: true }
+        }
+        Request::UnexpectedJoin { user } => {
+            *state.seq.lock().await += 1;
+            state.attached.lock().await.insert(user);
+            let refresh_state = Arc::clone(state);
+            tokio::spawn(run_test_workload(refresh_state));
+            Response::Ack
+        }
+        Request::Leave { user } => {
+            let removed = state.attached.lock().await.remove(&user);
+            if removed {
+                *state.seq.lock().await += 1;
+                let refresh_state = Arc::clone(state);
+                tokio::spawn(run_test_workload(refresh_state));
+            }
+            Response::Ack
+        }
+        Request::Frame { seq, .. } => {
+            let elapsed = execute_frame(state).await;
+            let elapsed_us = elapsed.as_micros() as u64;
+            state.current_us.store(elapsed_us, Ordering::Relaxed);
+            state.frames_processed.fetch_add(1, Ordering::Relaxed);
+            // The paper's third test-workload trigger: the performance
+            // monitor notices live processing drifting away from the
+            // cached what-if (e.g. competing host load) and refreshes it.
+            let whatif = state.whatif_us.load(Ordering::Relaxed);
+            if whatif > 0 {
+                let drift = (elapsed_us as f64 - whatif as f64).abs() / whatif as f64;
+                if drift > 0.25 {
+                    *state.seq.lock().await += 1;
+                    tokio::spawn(run_test_workload(Arc::clone(state)));
+                }
+            }
+            Response::FrameResult { seq, processing_us: elapsed_us }
+        }
+        other => Response::Error { message: format!("node cannot serve {other:?}") },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(id: u64, cores: u32, frame_ms: f64, delay_ms: u64) -> NodeConfig {
+        NodeConfig {
+            id,
+            class: NodeClass::Volunteer,
+            hw: HardwareProfile::new("test", cores, frame_ms).with_concurrency(cores),
+            location: GeoPoint::new(44.98, -93.26),
+            one_way_delay: Duration::from_millis(delay_ms),
+        }
+    }
+
+    async fn rpc(stream: &mut TcpStream, req: Request) -> Response {
+        write_message(stream, &req).await.unwrap();
+        read_message(stream).await.unwrap()
+    }
+
+    #[tokio::test]
+    async fn probe_join_leave_cycle() {
+        let (node, addr) = LiveNode::bind(config(1, 4, 5.0, 0), None).await.unwrap();
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        let reply = rpc(&mut stream, Request::ProcessProbe).await;
+        let seq = match reply {
+            Response::ProbeReply { seq, attached, whatif_us, .. } => {
+                assert_eq!(attached, 0);
+                assert_eq!(whatif_us, 5_000, "fallback is the base frame time");
+                seq
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            rpc(&mut stream, Request::Join { user: 7, seq }).await,
+            Response::JoinResult { accepted: true }
+        );
+        assert_eq!(node.attached_count().await, 1);
+        // Stale sequence numbers are rejected (Algorithm 1).
+        assert_eq!(
+            rpc(&mut stream, Request::Join { user: 8, seq }).await,
+            Response::JoinResult { accepted: false }
+        );
+        assert_eq!(rpc(&mut stream, Request::Leave { user: 7 }).await, Response::Ack);
+        assert_eq!(node.attached_count().await, 0);
+    }
+
+    #[tokio::test]
+    async fn frames_take_at_least_base_time() {
+        let (_node, addr) = LiveNode::bind(config(1, 2, 8.0, 0), None).await.unwrap();
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        let started = Instant::now();
+        let reply =
+            rpc(&mut stream, Request::Frame { user: 1, seq: 0, payload_len: 20_000 }).await;
+        let elapsed = started.elapsed();
+        match reply {
+            Response::FrameResult { seq, processing_us } => {
+                assert_eq!(seq, 0);
+                assert!(processing_us >= 8_000, "processing {processing_us}µs");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(elapsed >= Duration::from_millis(8));
+    }
+
+    #[tokio::test]
+    async fn artificial_delay_shows_in_rtt() {
+        let (_node, addr) = LiveNode::bind(config(1, 2, 1.0, 10), None).await.unwrap();
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        let started = Instant::now();
+        let reply = rpc(&mut stream, Request::RttProbe).await;
+        assert_eq!(reply, Response::RttPong);
+        assert!(started.elapsed() >= Duration::from_millis(20), "two legs of 10 ms each");
+    }
+
+    #[tokio::test]
+    async fn contention_inflates_whatif() {
+        let (node, addr) = LiveNode::bind(config(1, 1, 20.0, 0), None).await.unwrap();
+        // Saturate the single core with frames from several connections.
+        let mut tasks = Vec::new();
+        for user in 0..4u64 {
+            let mut s = TcpStream::connect(addr).await.unwrap();
+            tasks.push(tokio::spawn(async move {
+                let _ = rpc(&mut s, Request::Frame { user, seq: 0, payload_len: 20_000 }).await;
+            }));
+        }
+        // Trigger a test workload while the queue is full.
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        let _ = rpc(&mut stream, Request::UnexpectedJoin { user: 99 }).await;
+        for t in tasks {
+            t.await.unwrap();
+        }
+        // Wait for the test workload to drain through the queue.
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        assert!(node.test_invocations() >= 1);
+        let reply = rpc(&mut stream, Request::ProcessProbe).await;
+        match reply {
+            Response::ProbeReply { whatif_us, .. } => {
+                assert!(
+                    whatif_us > 20_000,
+                    "queued behind live frames: what-if {whatif_us}µs must exceed base"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

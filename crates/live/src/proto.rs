@@ -1,0 +1,236 @@
+//! The wire protocol: length-prefixed JSON messages.
+
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+use armada_types::{GeoPoint, NodeClass};
+
+/// Upper bound on a single message, guarding against corrupt length
+/// prefixes.
+const MAX_MESSAGE_BYTES: u32 = 1 << 20;
+
+/// Requests sent to the manager or to a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Node → manager: initial registration.
+    Register {
+        /// The node's identity and state.
+        status: WireNodeStatus,
+        /// Where the node accepts client connections.
+        listen_addr: String,
+    },
+    /// Node → manager: periodic status refresh.
+    Heartbeat {
+        /// Updated node state.
+        status: WireNodeStatus,
+    },
+    /// User → manager: edge discovery.
+    Discover {
+        /// Requesting user.
+        user: u64,
+        /// User latitude.
+        lat: f64,
+        /// User longitude.
+        lon: f64,
+        /// Candidate-list size (`TopN`).
+        top_n: usize,
+    },
+    /// User → node: RTT probe (timed by the caller).
+    RttProbe,
+    /// User → node: what-if processing probe.
+    ProcessProbe,
+    /// User → node: synchronised join (Algorithm 1).
+    Join {
+        /// Joining user.
+        user: u64,
+        /// Sequence number from the preceding probe.
+        seq: u64,
+    },
+    /// User → node: non-rejectable failover attach.
+    UnexpectedJoin {
+        /// Joining user.
+        user: u64,
+    },
+    /// User → node: departure notification.
+    Leave {
+        /// Departing user.
+        user: u64,
+    },
+    /// User → node: one application frame. The payload is sized, not
+    /// carried — localhost bandwidth is not the phenomenon under test.
+    Frame {
+        /// Sending user.
+        user: u64,
+        /// Frame sequence number.
+        seq: u64,
+        /// Simulated payload size in bytes.
+        payload_len: u32,
+    },
+}
+
+/// Replies to [`Request`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Registration accepted.
+    Registered,
+    /// Heartbeat accepted.
+    HeartbeatAck,
+    /// Discovery result: `(node_id, listen_addr)` candidates, best
+    /// first.
+    Candidates {
+        /// The candidate list.
+        nodes: Vec<(u64, String)>,
+    },
+    /// RTT probe echo.
+    RttPong,
+    /// What-if probe reply.
+    ProbeReply {
+        /// Cached what-if processing delay, µs.
+        whatif_us: u64,
+        /// Measured current processing delay, µs.
+        current_us: u64,
+        /// Attached user count.
+        attached: usize,
+        /// The node's sequence number.
+        seq: u64,
+    },
+    /// Join verdict.
+    JoinResult {
+        /// `true` if the presented sequence number matched.
+        accepted: bool,
+    },
+    /// Generic acknowledgement (leave, unexpected join).
+    Ack,
+    /// Processed-frame result.
+    FrameResult {
+        /// Acknowledged frame sequence number.
+        seq: u64,
+        /// Node-side processing time, µs (queueing + execution).
+        processing_us: u64,
+    },
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Node status as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireNodeStatus {
+    /// Node identity.
+    pub id: u64,
+    /// Node class.
+    pub class: NodeClass,
+    /// Node position.
+    pub location: GeoPoint,
+    /// Attached user count.
+    pub attached_users: usize,
+    /// Offered-load score (lower = more available).
+    pub load_score: f64,
+}
+
+/// Writes one length-prefixed JSON message.
+///
+/// # Errors
+///
+/// Propagates I/O errors; serialisation of these types cannot fail.
+pub async fn write_message<W, T>(writer: &mut W, message: &T) -> std::io::Result<()>
+where
+    W: AsyncWriteExt + Unpin,
+    T: Serialize,
+{
+    let body = serde_json::to_vec(message).expect("protocol types always serialise");
+    let len = u32::try_from(body.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "message too large"))?;
+    writer.write_all(&len.to_be_bytes()).await?;
+    writer.write_all(&body).await?;
+    writer.flush().await
+}
+
+/// Reads one length-prefixed JSON message.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, oversized frames, or malformed
+/// JSON.
+pub async fn read_message<R, T>(reader: &mut R) -> std::io::Result<T>
+where
+    R: AsyncReadExt + Unpin,
+    T: DeserializeOwned,
+{
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf).await?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_MESSAGE_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds protocol maximum"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body).await?;
+    serde_json::from_slice(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        let msg = Request::Join { user: 7, seq: 42 };
+        write_message(&mut a, &msg).await.unwrap();
+        let back: Request = read_message(&mut b).await.unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[tokio::test]
+    async fn multiple_messages_in_sequence() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        for seq in 0..10u64 {
+            write_message(&mut a, &Response::FrameResult { seq, processing_us: 1 })
+                .await
+                .unwrap();
+        }
+        for seq in 0..10u64 {
+            let r: Response = read_message(&mut b).await.unwrap();
+            assert_eq!(r, Response::FrameResult { seq, processing_us: 1 });
+        }
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&u32::MAX.to_be_bytes()).await.unwrap();
+        let err = read_message::<_, Request>(&mut b).await.unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[tokio::test]
+    async fn garbage_json_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&4u32.to_be_bytes()).await.unwrap();
+        a.write_all(b"!!!!").await.unwrap();
+        let err = read_message::<_, Request>(&mut b).await.unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wire_status_serialises() {
+        let s = WireNodeStatus {
+            id: 3,
+            class: NodeClass::Volunteer,
+            location: GeoPoint::new(44.9, -93.2),
+            attached_users: 1,
+            load_score: 0.5,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: WireNodeStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,274 @@
+//! The Central Manager facade.
+
+use armada_geo::ProximityIndex;
+use armada_node::NodeStatus;
+use armada_types::{GeoPoint, NodeId, SimTime, SystemConfig};
+
+use crate::registry::NodeRegistry;
+use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
+
+/// The Central Manager: registry + proximity index + global selection.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct CentralManager {
+    config: SystemConfig,
+    policy: GlobalSelectionPolicy,
+    registry: NodeRegistry,
+    index: ProximityIndex,
+    discoveries_served: u64,
+}
+
+impl CentralManager {
+    /// Creates a manager with the given environment configuration and
+    /// ranking policy.
+    pub fn new(config: SystemConfig, policy: GlobalSelectionPolicy) -> Self {
+        CentralManager {
+            config,
+            policy,
+            registry: NodeRegistry::new(config.heartbeat_period, config.heartbeat_miss_limit),
+            index: ProximityIndex::new(),
+            discoveries_served: 0,
+        }
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Registers a node (or refreshes it after downtime).
+    pub fn register(&mut self, status: NodeStatus, now: SimTime) {
+        self.index.insert(status.node, status.location);
+        self.registry.register(status, now);
+    }
+
+    /// Records a periodic status heartbeat. Unknown senders are treated
+    /// as (re-)registrations — a volunteer that silently died and came
+    /// back should not be locked out.
+    pub fn heartbeat(&mut self, status: NodeStatus, now: SimTime) {
+        if !self.registry.heartbeat(status, now) {
+            self.register(status, now);
+        } else {
+            // Keep the spatial index in sync with mobile nodes.
+            self.index.insert(status.node, status.location);
+        }
+    }
+
+    /// Handles a graceful departure notification.
+    pub fn node_left(&mut self, node: NodeId) {
+        self.registry.deregister(node);
+        self.index.remove(node);
+    }
+
+    /// Number of nodes alive at `now`.
+    pub fn alive_count(&self, now: SimTime) -> usize {
+        self.registry.alive_count(now)
+    }
+
+    /// `true` if `node` is currently considered alive.
+    pub fn is_alive(&self, node: NodeId, now: SimTime) -> bool {
+        self.registry.is_alive(node, now)
+    }
+
+    /// Total discovery queries served (system-overhead accounting).
+    pub fn discoveries_served(&self) -> u64 {
+        self.discoveries_served
+    }
+
+    /// Housekeeping: drops registry records (and spatial-index entries)
+    /// for nodes dead longer than `grace`, returning the pruned ids.
+    /// Volunteers that reappear simply re-register via heartbeat.
+    pub fn prune_dead(&mut self, now: SimTime, grace: armada_types::SimDuration) -> Vec<NodeId> {
+        let pruned = self.registry.prune(now, grace);
+        for id in &pruned {
+            self.index.remove(*id);
+        }
+        pruned
+    }
+
+    /// Total nodes in the registry, alive or not (housekeeping metric).
+    pub fn registered_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Serves an edge-discovery query: the first, global step of the
+    /// 2-step selection. Returns up to `top_n` candidate node ids, best
+    /// first.
+    ///
+    /// The geo-proximity filter starts at the configured radius and
+    /// widens until at least `top_n` alive candidates are inside (or all
+    /// alive nodes are), after which the ranking policy orders them.
+    pub fn discover(
+        &mut self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<NodeId> {
+        self.discoveries_served += 1;
+        self.ranked_candidates(user_loc, affiliations, top_n, now)
+            .into_iter()
+            .map(|c| c.node)
+            .collect()
+    }
+
+    /// Like [`CentralManager::discover`] but returns scores, for
+    /// diagnostics and tests.
+    pub fn ranked_candidates(
+        &self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<ScoredCandidate> {
+        if top_n == 0 {
+            return Vec::new();
+        }
+        // Geo filter with widening: ask the spatial index for nearby
+        // nodes, discard the dead, widen until we have enough.
+        let mut radius = self.config.proximity_radius_km.max(0.1);
+        let alive_total = self.registry.alive_count(now);
+        let want = top_n.min(alive_total);
+        let candidates = loop {
+            let nearby = self.index.within_km(user_loc, radius);
+            let alive: Vec<NodeStatus> = nearby
+                .iter()
+                .filter(|n| self.registry.is_alive(n.id, now))
+                .filter_map(|n| self.registry.record(n.id).map(|r| r.status))
+                .collect();
+            if alive.len() >= want || alive.len() == alive_total {
+                break alive;
+            }
+            radius *= 2.0;
+        };
+        let mut ranked = self.policy.rank(user_loc, candidates, affiliations);
+        ranked.truncate(top_n);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::NodeClass;
+
+    fn status(id: u64, loc: GeoPoint, load: f64) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: NodeClass::Volunteer,
+            location: loc,
+            attached_users: 0,
+            load_score: load,
+        }
+    }
+
+    fn home() -> GeoPoint {
+        GeoPoint::new(44.98, -93.26)
+    }
+
+    fn manager_with_nodes(n: u64) -> CentralManager {
+        let mut mgr =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        for i in 0..n {
+            mgr.register(status(i, home().offset_km(i as f64 * 4.0, 0.0), 0.0), SimTime::ZERO);
+        }
+        mgr
+    }
+
+    #[test]
+    fn discover_returns_top_n_nearest_first() {
+        let mut mgr = manager_with_nodes(6);
+        let got = mgr.discover(home(), &[], 3, SimTime::ZERO);
+        assert_eq!(got, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(mgr.discoveries_served(), 1);
+    }
+
+    #[test]
+    fn discover_skips_dead_nodes() {
+        let mut mgr = manager_with_nodes(3);
+        // Node 0 stops heartbeating; others stay fresh.
+        let late = SimTime::from_secs(30);
+        for i in 1..3 {
+            mgr.heartbeat(status(i, home().offset_km(i as f64 * 4.0, 0.0), 0.0), late);
+        }
+        let got = mgr.discover(home(), &[], 3, late);
+        assert_eq!(got, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn discover_widens_to_remote_nodes_as_last_resort() {
+        let mut mgr =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        // One local node, two far outside the 80 km radius.
+        mgr.register(status(0, home().offset_km(3.0, 0.0), 0.0), SimTime::ZERO);
+        mgr.register(status(1, home().offset_km(400.0, 0.0), 0.0), SimTime::ZERO);
+        mgr.register(status(2, home().offset_km(900.0, 0.0), 0.0), SimTime::ZERO);
+        let got = mgr.discover(home(), &[], 3, SimTime::ZERO);
+        assert_eq!(got.len(), 3, "widening must reach the remote nodes");
+        assert_eq!(got[0], NodeId::new(0));
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_node_re_registers() {
+        let mut mgr = manager_with_nodes(0);
+        mgr.heartbeat(status(7, home(), 0.0), SimTime::from_secs(5));
+        assert!(mgr.is_alive(NodeId::new(7), SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn node_left_disappears_immediately() {
+        let mut mgr = manager_with_nodes(2);
+        mgr.node_left(NodeId::new(0));
+        let got = mgr.discover(home(), &[], 2, SimTime::ZERO);
+        assert_eq!(got, vec![NodeId::new(1)]);
+        assert_eq!(mgr.alive_count(SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn loaded_nodes_rank_below_idle_ones() {
+        let mut mgr =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        mgr.register(status(0, home().offset_km(1.0, 0.0), 3.0), SimTime::ZERO);
+        mgr.register(status(1, home().offset_km(6.0, 0.0), 0.0), SimTime::ZERO);
+        let got = mgr.discover(home(), &[], 2, SimTime::ZERO);
+        assert_eq!(got[0], NodeId::new(1), "idle node outranks the loaded closer one");
+    }
+
+    #[test]
+    fn zero_top_n_yields_nothing() {
+        let mut mgr = manager_with_nodes(3);
+        assert!(mgr.discover(home(), &[], 0, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn empty_system_yields_nothing() {
+        let mut mgr = manager_with_nodes(0);
+        assert!(mgr.discover(home(), &[], 3, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn prune_dead_clears_registry_and_index() {
+        let mut mgr = manager_with_nodes(2);
+        // Node 0 silent; node 1 keeps heartbeating.
+        let late = SimTime::from_secs(60);
+        mgr.heartbeat(status(1, home().offset_km(4.0, 0.0), 0.0), late);
+        let pruned = mgr.prune_dead(late, armada_types::SimDuration::from_secs(10));
+        assert_eq!(pruned, vec![NodeId::new(0)]);
+        assert_eq!(mgr.registered_count(), 1);
+        // A pruned node that comes back simply re-registers.
+        mgr.heartbeat(status(0, home(), 0.0), late);
+        assert_eq!(mgr.registered_count(), 2);
+    }
+
+    #[test]
+    fn moving_node_updates_index_via_heartbeat() {
+        let mut mgr = manager_with_nodes(2);
+        // Node 1 moves far away; node 0 stays. Rediscover: node 0 first.
+        mgr.heartbeat(status(1, home().offset_km(500.0, 0.0), 0.0), SimTime::from_secs(1));
+        mgr.heartbeat(status(0, home(), 0.0), SimTime::from_secs(1));
+        let ranked = mgr.ranked_candidates(home(), &[], 2, SimTime::from_secs(1));
+        assert_eq!(ranked[0].node, NodeId::new(0));
+        assert!(ranked[1].distance_km > 400.0);
+    }
+}

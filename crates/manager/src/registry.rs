@@ -1,0 +1,228 @@
+//! The node registry with heartbeat-based liveness.
+
+use std::collections::HashMap;
+
+use armada_node::NodeStatus;
+use armada_types::{NodeId, SimDuration, SimTime};
+
+/// One registered node's latest state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeRecord {
+    /// The most recent heartbeat payload.
+    pub status: NodeStatus,
+    /// When the node first registered.
+    pub registered_at: SimTime,
+    /// When the last heartbeat arrived.
+    pub last_heartbeat: SimTime,
+}
+
+/// The manager's view of every known edge node.
+///
+/// Liveness is heartbeat-driven: a node that misses
+/// `miss_limit × heartbeat_period` of heartbeats is considered dead and
+/// excluded from discovery until it reappears — volunteer nodes "can
+/// join and leave the system anytime without notifications".
+#[derive(Debug, Clone)]
+pub struct NodeRegistry {
+    nodes: HashMap<NodeId, NodeRecord>,
+    heartbeat_period: SimDuration,
+    miss_limit: u32,
+}
+
+impl NodeRegistry {
+    /// Creates an empty registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_limit` is zero or the heartbeat period is zero.
+    pub fn new(heartbeat_period: SimDuration, miss_limit: u32) -> Self {
+        assert!(miss_limit > 0, "miss limit must be at least 1");
+        assert!(!heartbeat_period.is_zero(), "heartbeat period must be positive");
+        NodeRegistry { nodes: HashMap::new(), heartbeat_period, miss_limit }
+    }
+
+    /// Registers a node or refreshes an existing registration.
+    pub fn register(&mut self, status: NodeStatus, now: SimTime) {
+        self.nodes
+            .entry(status.node)
+            .and_modify(|r| {
+                r.status = status;
+                r.last_heartbeat = now;
+            })
+            .or_insert(NodeRecord { status, registered_at: now, last_heartbeat: now });
+    }
+
+    /// Records a heartbeat; returns `false` (and ignores it) if the node
+    /// was never registered.
+    pub fn heartbeat(&mut self, status: NodeStatus, now: SimTime) -> bool {
+        match self.nodes.get_mut(&status.node) {
+            Some(r) => {
+                r.status = status;
+                r.last_heartbeat = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Explicitly removes a node (graceful departure).
+    pub fn deregister(&mut self, node: NodeId) -> Option<NodeRecord> {
+        self.nodes.remove(&node)
+    }
+
+    /// The liveness deadline: heartbeats older than this many
+    /// microseconds before `now` mean the node is dead.
+    fn deadline(&self, now: SimTime) -> SimTime {
+        now - self.heartbeat_period * u64::from(self.miss_limit)
+    }
+
+    /// `true` if the node is registered and fresh at `now`.
+    pub fn is_alive(&self, node: NodeId, now: SimTime) -> bool {
+        self.nodes
+            .get(&node)
+            .is_some_and(|r| r.last_heartbeat >= self.deadline(now))
+    }
+
+    /// The record for `node`, if registered (regardless of liveness).
+    pub fn record(&self, node: NodeId) -> Option<&NodeRecord> {
+        self.nodes.get(&node)
+    }
+
+    /// Iterates over records considered alive at `now`.
+    pub fn alive(&self, now: SimTime) -> impl Iterator<Item = &NodeRecord> {
+        let deadline = self.deadline(now);
+        self.nodes.values().filter(move |r| r.last_heartbeat >= deadline)
+    }
+
+    /// Number of alive nodes at `now`.
+    pub fn alive_count(&self, now: SimTime) -> usize {
+        self.alive(now).count()
+    }
+
+    /// Total registered nodes (alive or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Drops records that have been dead longer than `grace`, returning
+    /// the pruned ids.
+    pub fn prune(&mut self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
+        let cutoff = self.deadline(now) - grace;
+        let dead: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, r)| r.last_heartbeat < cutoff)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.nodes.remove(id);
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::{GeoPoint, NodeClass};
+
+    fn status(id: u64) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: NodeClass::Volunteer,
+            location: GeoPoint::new(44.98, -93.26),
+            attached_users: 0,
+            load_score: 0.0,
+        }
+    }
+
+    fn registry() -> NodeRegistry {
+        NodeRegistry::new(SimDuration::from_secs(2), 3)
+    }
+
+    #[test]
+    fn fresh_registration_is_alive() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        assert!(r.is_alive(NodeId::new(1), SimTime::from_secs(1)));
+        assert_eq!(r.alive_count(SimTime::from_secs(1)), 1);
+    }
+
+    #[test]
+    fn missed_heartbeats_kill_liveness() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        // 3 × 2 s budget: alive at 6 s, dead at 7 s.
+        assert!(r.is_alive(NodeId::new(1), SimTime::from_secs(6)));
+        assert!(!r.is_alive(NodeId::new(1), SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn heartbeat_restores_liveness() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        assert!(!r.is_alive(NodeId::new(1), SimTime::from_secs(10)));
+        assert!(r.heartbeat(status(1), SimTime::from_secs(10)));
+        assert!(r.is_alive(NodeId::new(1), SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_node_is_rejected() {
+        let mut r = registry();
+        assert!(!r.heartbeat(status(5), SimTime::ZERO));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_updates_status_payload() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        let mut s = status(1);
+        s.attached_users = 4;
+        s.load_score = 1.5;
+        r.heartbeat(s, SimTime::from_secs(1));
+        let rec = r.record(NodeId::new(1)).unwrap();
+        assert_eq!(rec.status.attached_users, 4);
+        assert_eq!(rec.registered_at, SimTime::ZERO, "registration time preserved");
+    }
+
+    #[test]
+    fn deregister_removes_immediately() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        assert!(r.deregister(NodeId::new(1)).is_some());
+        assert!(!r.is_alive(NodeId::new(1), SimTime::ZERO));
+        assert!(r.deregister(NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn prune_drops_long_dead_nodes() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        r.register(status(2), SimTime::from_secs(29));
+        let pruned = r.prune(SimTime::from_secs(30), SimDuration::from_secs(10));
+        assert_eq!(pruned, vec![NodeId::new(1)]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn alive_iterator_filters() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        r.register(status(2), SimTime::from_secs(8));
+        let alive: Vec<NodeId> =
+            r.alive(SimTime::from_secs(9)).map(|rec| rec.status.node).collect();
+        assert_eq!(alive, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "miss limit")]
+    fn zero_miss_limit_rejected() {
+        let _ = NodeRegistry::new(SimDuration::from_secs(1), 0);
+    }
+}

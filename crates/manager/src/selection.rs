@@ -1,0 +1,155 @@
+//! Global edge selection: ranking alive candidates for one user.
+
+use serde::{Deserialize, Serialize};
+
+use armada_node::NodeStatus;
+use armada_types::{GeoPoint, NodeId};
+
+/// Weights of the manager-side ranking (paper §IV-B: "prioritize the
+/// local candidates based on resource availability, network affiliation
+/// and user preferences").
+///
+/// Lower composite score ranks higher:
+///
+/// ```text
+/// score = load_weight × load_score
+///       + distance_weight_per_km × distance_km
+///       − affinity_bonus  (if the user declared affiliation with the node)
+/// ```
+///
+/// The ranking is intentionally coarse — clients re-evaluate candidates
+/// by probing — so weights only need to produce a sensible shortlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSelectionPolicy {
+    /// Weight on the node's offered-load score.
+    pub load_weight: f64,
+    /// Weight per kilometre of user–node distance.
+    pub distance_weight_per_km: f64,
+    /// Flat bonus for network-affiliated nodes (existing LAN or preferred
+    /// channel).
+    pub affinity_bonus: f64,
+}
+
+impl Default for GlobalSelectionPolicy {
+    fn default() -> Self {
+        GlobalSelectionPolicy {
+            load_weight: 10.0,
+            distance_weight_per_km: 0.2,
+            affinity_bonus: 5.0,
+        }
+    }
+}
+
+/// A ranked candidate produced by global selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredCandidate {
+    /// The candidate node.
+    pub node: NodeId,
+    /// Composite score; lower ranks first.
+    pub score: f64,
+    /// Distance to the requesting user, km.
+    pub distance_km: f64,
+}
+
+impl GlobalSelectionPolicy {
+    /// Scores one candidate for a user at `user_loc`.
+    pub fn score(&self, user_loc: GeoPoint, status: &NodeStatus, affiliated: bool) -> ScoredCandidate {
+        let distance_km = user_loc.distance_km(status.location);
+        let mut score = self.load_weight * status.load_score
+            + self.distance_weight_per_km * distance_km;
+        if affiliated {
+            score -= self.affinity_bonus;
+        }
+        ScoredCandidate { node: status.node, score, distance_km }
+    }
+
+    /// Ranks `candidates` for the user, best first, breaking ties by
+    /// `NodeId` for determinism.
+    pub fn rank(
+        &self,
+        user_loc: GeoPoint,
+        candidates: impl IntoIterator<Item = NodeStatus>,
+        affiliations: &[NodeId],
+    ) -> Vec<ScoredCandidate> {
+        let mut scored: Vec<ScoredCandidate> = candidates
+            .into_iter()
+            .map(|status| {
+                let affiliated = affiliations.contains(&status.node);
+                self.score(user_loc, &status, affiliated)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        });
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::NodeClass;
+
+    fn status(id: u64, km_east: f64, load: f64) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: NodeClass::Volunteer,
+            location: GeoPoint::new(44.98, -93.26).offset_km(km_east, 0.0),
+            attached_users: 0,
+            load_score: load,
+        }
+    }
+
+    fn user() -> GeoPoint {
+        GeoPoint::new(44.98, -93.26)
+    }
+
+    #[test]
+    fn idle_nearby_node_wins() {
+        let p = GlobalSelectionPolicy::default();
+        let ranked = p.rank(
+            user(),
+            vec![status(1, 30.0, 0.0), status(2, 2.0, 0.0), status(3, 10.0, 0.0)],
+            &[],
+        );
+        assert_eq!(ranked[0].node, NodeId::new(2));
+        assert_eq!(ranked.last().unwrap().node, NodeId::new(1));
+    }
+
+    #[test]
+    fn heavy_load_outweighs_proximity() {
+        let p = GlobalSelectionPolicy::default();
+        // Node 1 is adjacent but saturated (load 2.0 → 20 points);
+        // node 2 is 40 km away but idle (8 points).
+        let ranked = p.rank(user(), vec![status(1, 0.5, 2.0), status(2, 40.0, 0.0)], &[]);
+        assert_eq!(ranked[0].node, NodeId::new(2));
+    }
+
+    #[test]
+    fn affinity_bonus_breaks_near_ties() {
+        let p = GlobalSelectionPolicy::default();
+        let ranked = p.rank(
+            user(),
+            vec![status(1, 10.0, 0.0), status(2, 10.0, 0.0)],
+            &[NodeId::new(2)],
+        );
+        assert_eq!(ranked[0].node, NodeId::new(2));
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let p = GlobalSelectionPolicy::default();
+        let ranked = p.rank(user(), vec![status(8, 5.0, 0.0), status(3, 5.0, 0.0)], &[]);
+        assert_eq!(ranked[0].node, NodeId::new(3));
+    }
+
+    #[test]
+    fn scores_expose_distance() {
+        let p = GlobalSelectionPolicy::default();
+        let s = p.score(user(), &status(1, 12.0, 0.0), false);
+        assert!((s.distance_km - 12.0).abs() < 0.2);
+    }
+}

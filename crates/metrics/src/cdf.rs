@@ -1,0 +1,172 @@
+//! Empirical cumulative distribution functions.
+
+use armada_types::SimDuration;
+
+/// An empirical CDF over latency samples (Fig. 3 plots these).
+///
+/// # Examples
+///
+/// ```
+/// use armada_metrics::Cdf;
+/// use armada_types::SimDuration;
+///
+/// let cdf = Cdf::from_samples(
+///     [40u64, 42, 45, 50, 90].map(SimDuration::from_millis),
+/// );
+/// assert_eq!(cdf.quantile(0.5), Some(SimDuration::from_millis(45)));
+/// assert!(cdf.fraction_below(SimDuration::from_millis(60)) >= 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cdf {
+    sorted: Vec<SimDuration>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any collection of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = SimDuration>) -> Self {
+        let mut sorted: Vec<SimDuration> = samples.into_iter().collect();
+        sorted.sort_unstable();
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile by nearest rank; `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Fraction of samples ≤ `value` (0.0 when empty).
+    pub fn fraction_below(&self, value: SimDuration) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= value);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `(latency, cumulative_probability)` step points, ready for
+    /// plotting or printing.
+    pub fn points(&self) -> Vec<(SimDuration, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+impl FromIterator<SimDuration> for Cdf {
+    fn from_iter<I: IntoIterator<Item = SimDuration>>(iter: I) -> Self {
+        Cdf::from_samples(iter)
+    }
+}
+
+impl Extend<SimDuration> for Cdf {
+    fn extend<I: IntoIterator<Item = SimDuration>>(&mut self, iter: I) {
+        self.sorted.extend(iter);
+        self.sorted.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cdf(ms: &[u64]) -> Cdf {
+        ms.iter().map(|&m| SimDuration::from_millis(m)).collect()
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let c = Cdf::default();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_below(SimDuration::from_millis(10)), 0.0);
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    fn quantiles_hit_expected_ranks() {
+        let c = cdf(&[10, 20, 30, 40, 50]);
+        assert_eq!(c.quantile(0.0), Some(SimDuration::from_millis(10)));
+        assert_eq!(c.quantile(0.5), Some(SimDuration::from_millis(30)));
+        assert_eq!(c.quantile(1.0), Some(SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn fraction_below_counts_inclusive() {
+        let c = cdf(&[10, 20, 30, 40]);
+        assert_eq!(c.fraction_below(SimDuration::from_millis(20)), 0.5);
+        assert_eq!(c.fraction_below(SimDuration::from_millis(9)), 0.0);
+        assert_eq!(c.fraction_below(SimDuration::from_millis(100)), 1.0);
+    }
+
+    #[test]
+    fn points_step_to_one() {
+        let c = cdf(&[5, 1, 3]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].0, SimDuration::from_millis(1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_keeps_sorted() {
+        let mut c = cdf(&[30, 10]);
+        c.extend([SimDuration::from_millis(20)]);
+        let pts = c.points();
+        assert_eq!(
+            pts.iter().map(|p| p.0).collect::<Vec<_>>(),
+            vec![
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(30)
+            ]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_below_is_monotone(
+            ms in proptest::collection::vec(0u64..1_000, 1..100),
+            a in 0u64..1_000,
+            b in 0u64..1_000,
+        ) {
+            let c = cdf(&ms);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                c.fraction_below(SimDuration::from_millis(lo))
+                    <= c.fraction_below(SimDuration::from_millis(hi))
+            );
+        }
+
+        #[test]
+        fn median_within_data_range(ms in proptest::collection::vec(0u64..1_000, 1..100)) {
+            let c = cdf(&ms);
+            let med = c.quantile(0.5).unwrap();
+            let min = SimDuration::from_millis(*ms.iter().min().unwrap());
+            let max = SimDuration::from_millis(*ms.iter().max().unwrap());
+            prop_assert!(med >= min && med <= max);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! A fixed-bucket latency histogram with terminal rendering.
+
+use armada_types::SimDuration;
+
+/// A latency histogram over caller-defined millisecond bucket edges,
+/// with an implicit overflow bucket. Useful for eyeballing latency
+/// distributions in harness output without a plotting tool.
+///
+/// # Examples
+///
+/// ```
+/// use armada_metrics::Histogram;
+/// use armada_types::SimDuration;
+///
+/// let mut h = Histogram::new(&[25.0, 50.0, 100.0, 200.0]);
+/// h.record(SimDuration::from_millis(30));
+/// h.record(SimDuration::from_millis(40));
+/// h.record(SimDuration::from_millis(500));
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_counts()[1], 2); // [25, 50)
+/// assert_eq!(*h.bucket_counts().last().unwrap(), 1); // overflow
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket edges in ms, strictly increasing.
+    edges_ms: Vec<f64>,
+    /// One count per bucket plus the trailing overflow bucket.
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `[0, e0), [e0, e1), …, [e_n, ∞)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges_ms` is empty or not strictly increasing and
+    /// positive.
+    pub fn new(edges_ms: &[f64]) -> Self {
+        assert!(!edges_ms.is_empty(), "histogram needs at least one edge");
+        let mut prev = 0.0;
+        for &e in edges_ms {
+            assert!(e.is_finite() && e > prev, "edges must be positive and increasing");
+            prev = e;
+        }
+        Histogram { edges_ms: edges_ms.to_vec(), counts: vec![0; edges_ms.len() + 1] }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ms = latency.as_millis_f64();
+        let idx = self
+            .edges_ms
+            .iter()
+            .position(|&e| ms < e)
+            .unwrap_or(self.edges_ms.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Renders an ASCII bar chart, one line per bucket, bars scaled to
+    /// `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        let mut low = 0.0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let label = if i < self.edges_ms.len() {
+                format!("[{:>6.1}, {:>6.1})", low, self.edges_ms[i])
+            } else {
+                format!("[{low:>6.1},    inf)")
+            };
+            let bar_len = (count as usize * width) / max as usize;
+            out.push_str(&format!("{label} |{:<width$}| {count}\n", "#".repeat(bar_len)));
+            if i < self.edges_ms.len() {
+                low = self.edges_ms[i];
+            }
+        }
+        out
+    }
+}
+
+impl Extend<SimDuration> for Histogram {
+    fn extend<I: IntoIterator<Item = SimDuration>>(&mut self, iter: I) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> Histogram {
+        Histogram::new(&[10.0, 20.0, 50.0])
+    }
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let mut hist = h();
+        for ms in [5u64, 9, 10, 15, 49, 50, 1000] {
+            hist.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(hist.bucket_counts(), &[2, 2, 1, 2]);
+        assert_eq!(hist.count(), 7);
+    }
+
+    #[test]
+    fn boundaries_are_half_open() {
+        let mut hist = h();
+        hist.record(SimDuration::from_millis(10));
+        assert_eq!(hist.bucket_counts(), &[0, 1, 0, 0], "10 goes to [10, 20)");
+    }
+
+    #[test]
+    fn render_shows_every_bucket_and_scales() {
+        let mut hist = h();
+        hist.extend([5u64, 6, 7, 8, 30].map(SimDuration::from_millis));
+        let out = hist.render(20);
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("| 4"), "largest bucket count shown:\n{out}");
+        let first_line = out.lines().next().unwrap();
+        assert!(first_line.contains(&"#".repeat(20)), "largest bar is full width");
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_panicking() {
+        let out = h().render(10);
+        assert_eq!(out.lines().count(), 4);
+        assert_eq!(h().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn non_increasing_edges_rejected() {
+        let _ = Histogram::new(&[10.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn empty_edges_rejected() {
+        let _ = Histogram::new(&[]);
+    }
+}

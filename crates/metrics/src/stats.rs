@@ -1,0 +1,106 @@
+//! Small statistics helpers over `f64` slices.
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(armada_metrics::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(armada_metrics::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// let sd = armada_metrics::stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((sd - 2.0).abs() < 1e-12);
+/// ```
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a copy of the data;
+/// `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or not finite.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(stddev(&[]), None);
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn single_value_stats() {
+        assert_eq!(mean(&[7.0]), Some(7.0));
+        assert_eq!(stddev(&[7.0]), Some(0.0));
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_extremes_are_min_max() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be")]
+    fn out_of_range_quantile_panics() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_within_bounds(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let m = mean(&v).unwrap();
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        #[test]
+        fn stddev_is_nonnegative(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            prop_assert!(stddev(&v).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn percentile_is_monotone(
+            v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(percentile(&v, lo).unwrap() <= percentile(&v, hi).unwrap());
+        }
+    }
+}

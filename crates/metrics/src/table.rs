@@ -1,0 +1,119 @@
+//! Plain-text table and CSV rendering for the experiment harness.
+
+/// Renders rows as an aligned plain-text table with a header row,
+/// suitable for terminal output next to the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// let out = armada_metrics::render_table(
+///     &["node", "ms"],
+///     &[vec!["V1".into(), "24".into()], vec!["V2".into(), "32".into()]],
+/// );
+/// assert!(out.contains("V1"));
+/// assert!(out.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(widths.len()) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV with a header line. Cells containing commas or
+/// quotes are quoted.
+///
+/// # Examples
+///
+/// ```
+/// let csv = armada_metrics::render_csv(
+///     &["t", "latency"],
+///     &[vec!["0".into(), "42.5".into()]],
+/// );
+/// assert_eq!(csv, "t,latency\n0,42.5\n");
+/// ```
+pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // "value" starts at the same column in header and rows.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn table_with_no_rows_still_has_header() {
+        let out = render_table(&["x"], &[]);
+        assert!(out.starts_with("x\n"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let csv = render_csv(
+            &["a", "b"],
+            &[vec!["has,comma".into(), "has\"quote".into()]],
+        );
+        assert_eq!(csv, "a,b\n\"has,comma\",\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let csv = render_csv(&["a"], &[vec!["plain".into()]]);
+        assert_eq!(csv, "a\nplain\n");
+    }
+}

@@ -1,0 +1,192 @@
+//! The parametric propagation-delay model.
+
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use armada_sim::SimRng;
+use armada_types::SimDuration;
+
+use crate::endpoint::Endpoint;
+
+/// Parameters of the distance/access/jitter latency model.
+///
+/// One-way delay between endpoints `a` and `b` is
+///
+/// ```text
+/// base_routing_ms
+///   + distance_km(a, b) × per_km_ms
+///   + a.access.base_overhead_ms() + a.extra_one_way_ms
+///   + b.access.base_overhead_ms() + b.extra_one_way_ms
+///   + jitter
+/// ```
+///
+/// where `jitter` is a lognormal sample scaled by the worse of the two
+/// endpoints' access-network jitter scales. The defaults are calibrated
+/// so the paper's Fig. 1 shape emerges: nearby volunteer nodes at
+/// single-digit-to-low-teens ms RTT, AWS Local Zone in the high teens
+/// to twenties (ISP peering penalty), and the closest cloud region at
+/// 70–90 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModelParams {
+    /// Fixed per-hop routing cost applied to every one-way trip, ms.
+    pub base_routing_ms: f64,
+    /// Propagation + forwarding cost per kilometre of great-circle
+    /// distance, ms/km. Real WAN paths are far from geodesic, so this is
+    /// several times the speed-of-light-in-fibre figure.
+    pub per_km_ms: f64,
+    /// `sigma` of the lognormal jitter distribution (`mu` is 0); the
+    /// sample is multiplied by the endpoints' jitter scale.
+    pub jitter_sigma: f64,
+    /// Global multiplier on jitter; 0 disables jitter entirely (useful in
+    /// tests).
+    pub jitter_gain: f64,
+    /// Maximum extra *fixed* one-way delay per (endpoint, endpoint)
+    /// pair, in ms. Real paths differ per pair — routing hops, ISP
+    /// peering — independent of distance; the network layer derives a
+    /// stable offset in `[0, path_diversity_ms)` from the pair identity.
+    pub path_diversity_ms: f64,
+}
+
+impl Default for LatencyModelParams {
+    fn default() -> Self {
+        LatencyModelParams {
+            base_routing_ms: 1.0,
+            per_km_ms: 0.035,
+            jitter_sigma: 0.6,
+            jitter_gain: 1.0,
+            path_diversity_ms: 6.0,
+        }
+    }
+}
+
+impl LatencyModelParams {
+    /// A deterministic variant with jitter disabled.
+    pub fn deterministic() -> Self {
+        LatencyModelParams { jitter_gain: 0.0, ..Default::default() }
+    }
+
+    /// Computes the expected (jitter-free) one-way delay between two
+    /// endpoints.
+    pub fn mean_one_way(&self, a: &Endpoint, b: &Endpoint) -> SimDuration {
+        let distance = a.point().distance_km(b.point());
+        let ms = self.base_routing_ms
+            + distance * self.per_km_ms
+            + a.access().base_overhead_ms()
+            + a.extra_one_way_ms()
+            + b.access().base_overhead_ms()
+            + b.extra_one_way_ms();
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// Samples a one-way delay including jitter.
+    pub fn sample_one_way(&self, a: &Endpoint, b: &Endpoint, rng: &mut SimRng) -> SimDuration {
+        let mean = self.mean_one_way(a, b);
+        let jitter_ms = self.sample_jitter_ms(a, b, rng);
+        mean + SimDuration::from_millis_f64(jitter_ms)
+    }
+
+    /// Samples just the jitter component, in milliseconds.
+    pub fn sample_jitter_ms(&self, a: &Endpoint, b: &Endpoint, rng: &mut SimRng) -> f64 {
+        if self.jitter_gain <= 0.0 {
+            return 0.0;
+        }
+        let scale = a.access().jitter_scale_ms().max(b.access().jitter_scale_ms());
+        // LogNormal(0, sigma) has median 1; the median jitter is therefore
+        // `scale × gain` milliseconds with a heavy right tail.
+        let dist = LogNormal::new(0.0, self.jitter_sigma.max(1e-6))
+            .expect("sigma is positive and finite");
+        dist.sample(rng) * scale * self.jitter_gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::{AccessNetwork, GeoPoint};
+
+    fn ep(km_east: f64, access: AccessNetwork) -> Endpoint {
+        Endpoint::new(GeoPoint::new(44.98, -93.26).offset_km(km_east, 0.0), access)
+    }
+
+    #[test]
+    fn mean_one_way_is_symmetric() {
+        let p = LatencyModelParams::default();
+        let a = ep(0.0, AccessNetwork::HomeWifi);
+        let b = ep(12.0, AccessNetwork::Fiber);
+        assert_eq!(p.mean_one_way(&a, &b), p.mean_one_way(&b, &a));
+    }
+
+    #[test]
+    fn farther_endpoints_have_larger_mean() {
+        let p = LatencyModelParams::default();
+        let a = ep(0.0, AccessNetwork::HomeWifi);
+        let near = ep(5.0, AccessNetwork::Fiber);
+        let far = ep(500.0, AccessNetwork::Fiber);
+        assert!(p.mean_one_way(&a, &far) > p.mean_one_way(&a, &near));
+    }
+
+    #[test]
+    fn fig1_calibration_shape() {
+        // RTT(user→volunteer) < RTT(user→local zone) < RTT(user→cloud),
+        // reproducing the ordering of the paper's Fig. 1.
+        let p = LatencyModelParams::deterministic();
+        let user = ep(0.0, AccessNetwork::HomeWifi);
+        let volunteer = ep(4.0, AccessNetwork::HomeWifi);
+        let local_zone =
+            ep(15.0, AccessNetwork::DataCenter).with_extra_one_way_ms(5.0);
+        let cloud = Endpoint::new(
+            // Roughly AWS us-east-2 (Ohio) from Minneapolis.
+            GeoPoint::new(40.0, -83.0),
+            AccessNetwork::DataCenter,
+        );
+        let rtt = |b: &Endpoint| p.mean_one_way(&user, b).as_millis_f64() * 2.0;
+        let (v, lz, c) = (rtt(&volunteer), rtt(&local_zone), rtt(&cloud));
+        assert!(v < lz && lz < c, "v={v:.1} lz={lz:.1} c={c:.1}");
+        assert!((4.0..20.0).contains(&v), "volunteer rtt {v:.1}");
+        assert!((12.0..35.0).contains(&lz), "local zone rtt {lz:.1}");
+        assert!((45.0..110.0).contains(&c), "cloud rtt {c:.1}");
+    }
+
+    #[test]
+    fn jitter_disabled_is_deterministic() {
+        let p = LatencyModelParams::deterministic();
+        let a = ep(0.0, AccessNetwork::HomeWifi);
+        let b = ep(5.0, AccessNetwork::HomeWifi);
+        let mut rng = SimRng::seed_from(1);
+        let s1 = p.sample_one_way(&a, &b, &mut rng);
+        let s2 = p.sample_one_way(&a, &b, &mut rng);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, p.mean_one_way(&a, &b));
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_scales_with_access() {
+        let p = LatencyModelParams::default();
+        let wifi = ep(0.0, AccessNetwork::HomeWifi);
+        let lte = ep(0.0, AccessNetwork::Lte);
+        let dc = ep(1.0, AccessNetwork::DataCenter);
+        let mut rng = SimRng::seed_from(5);
+        let mut wifi_sum = 0.0;
+        let mut lte_sum = 0.0;
+        for _ in 0..500 {
+            let jw = p.sample_jitter_ms(&wifi, &dc, &mut rng);
+            let jl = p.sample_jitter_ms(&lte, &dc, &mut rng);
+            assert!(jw >= 0.0 && jl >= 0.0);
+            wifi_sum += jw;
+            lte_sum += jl;
+        }
+        assert!(lte_sum > wifi_sum, "LTE should be jitterier than home wifi");
+    }
+
+    #[test]
+    fn samples_never_undershoot_mean() {
+        let p = LatencyModelParams::default();
+        let a = ep(0.0, AccessNetwork::HomeWifi);
+        let b = ep(8.0, AccessNetwork::Fiber);
+        let mean = p.mean_one_way(&a, &b);
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..200 {
+            assert!(p.sample_one_way(&a, &b, &mut rng) >= mean);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The network substrate: a parametric model of client↔edge connectivity
+//! in geo-distributed heterogeneous edge-dense environments.
+//!
+//! The paper's experiments ran over real residential ISPs (real-world
+//! setup) and `tc`-shaped EC2 links (emulation setup). This crate
+//! reproduces both as code paths over one [`Network`] type:
+//!
+//! * a **parametric mode** where propagation delay is derived from
+//!   geographic distance, per-endpoint access-network overhead and
+//!   lognormal jitter — calibrated against the paper's Fig. 1
+//!   measurements, and
+//! * an **override mode** where pairwise one-way delays are pinned
+//!   explicitly, mirroring the `tc` configuration of the emulation
+//!   experiments (§V-D: RTTs in the 8–55 ms range).
+//!
+//! The selection algorithms only ever observe RTT samples and transfer
+//! delays, so substituting this model for the physical network preserves
+//! the behaviour being studied.
+//!
+//! # Examples
+//!
+//! ```
+//! use armada_net::{Addr, Endpoint, Network};
+//! use armada_sim::SimRng;
+//! use armada_types::{AccessNetwork, DataSize, GeoPoint, NodeId, UserId};
+//!
+//! let mut net = Network::new(Default::default());
+//! let home = GeoPoint::new(44.98, -93.26);
+//! net.add_endpoint(Addr::User(UserId::new(1)),
+//!     Endpoint::new(home, AccessNetwork::HomeWifi));
+//! net.add_endpoint(Addr::Node(NodeId::new(1)),
+//!     Endpoint::new(home.offset_km(3.0, 1.0), AccessNetwork::Fiber));
+//!
+//! let mut rng = SimRng::seed_from(7);
+//! let rtt = net
+//!     .rtt(Addr::User(UserId::new(1)), Addr::Node(NodeId::new(1)), &mut rng)
+//!     .expect("both endpoints are up");
+//! assert!(rtt.as_millis_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod endpoint;
+mod latency;
+mod measurement;
+mod network;
+
+pub use endpoint::{Addr, Endpoint};
+pub use latency::LatencyModelParams;
+pub use measurement::{MeasurementCampaign, RttSummary};
+pub use network::Network;

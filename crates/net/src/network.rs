@@ -1,0 +1,384 @@
+//! The network fabric: endpoints, pairwise overrides, link state and
+//! delay queries.
+
+use std::collections::{HashMap, HashSet};
+
+use armada_sim::SimRng;
+use armada_types::{DataSize, SimDuration};
+
+use crate::endpoint::{Addr, Endpoint};
+use crate::latency::LatencyModelParams;
+
+/// The simulated network connecting users, edge nodes and the manager.
+///
+/// Delay queries return `None` when either endpoint is down, which is how
+/// node failures and departures manifest to the rest of the system —
+/// exactly as a connection reset would in the real deployment.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Network {
+    params: LatencyModelParams,
+    endpoints: HashMap<Addr, Endpoint>,
+    /// Pinned one-way delays (symmetric), in the style of the paper's
+    /// `tc` emulation configuration. Keys are stored normalised
+    /// (smaller address first).
+    overrides: HashMap<(Addr, Addr), SimDuration>,
+    down: HashSet<Addr>,
+}
+
+impl Network {
+    /// Creates an empty network with the given latency model.
+    pub fn new(params: LatencyModelParams) -> Self {
+        Network {
+            params,
+            endpoints: HashMap::new(),
+            overrides: HashMap::new(),
+            down: HashSet::new(),
+        }
+    }
+
+    /// The latency model in use.
+    pub fn params(&self) -> &LatencyModelParams {
+        &self.params
+    }
+
+    /// Registers (or replaces) an endpoint.
+    pub fn add_endpoint(&mut self, addr: Addr, endpoint: Endpoint) {
+        self.endpoints.insert(addr, endpoint);
+        self.down.remove(&addr);
+    }
+
+    /// Removes an endpoint entirely (e.g. a volunteer leaving for good).
+    pub fn remove_endpoint(&mut self, addr: Addr) -> Option<Endpoint> {
+        self.down.remove(&addr);
+        self.endpoints.remove(&addr)
+    }
+
+    /// Returns the endpoint registered at `addr`.
+    pub fn endpoint(&self, addr: Addr) -> Option<&Endpoint> {
+        self.endpoints.get(&addr)
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// `true` if no endpoints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Marks an endpoint as down; subsequent delay queries involving it
+    /// return `None`.
+    pub fn set_down(&mut self, addr: Addr) {
+        if self.endpoints.contains_key(&addr) {
+            self.down.insert(addr);
+        }
+    }
+
+    /// Brings a downed endpoint back up.
+    pub fn set_up(&mut self, addr: Addr) {
+        self.down.remove(&addr);
+    }
+
+    /// `true` if the endpoint is registered and not marked down.
+    pub fn is_up(&self, addr: Addr) -> bool {
+        self.endpoints.contains_key(&addr) && !self.down.contains(&addr)
+    }
+
+    /// Pins the one-way delay between two endpoints (both directions),
+    /// mirroring a `tc netem` rule. Passing the pair again replaces the
+    /// previous value.
+    pub fn set_pairwise_one_way(&mut self, a: Addr, b: Addr, one_way: SimDuration) {
+        self.overrides.insert(normalise(a, b), one_way);
+    }
+
+    /// Convenience: pins the *RTT* between two endpoints (stored as half
+    /// per direction).
+    pub fn set_pairwise_rtt(&mut self, a: Addr, b: Addr, rtt: SimDuration) {
+        self.set_pairwise_one_way(a, b, rtt / 2);
+    }
+
+    /// Removes a pairwise override.
+    pub fn clear_pairwise(&mut self, a: Addr, b: Addr) {
+        self.overrides.remove(&normalise(a, b));
+    }
+
+    /// The fixed path-diversity offset for a pair: a stable draw in
+    /// `[0, path_diversity_ms)` per unordered pair, modelling per-path
+    /// routing/ISP differences the distance model cannot see.
+    fn path_offset(&self, a: Addr, b: Addr) -> SimDuration {
+        let max = self.params.path_diversity_ms;
+        if max <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let unit = (pair_hash(a, b) % 10_000) as f64 / 10_000.0;
+        SimDuration::from_millis_f64(unit * max)
+    }
+
+    /// Samples the one-way propagation delay from `a` to `b`.
+    ///
+    /// Returns `None` if either endpoint is unregistered or down. A
+    /// pairwise override suppresses the distance model (including the
+    /// path-diversity offset) but still receives the jitter component
+    /// (tc pins the base delay; queueing noise remains).
+    pub fn one_way(&self, a: Addr, b: Addr, rng: &mut SimRng) -> Option<SimDuration> {
+        if !self.is_up(a) || !self.is_up(b) {
+            return None;
+        }
+        let (ea, eb) = (&self.endpoints[&a], &self.endpoints[&b]);
+        if let Some(&pinned) = self.overrides.get(&normalise(a, b)) {
+            let jitter = self.params.sample_jitter_ms(ea, eb, rng);
+            return Some(pinned + SimDuration::from_millis_f64(jitter));
+        }
+        Some(self.params.sample_one_way(ea, eb, rng) + self.path_offset(a, b))
+    }
+
+    /// Samples a full round-trip time between `a` and `b` (two
+    /// independent one-way samples).
+    pub fn rtt(&self, a: Addr, b: Addr, rng: &mut SimRng) -> Option<SimDuration> {
+        let fwd = self.one_way(a, b, rng)?;
+        let back = self.one_way(b, a, rng)?;
+        Some(fwd + back)
+    }
+
+    /// The expected (jitter-free) RTT between `a` and `b`, if both are
+    /// up. Useful for analytical baselines such as the optimal solver.
+    pub fn mean_rtt(&self, a: Addr, b: Addr) -> Option<SimDuration> {
+        if !self.is_up(a) || !self.is_up(b) {
+            return None;
+        }
+        if let Some(&pinned) = self.overrides.get(&normalise(a, b)) {
+            return Some(pinned * 2);
+        }
+        let (ea, eb) = (&self.endpoints[&a], &self.endpoints[&b]);
+        Some((self.params.mean_one_way(ea, eb) + self.path_offset(a, b)) * 2)
+    }
+
+    /// Serialisation delay for pushing `size` from `a` toward `b`:
+    /// limited by `a`'s uplink and `b`'s downlink.
+    pub fn transfer_delay(&self, a: Addr, b: Addr, size: DataSize) -> Option<SimDuration> {
+        if !self.is_up(a) || !self.is_up(b) {
+            return None;
+        }
+        let (ea, eb) = (&self.endpoints[&a], &self.endpoints[&b]);
+        let up = ea.uplink().transfer_time(size);
+        let down = eb.downlink().transfer_time(size);
+        Some(up.max(down))
+    }
+
+    /// One-way delivery delay for a message of `size` from `a` to `b`:
+    /// propagation plus transfer.
+    pub fn delivery_delay(
+        &self,
+        a: Addr,
+        b: Addr,
+        size: DataSize,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        let prop = self.one_way(a, b, rng)?;
+        let xfer = self.transfer_delay(a, b, size)?;
+        Some(prop + xfer)
+    }
+
+    /// Iterates over registered addresses in unspecified order.
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.endpoints.keys().copied()
+    }
+}
+
+/// Normalises an unordered pair for symmetric lookup.
+fn normalise(a: Addr, b: Addr) -> (Addr, Addr) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A stable per-pair hash used to derive path-diversity offsets.
+fn pair_hash(a: Addr, b: Addr) -> u64 {
+    use std::hash::{Hash, Hasher};
+    #[derive(Default)]
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+            for &byte in bytes {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            self.0 = h;
+        }
+    }
+    let mut hasher = Fnv::default();
+    normalise(a, b).hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::{AccessNetwork, GeoPoint, NodeId, UserId};
+
+    fn small_net(jitter: bool) -> Network {
+        let params = if jitter {
+            LatencyModelParams::default()
+        } else {
+            LatencyModelParams::deterministic()
+        };
+        let mut net = Network::new(params);
+        let origin = GeoPoint::new(44.98, -93.26);
+        net.add_endpoint(
+            Addr::User(UserId::new(1)),
+            Endpoint::new(origin, AccessNetwork::HomeWifi),
+        );
+        net.add_endpoint(
+            Addr::Node(NodeId::new(1)),
+            Endpoint::new(origin.offset_km(5.0, 0.0), AccessNetwork::Fiber),
+        );
+        net.add_endpoint(
+            Addr::Node(NodeId::new(2)),
+            Endpoint::new(origin.offset_km(900.0, 0.0), AccessNetwork::DataCenter),
+        );
+        net.add_endpoint(Addr::Manager, Endpoint::new(origin, AccessNetwork::DataCenter));
+        net
+    }
+
+    const U1: Addr = Addr::User(UserId::new(1));
+    const N1: Addr = Addr::Node(NodeId::new(1));
+    const N2: Addr = Addr::Node(NodeId::new(2));
+
+    #[test]
+    fn rtt_reflects_distance() {
+        let net = small_net(false);
+        let mut rng = SimRng::seed_from(0);
+        let near = net.rtt(U1, N1, &mut rng).unwrap();
+        let far = net.rtt(U1, N2, &mut rng).unwrap();
+        assert!(far > near * 2, "near={near} far={far}");
+    }
+
+    #[test]
+    fn down_endpoint_is_unreachable() {
+        let mut net = small_net(false);
+        let mut rng = SimRng::seed_from(0);
+        assert!(net.rtt(U1, N1, &mut rng).is_some());
+        net.set_down(N1);
+        assert!(net.rtt(U1, N1, &mut rng).is_none());
+        assert!(net.one_way(N1, U1, &mut rng).is_none());
+        assert!(net.transfer_delay(U1, N1, DataSize::from_bytes(10)).is_none());
+        net.set_up(N1);
+        assert!(net.rtt(U1, N1, &mut rng).is_some());
+    }
+
+    #[test]
+    fn unknown_endpoint_is_unreachable() {
+        let net = small_net(false);
+        let mut rng = SimRng::seed_from(0);
+        assert!(net.rtt(U1, Addr::Node(NodeId::new(99)), &mut rng).is_none());
+        assert!(!net.is_up(Addr::Node(NodeId::new(99))));
+    }
+
+    #[test]
+    fn pairwise_override_pins_delay_symmetrically() {
+        let mut net = small_net(false);
+        net.set_pairwise_rtt(U1, N2, SimDuration::from_millis(8));
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(net.rtt(U1, N2, &mut rng).unwrap(), SimDuration::from_millis(8));
+        assert_eq!(net.rtt(N2, U1, &mut rng).unwrap(), SimDuration::from_millis(8));
+        assert_eq!(net.mean_rtt(U1, N2).unwrap(), SimDuration::from_millis(8));
+        net.clear_pairwise(N2, U1);
+        assert!(net.rtt(U1, N2, &mut rng).unwrap() > SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn transfer_delay_limited_by_slower_side() {
+        let mut net = Network::new(LatencyModelParams::deterministic());
+        let p = GeoPoint::new(0.0, 0.0);
+        net.add_endpoint(
+            U1,
+            Endpoint::new(p, AccessNetwork::HomeWifi)
+                .with_uplink(armada_types::Bandwidth::from_megabits_per_sec(8.0)),
+        );
+        net.add_endpoint(N1, Endpoint::new(p, AccessNetwork::DataCenter));
+        // 0.02 MB at 8 Mbps = 20 ms uplink-dominated.
+        let d = net.transfer_delay(U1, N1, DataSize::from_megabytes(0.02)).unwrap();
+        assert!((d.as_millis_f64() - 20.0).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn delivery_delay_adds_propagation_and_transfer() {
+        let net = small_net(false);
+        let mut rng = SimRng::seed_from(0);
+        let size = DataSize::from_megabytes(0.02);
+        let prop = net.one_way(U1, N1, &mut rng).unwrap();
+        let xfer = net.transfer_delay(U1, N1, size).unwrap();
+        let total = net.delivery_delay(U1, N1, size, &mut rng).unwrap();
+        assert_eq!(total, prop + xfer);
+    }
+
+    #[test]
+    fn mean_rtt_is_deterministic_floor_of_samples() {
+        let net = small_net(true);
+        let mean = net.mean_rtt(U1, N1).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert!(net.rtt(U1, N1, &mut rng).unwrap() >= mean);
+        }
+    }
+
+    #[test]
+    fn removing_endpoint_forgets_it() {
+        let mut net = small_net(false);
+        assert_eq!(net.len(), 4);
+        assert!(net.remove_endpoint(N1).is_some());
+        assert_eq!(net.len(), 3);
+        assert!(net.endpoint(N1).is_none());
+        assert!(net.remove_endpoint(N1).is_none());
+    }
+
+    #[test]
+    fn path_diversity_differentiates_pairs_stably() {
+        let mut net = Network::new(LatencyModelParams {
+            path_diversity_ms: 8.0,
+            ..LatencyModelParams::deterministic()
+        });
+        let p = GeoPoint::new(44.98, -93.26);
+        for i in 0..6 {
+            net.add_endpoint(
+                Addr::Node(NodeId::new(i)),
+                Endpoint::new(p, AccessNetwork::Fiber),
+            );
+        }
+        net.add_endpoint(U1, Endpoint::new(p, AccessNetwork::HomeWifi));
+        let rtts: Vec<_> = (0..6)
+            .map(|i| net.mean_rtt(U1, Addr::Node(NodeId::new(i))).unwrap())
+            .collect();
+        // Same locations and access: differences come purely from the
+        // per-pair offsets, which must be stable and non-degenerate.
+        let distinct: std::collections::HashSet<_> = rtts.iter().collect();
+        assert!(distinct.len() >= 4, "pairs should mostly differ: {rtts:?}");
+        for (i, rtt) in rtts.iter().enumerate() {
+            assert_eq!(
+                net.mean_rtt(U1, Addr::Node(NodeId::new(i as u64))).unwrap(),
+                *rtt,
+                "offsets are stable"
+            );
+        }
+    }
+
+    #[test]
+    fn readding_downed_endpoint_brings_it_up() {
+        let mut net = small_net(false);
+        net.set_down(N1);
+        assert!(!net.is_up(N1));
+        let ep = *net.endpoint(N1).unwrap();
+        net.add_endpoint(N1, ep);
+        assert!(net.is_up(N1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Wire-visible probe and status payloads.
+
+use serde::{Deserialize, Serialize};
+
+use armada_types::{GeoPoint, NodeClass, NodeId, SimDuration};
+
+/// The reply to a `Process_probe()` request (paper §IV-C2).
+///
+/// Carries everything Algorithm 2 needs: the cached what-if processing
+/// delay, the node's join-synchronisation sequence number, and the
+/// existing-workload information used by the global-overhead (`GO`)
+/// selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeReply {
+    /// The probed node.
+    pub node: NodeId,
+    /// Cached "what-if" processing delay for one additional user's frame.
+    pub whatif_proc: SimDuration,
+    /// Current measured processing delay experienced by the node's
+    /// existing users (`D_proc_current`).
+    pub current_proc: SimDuration,
+    /// Number of users currently attached (`n` in the `GO` formula).
+    pub attached_users: usize,
+    /// The node's current sequence number; must be echoed in `Join()`.
+    pub seq_num: u64,
+}
+
+/// Periodic node → manager heartbeat payload, feeding global edge
+/// selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Volunteer / dedicated / cloud.
+    pub class: NodeClass,
+    /// Node position (for the geo-proximity filter).
+    pub location: GeoPoint,
+    /// Attached user count.
+    pub attached_users: usize,
+    /// Offered-load estimate in `[0, ∞)`: attached work per core-second.
+    /// The manager's resource-availability sorter prefers lower values.
+    pub load_score: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reply_roundtrips_serde() {
+        let r = ProbeReply {
+            node: NodeId::new(3),
+            whatif_proc: SimDuration::from_millis(42),
+            current_proc: SimDuration::from_millis(31),
+            attached_users: 2,
+            seq_num: 9,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ProbeReply = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

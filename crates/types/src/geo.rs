@@ -1,0 +1,178 @@
+//! Geographic coordinates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS-84 latitude/longitude pair in decimal degrees.
+///
+/// Latitude is clamped to `[-90, 90]` and longitude normalised to
+/// `[-180, 180)` at construction, so every held value is valid.
+///
+/// # Examples
+///
+/// ```
+/// use armada_types::GeoPoint;
+///
+/// let minneapolis = GeoPoint::new(44.9778, -93.2650);
+/// let saint_paul = GeoPoint::new(44.9537, -93.0900);
+/// let km = minneapolis.distance_km(saint_paul);
+/// assert!(km > 13.0 && km < 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, clamping latitude to `[-90, 90]` and wrapping
+    /// longitude into `[-180, 180)`. Non-finite components become `0.0`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = if lat.is_finite() { lat.clamp(-90.0, 90.0) } else { 0.0 };
+        let lon = if lon.is_finite() {
+            let mut l = (lon + 180.0) % 360.0;
+            if l < 0.0 {
+                l += 360.0;
+            }
+            l - 180.0
+        } else {
+            0.0
+        };
+        GeoPoint { lat, lon }
+    }
+
+    /// Latitude in decimal degrees.
+    pub fn lat(self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in decimal degrees.
+    pub fn lon(self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Great-circle distance to `other` in miles.
+    pub fn distance_miles(self, other: GeoPoint) -> f64 {
+        self.distance_km(other) * 0.621_371
+    }
+
+    /// Returns a point offset approximately `east_km`/`north_km` away,
+    /// using a local flat-earth approximation (adequate for the metro-scale
+    /// distances the paper studies).
+    pub fn offset_km(self, east_km: f64, north_km: f64) -> GeoPoint {
+        let dlat = north_km / 110.574;
+        let cos_lat = self.lat.to_radians().cos().max(1e-9);
+        let dlon = east_km / (111.320 * cos_lat);
+        GeoPoint::new(self.lat + dlat, self.lon + dlon)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(44.97, -93.26);
+        assert!(p.distance_km(p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_msp_to_chicago() {
+        let msp = GeoPoint::new(44.9778, -93.2650);
+        let chi = GeoPoint::new(41.8781, -87.6298);
+        let km = msp.distance_km(chi);
+        assert!((km - 570.0).abs() < 15.0, "got {km}");
+    }
+
+    #[test]
+    fn latitude_clamps_longitude_wraps() {
+        let p = GeoPoint::new(95.0, 190.0);
+        assert_eq!(p.lat(), 90.0);
+        assert!((p.lon() - (-170.0)).abs() < 1e-9);
+        let q = GeoPoint::new(-100.0, -190.0);
+        assert_eq!(q.lat(), -90.0);
+        assert!((q.lon() - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_components_become_zero() {
+        let p = GeoPoint::new(f64::NAN, f64::INFINITY);
+        assert_eq!(p.lat(), 0.0);
+        assert_eq!(p.lon(), 0.0);
+    }
+
+    #[test]
+    fn offset_km_moves_roughly_right_distance() {
+        let p = GeoPoint::new(44.97, -93.26);
+        let q = p.offset_km(10.0, 0.0);
+        let d = p.distance_km(q);
+        assert!((d - 10.0).abs() < 0.1, "got {d}");
+        let r = p.offset_km(0.0, -7.0);
+        let d = p.distance_km(r);
+        assert!((d - 7.0).abs() < 0.1, "got {d}");
+    }
+
+    #[test]
+    fn miles_conversion() {
+        let p = GeoPoint::new(0.0, 0.0);
+        let q = p.offset_km(16.09, 0.0); // ~10 miles
+        assert!((p.distance_miles(q) - 10.0).abs() < 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(
+            lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+            lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+        ) {
+            let a = GeoPoint::new(lat1, lon1);
+            let b = GeoPoint::new(lat2, lon2);
+            prop_assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn distance_is_nonnegative_and_bounded(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let d = GeoPoint::new(lat1, lon1).distance_km(GeoPoint::new(lat2, lon2));
+            // Half the Earth's circumference is the max great-circle distance.
+            prop_assert!((0.0..=20_016.0).contains(&d));
+        }
+
+        #[test]
+        fn triangle_inequality(
+            lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+            lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+            lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+        ) {
+            let a = GeoPoint::new(lat1, lon1);
+            let b = GeoPoint::new(lat2, lon2);
+            let c = GeoPoint::new(lat3, lon3);
+            prop_assert!(a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Analytic steady-state response-time estimation.
+//!
+//! The optimal-assignment baseline (paper Fig. 7) needs to evaluate
+//! `m^n` candidate assignments, which is far too many to simulate
+//! individually. These closed-form estimates approximate the
+//! processor-sharing executor's steady-state behaviour and are validated
+//! against it in `tests/` — the simulated system is the ground truth,
+//! the formula is only a search heuristic.
+
+use armada_types::{HardwareProfile, SimDuration};
+
+/// The offered load `ρ = k·fps / capacity_fps` of `k` users streaming
+/// at `fps` against the node's peak frame throughput.
+///
+/// # Examples
+///
+/// ```
+/// use armada_types::HardwareProfile;
+/// use armada_workload::offered_load;
+///
+/// // Capacity 1/0.030s ≈ 33.3 fps; one 20 FPS user loads it to 0.6.
+/// let hw = HardwareProfile::new("x", 4, 30.0);
+/// assert!((offered_load(&hw, 1, 20.0) - 0.6).abs() < 1e-9);
+/// ```
+pub fn offered_load(hw: &HardwareProfile, users: usize, fps: f64) -> f64 {
+    users as f64 * fps.max(0.0) / hw.capacity_fps()
+}
+
+/// Estimated mean response time for one frame on `hw` when `users`
+/// clients stream at `fps` each.
+///
+/// Uses the M/G/PS approximation `T = S / (1 − ρ)` with the utilisation
+/// capped at 0.97; saturated nodes therefore report a very large but
+/// finite penalty, which is what a what-if probe against an overloaded
+/// volunteer node observes in practice (the executor slows down, the
+/// adaptive rate controller reins in `fps`, and the system stabilises at
+/// high latency rather than diverging).
+pub fn estimate_response_time(hw: &HardwareProfile, users: usize, fps: f64) -> SimDuration {
+    let rho = offered_load(hw, users, fps).min(0.97);
+    let base = hw.base_frame_ms();
+    SimDuration::from_millis_f64(base / (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw(cores: u32, ms: f64) -> HardwareProfile {
+        HardwareProfile::new("test", cores, ms)
+    }
+
+    #[test]
+    fn zero_users_means_base_time() {
+        let h = hw(4, 30.0);
+        assert_eq!(estimate_response_time(&h, 0, 20.0), SimDuration::from_millis(30));
+        assert_eq!(offered_load(&h, 0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn response_grows_monotonically_with_users() {
+        let h = hw(4, 30.0);
+        let mut prev = SimDuration::ZERO;
+        for k in 0..20 {
+            let t = estimate_response_time(&h, k, 20.0);
+            assert!(t >= prev, "k={k}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn more_concurrency_reduces_response_under_load() {
+        let slow = estimate_response_time(&hw(2, 30.0), 1, 20.0);
+        let fast =
+            estimate_response_time(&hw(8, 30.0).with_concurrency(4), 1, 20.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn saturation_is_capped_not_infinite() {
+        let h = hw(1, 49.0); // V5-class laptop
+        let t = estimate_response_time(&h, 50, 20.0);
+        assert!(t.as_millis_f64() < 10_000.0);
+        assert!(t.as_millis_f64() > 1_000.0);
+    }
+
+    #[test]
+    fn lower_fps_relieves_pressure() {
+        let h = hw(2, 30.0);
+        let full = estimate_response_time(&h, 3, 20.0);
+        let halved = estimate_response_time(&h, 3, 10.0);
+        assert!(halved < full);
+    }
+
+    #[test]
+    fn table2_v1_vs_v5_ordering() {
+        // V1 (8 cores, 24 ms) must dominate V5 (2 cores, 49 ms) at any
+        // load level.
+        let v1 = hw(8, 24.0);
+        let v5 = hw(2, 49.0);
+        for k in 0..10 {
+            assert!(
+                estimate_response_time(&v1, k, 20.0) < estimate_response_time(&v5, k, 20.0),
+                "k={k}"
+            );
+        }
+    }
+}

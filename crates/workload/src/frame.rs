@@ -1,0 +1,130 @@
+//! The offloaded request/response pair.
+
+use serde::{Deserialize, Serialize};
+
+use armada_types::{DataSize, SimTime, UserId};
+
+/// Size of one encoded video frame (paper §V-A: "standard size of
+/// 0.02 MB after encoding").
+pub const FRAME_SIZE: DataSize = DataSize::from_bytes(20_000);
+
+/// Size of the returned cognitive-assistance instruction (paper:
+/// "negligible size"); modelled as 200 bytes.
+pub const RESPONSE_SIZE: DataSize = DataSize::from_bytes(200);
+
+/// One offloaded video frame.
+///
+/// # Examples
+///
+/// ```
+/// use armada_types::{SimTime, UserId};
+/// use armada_workload::Frame;
+///
+/// let f = Frame::live(UserId::new(1), 0, SimTime::ZERO);
+/// assert!(!f.is_test());
+/// let t = Frame::test(SimTime::ZERO);
+/// assert!(t.is_test());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// Originating user; `None` for the node-initiated synthetic test
+    /// workload.
+    pub user: Option<UserId>,
+    /// Per-user frame sequence number (0 for test frames).
+    pub seq: u64,
+    /// When the frame left the client (or, for test frames, when the
+    /// node invoked the test workload).
+    pub created_at: SimTime,
+    /// Encoded size on the wire.
+    pub size: DataSize,
+}
+
+impl Frame {
+    /// A live application frame from `user`.
+    pub fn live(user: UserId, seq: u64, created_at: SimTime) -> Self {
+        Frame { user: Some(user), seq, created_at, size: FRAME_SIZE }
+    }
+
+    /// The synthetic test frame used by the what-if probing mechanism.
+    /// Same compute requirements as a live frame, but never leaves the
+    /// node.
+    pub fn test(created_at: SimTime) -> Self {
+        Frame { user: None, seq: 0, created_at, size: FRAME_SIZE }
+    }
+
+    /// `true` if this is the synthetic test workload.
+    pub fn is_test(&self) -> bool {
+        self.user.is_none()
+    }
+}
+
+/// The reply returned to the client after processing a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameResponse {
+    /// The frame being acknowledged.
+    pub user: UserId,
+    /// Sequence number of the acknowledged frame.
+    pub seq: u64,
+    /// When the client created the frame (echoed back for end-to-end
+    /// latency accounting).
+    pub created_at: SimTime,
+    /// When the node finished processing.
+    pub completed_at: SimTime,
+    /// Reply payload size.
+    pub size: DataSize,
+}
+
+impl FrameResponse {
+    /// Builds the response for a processed live frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is a test frame — test workloads never produce
+    /// client-visible responses.
+    pub fn for_frame(frame: &Frame, completed_at: SimTime) -> Self {
+        let user = frame.user.expect("test frames have no response");
+        FrameResponse {
+            user,
+            seq: frame.seq,
+            created_at: frame.created_at,
+            completed_at,
+            size: RESPONSE_SIZE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sizes_match_paper() {
+        assert_eq!(FRAME_SIZE.as_megabytes(), 0.02);
+        assert!(RESPONSE_SIZE < FRAME_SIZE);
+    }
+
+    #[test]
+    fn live_frames_carry_user() {
+        let f = Frame::live(UserId::new(4), 17, SimTime::from_millis(3));
+        assert_eq!(f.user, Some(UserId::new(4)));
+        assert_eq!(f.seq, 17);
+        assert!(!f.is_test());
+    }
+
+    #[test]
+    fn response_echoes_frame_metadata() {
+        let f = Frame::live(UserId::new(2), 9, SimTime::from_millis(10));
+        let r = FrameResponse::for_frame(&f, SimTime::from_millis(50));
+        assert_eq!(r.user, UserId::new(2));
+        assert_eq!(r.seq, 9);
+        assert_eq!(r.created_at, SimTime::from_millis(10));
+        assert_eq!(r.completed_at, SimTime::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "test frames have no response")]
+    fn test_frames_have_no_response() {
+        let t = Frame::test(SimTime::ZERO);
+        let _ = FrameResponse::for_frame(&t, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! The edge application model: AR-based cognitive assistance.
+//!
+//! The paper evaluates its edge-selection approach with a cognitive
+//! assistance application: clients stream 0.02 MB video frames at up to
+//! 20 FPS to an edge node, which runs object detection and returns
+//! lightweight instructions. This crate models that workload:
+//!
+//! * [`Frame`] / [`FrameResponse`] — the offloaded request and its reply,
+//! * [`PsExecutor`] — a processor-sharing executor reproducing
+//!   contention on heterogeneous multi-core nodes (queueing delay and
+//!   overload degradation *emerge* from it),
+//! * [`AimdController`] — the client-side adaptive frame-rate controller
+//!   ("max rate of 20 FPS, which can adaptively decrease"),
+//! * [`estimate_response_time`] — an analytic steady-state estimate used
+//!   by the optimal-assignment baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use armada_types::{HardwareProfile, SimDuration, SimTime};
+//! use armada_workload::PsExecutor;
+//!
+//! let hw = HardwareProfile::new("Intel Core i7-9700", 8, 24.0);
+//! let mut exec = PsExecutor::new(&hw);
+//! let t0 = SimTime::ZERO;
+//! exec.admit(1u32, t0);
+//! // One frame on an idle node completes in the base frame time.
+//! assert_eq!(exec.next_completion(t0).unwrap().1, t0 + SimDuration::from_millis(24));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimate;
+mod executor;
+mod fps;
+mod frame;
+
+pub use estimate::{estimate_response_time, offered_load};
+pub use executor::PsExecutor;
+pub use fps::AimdController;
+pub use frame::{Frame, FrameResponse, FRAME_SIZE, RESPONSE_SIZE};

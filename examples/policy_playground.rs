@@ -1,0 +1,65 @@
+//! Compare every selection strategy — and every client-side local
+//! policy — on the same environment, then check the static optimum.
+//!
+//! ```text
+//! cargo run --release --example policy_playground
+//! ```
+
+use armada::baselines;
+use armada::core::{to_assignment_problem, EnvSpec, Scenario, Strategy};
+use armada::types::{ClientConfig, LocalSelectionPolicy, SimDuration, SimTime};
+
+fn steady_ms(strategy: Strategy) -> f64 {
+    let result = Scenario::new(EnvSpec::realworld(12), strategy)
+        .duration(SimDuration::from_secs(40))
+        .seed(3)
+        .run();
+    result
+        .recorder()
+        .user_mean_in_window(SimTime::from_secs(20), SimTime::from_secs(40))
+        .map(|d| d.as_millis_f64())
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    println!("=== strategies (12 users, real-world roster, steady-state) ===");
+    for (name, strategy) in [
+        ("client-centric (GO)", Strategy::client_centric()),
+        (
+            "client-centric (LO)",
+            Strategy::client_centric_with(
+                ClientConfig::default().with_policy(LocalSelectionPolicy::BestLocal),
+            ),
+        ),
+        (
+            "client-centric (QoS-filtered)",
+            Strategy::client_centric_with(
+                ClientConfig::default().with_policy(LocalSelectionPolicy::QosFiltered),
+            ),
+        ),
+        ("geo-proximity", Strategy::GeoProximity),
+        ("resource-aware WRR", Strategy::ResourceAwareWrr),
+        ("dedicated-only", Strategy::DedicatedOnly),
+        ("closest cloud", Strategy::ClosestCloud),
+    ] {
+        println!("  {name:<30} {:>7.1} ms", steady_ms(strategy));
+    }
+
+    // The static optimum for the same snapshot, via the solver.
+    let run = Scenario::new(EnvSpec::realworld(12), Strategy::client_centric())
+        .duration(SimDuration::from_secs(5))
+        .seed(3)
+        .run();
+    let (problem, node_ids) = to_assignment_problem(run.world(), 20.0);
+    let optimal = baselines::optimal(&problem, 0);
+    println!(
+        "\nstatic optimal assignment (analytic model): {:.1} ms mean",
+        problem.mean_latency_ms(&optimal)
+    );
+    let loads = optimal.loads(node_ids.len());
+    for (i, &node) in node_ids.iter().enumerate() {
+        if loads[i] > 0 {
+            println!("  {node}: {} users", loads[i]);
+        }
+    }
+}

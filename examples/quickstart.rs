@@ -1,0 +1,59 @@
+//! Quickstart: build the paper's real-world environment, run the
+//! client-centric selection for 30 virtual seconds, and inspect what
+//! happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use armada::core::{EnvSpec, Scenario, Strategy};
+use armada::types::{SimDuration, SimTime};
+
+fn main() {
+    // Table II's roster — 5 volunteer laptops, 4 Local Zone instances,
+    // 1 cloud region — with 8 home-Wi-Fi users around Minneapolis.
+    let env = EnvSpec::realworld(8);
+
+    let result = Scenario::new(env, Strategy::client_centric())
+        .duration(SimDuration::from_secs(30))
+        .seed(42)
+        .run();
+
+    println!("=== Armada quickstart ===");
+    println!(
+        "frames served: {}   probes sent: {}   test workloads run: {}",
+        result.recorder().len(),
+        result.world().total_probes_sent(),
+        result.world().total_test_invocations(),
+    );
+    println!(
+        "mean end-to-end latency: {}",
+        result.recorder().mean().expect("frames flowed")
+    );
+    println!(
+        "steady-state (15-30s, user-weighted): {}",
+        result
+            .recorder()
+            .user_mean_in_window(SimTime::from_secs(15), SimTime::from_secs(30))
+            .expect("steady samples")
+    );
+
+    println!("\nper-user assignment and latency:");
+    for (user, mean) in result.recorder().per_user_mean() {
+        let client = result.world().client(user).expect("known user");
+        let node = client.current_node().expect("everyone is attached");
+        let hw = result.world().node(node).expect("known node").hardware();
+        println!(
+            "  {user} -> {node} ({}), mean {:.1} ms, {} backups warm",
+            hw.processor(),
+            mean.as_millis_f64(),
+            client.backups().len(),
+        );
+    }
+
+    println!("\nend-to-end latency CDF (all users):");
+    let cdf = result.recorder().cdf(None);
+    for q in [0.1, 0.5, 0.9, 0.99] {
+        println!("  p{:>2.0}: {}", q * 100.0, cdf.quantile(q).expect("samples"));
+    }
+}

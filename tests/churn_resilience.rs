@@ -1,0 +1,133 @@
+//! Integration tests for the churn pipeline: trace generation →
+//! scenario → failover accounting, reproducing the paper's §V-D2
+//! behaviours at test scale.
+
+use armada::churn::{ChurnTrace, ChurnTraceBuilder};
+use armada::core::{EnvSpec, Scenario, Strategy};
+use armada::sim::SimRng;
+use armada::types::{ClientConfig, SimDuration, SimTime};
+
+fn churn_env(seed: u64) -> EnvSpec {
+    let mut env = EnvSpec::emulation(6, seed);
+    env.nodes.clear();
+    env.pairwise_rtt_ms.clear();
+    env
+}
+
+#[test]
+fn service_survives_the_paper_churn_trace() {
+    let trace = ChurnTrace::paper_fig8();
+    let result = Scenario::new(churn_env(8), Strategy::client_centric())
+        .with_churn(trace.clone())
+        .duration(SimDuration::from_secs(180))
+        .seed(8)
+        .run();
+    // Every user keeps receiving responses in every 20-second slice of
+    // the run once the system is warm.
+    for client in result.world().clients() {
+        let user = client.id();
+        for window_start in (20..170).step_by(20) {
+            let from = SimTime::from_secs(window_start);
+            let to = SimTime::from_secs(window_start + 20);
+            let served = result
+                .recorder()
+                .samples()
+                .iter()
+                .any(|s| s.user == user && s.at >= from && s.at < to);
+            assert!(served, "{user} starved in window {window_start}-{}s", window_start + 20);
+        }
+    }
+}
+
+#[test]
+fn top_n_three_absorbs_all_failures_in_the_paper_trace() {
+    let trace = ChurnTrace::paper_fig8();
+    let result = Scenario::new(
+        churn_env(8),
+        Strategy::client_centric_with(ClientConfig::default().with_top_n(3)),
+    )
+    .with_churn(trace)
+    .duration(SimDuration::from_secs(180))
+    .seed(8)
+    .run();
+    assert_eq!(
+        result.world().total_hard_failures(),
+        0,
+        "paper Fig. 10b: failures reach 0 from TopN = 3"
+    );
+    assert!(
+        result.world().total_backup_failovers() > 0,
+        "the churn trace must actually have killed serving nodes"
+    );
+}
+
+#[test]
+fn top_n_one_suffers_hard_failures() {
+    let trace = ChurnTrace::paper_fig8();
+    let result = Scenario::new(
+        churn_env(8),
+        Strategy::client_centric_with(ClientConfig::default().with_top_n(1)),
+    )
+    .with_churn(trace)
+    .duration(SimDuration::from_secs(180))
+    .seed(8)
+    .run();
+    assert!(
+        result.world().total_hard_failures() > 0,
+        "TopN = 1 has no backups: node deaths must force re-discovery"
+    );
+    assert_eq!(result.world().total_backup_failovers(), 0);
+}
+
+#[test]
+fn fresh_nodes_attract_load_within_seconds() {
+    // Fig. 8's step response: after a node joins, some client should
+    // switch to it (or at least probe it) within a probing period.
+    let trace = ChurnTrace::paper_fig8();
+    let result = Scenario::new(churn_env(8), Strategy::client_centric())
+        .with_churn(trace.clone())
+        .duration(SimDuration::from_secs(180))
+        .seed(8)
+        .run();
+    // At least half the churned nodes that lived ≥ 20 s served someone.
+    let long_lived: Vec<_> = trace
+        .events()
+        .iter()
+        .filter(|e| e.lifetime() >= SimDuration::from_secs(20))
+        .collect();
+    let used = long_lived
+        .iter()
+        .filter(|e| {
+            result
+                .world()
+                .node(armada::types::NodeId::new(1_000 + e.index as u64))
+                .map(|n| {
+                    n.stats().joins_accepted + n.stats().unexpected_joins > 0
+                })
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(
+        used * 2 >= long_lived.len(),
+        "only {used}/{} long-lived churn nodes ever served a user",
+        long_lived.len()
+    );
+}
+
+#[test]
+fn custom_traces_drive_scenarios() {
+    let trace = ChurnTraceBuilder::new()
+        .duration(SimDuration::from_secs(60))
+        .arrivals_per_window(6.0)
+        .mean_lifetime(SimDuration::from_secs(40))
+        .initial_nodes(4)
+        .build(&mut SimRng::seed_from(123));
+    let result = Scenario::new(churn_env(1), Strategy::client_centric())
+        .with_churn(trace.clone())
+        .duration(SimDuration::from_secs(60))
+        .seed(1)
+        .run();
+    assert!(result.recorder().len() > 50);
+    let churned = result.world().nodes().filter(|n| n.id().as_u64() >= 1_000).count();
+    assert_eq!(churned, trace.total_nodes());
+}

@@ -1,0 +1,167 @@
+//! Property-based invariants over randomly-parameterised scenarios:
+//! whatever the seed, user count, TopN or strategy, the protocol must
+//! uphold its structural guarantees.
+
+use proptest::prelude::*;
+
+use armada::core::{EnvSpec, Scenario, Strategy};
+use armada::types::{
+    ClientConfig, QosRequirement, SimDuration, SimTime, UserId,
+};
+
+fn strategy_from_index(i: usize, top_n: usize) -> Strategy {
+    match i {
+        0 => Strategy::client_centric_with(ClientConfig::default().with_top_n(top_n)),
+        1 => Strategy::GeoProximity,
+        2 => Strategy::ResourceAwareWrr,
+        3 => Strategy::DedicatedOnly,
+        _ => Strategy::ClosestCloud,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scenarios_uphold_structural_invariants(
+        users in 1usize..6,
+        seed in 0u64..1_000,
+        strategy_index in 0usize..5,
+        top_n in 1usize..5,
+    ) {
+        let strategy = strategy_from_index(strategy_index, top_n);
+        let result = Scenario::new(EnvSpec::realworld(users), strategy)
+            .duration(SimDuration::from_secs(12))
+            .seed(seed)
+            .run();
+
+        // Frames flowed and latencies are physical: at least the fastest
+        // node's base frame time, and far below the scenario horizon.
+        prop_assert!(result.recorder().len() > 10);
+        for s in result.recorder().samples() {
+            prop_assert!(
+                s.latency >= SimDuration::from_millis(20),
+                "latency {} below physical floor", s.latency
+            );
+            prop_assert!(s.latency < SimDuration::from_secs(12));
+            prop_assert!(s.at <= result.end_time());
+        }
+
+        // Static environment without kills: no hard failures possible.
+        prop_assert_eq!(result.world().total_hard_failures(), 0);
+
+        // Per-client accounting is consistent.
+        for client in result.world().clients() {
+            let stats = client.stats();
+            prop_assert!(stats.frames_acked <= stats.frames_sent);
+            prop_assert!(client.backups().len() < top_n.max(1) + 1);
+            // Every client ends attached to a live node.
+            let node = client.current_node();
+            prop_assert!(node.is_some(), "{} unattached", client.id());
+        }
+
+        // Node-side attachment sets only reference real users.
+        let user_count = users as u64;
+        for node in result.world().nodes() {
+            for attached in node.attached_users() {
+                prop_assert!(attached.as_u64() < user_count);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_holds_across_the_parameter_space(
+        users in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let run = || {
+            let r = Scenario::new(EnvSpec::realworld(users), Strategy::client_centric())
+                .duration(SimDuration::from_secs(8))
+                .seed(seed)
+                .run();
+            (r.recorder().len(), r.recorder().mean(), r.world().total_probes_sent())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn client_centric_attachment_is_mutually_consistent(
+        users in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let result = Scenario::new(EnvSpec::realworld(users), Strategy::client_centric())
+            .duration(SimDuration::from_secs(15))
+            .seed(seed)
+            .run();
+        // After quiescence (no churn), a client's serving node must agree
+        // that the client is attached.
+        for client in result.world().clients() {
+            if let Some(node_id) = client.current_node() {
+                let node = result.world().node(node_id).expect("node exists");
+                prop_assert!(
+                    node.is_attached(client.id()),
+                    "{} believes it is on {} but the node disagrees",
+                    client.id(),
+                    node_id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unsatisfiable_qos_leaves_users_unplaced_but_stable() {
+    // With a 1 ms latency bound nothing qualifies: QoS-filtered clients
+    // must keep re-discovering without attaching, panicking or looping
+    // the simulator into the ground.
+    let config = ClientConfig {
+        policy: armada::types::LocalSelectionPolicy::QosFiltered,
+        qos: QosRequirement { max_latency: SimDuration::from_millis(1) },
+        ..ClientConfig::default()
+    };
+    let result = Scenario::new(
+        EnvSpec::realworld(3),
+        Strategy::client_centric_with(config),
+    )
+    .duration(SimDuration::from_secs(10))
+    .seed(1)
+    .run();
+    for client in result.world().clients() {
+        assert_eq!(client.current_node(), None, "{} must stay unplaced", client.id());
+    }
+    assert!(result.recorder().is_empty(), "no frames can satisfy a 1 ms bound");
+    assert_eq!(result.end_time(), SimTime::from_secs(10));
+}
+
+#[test]
+fn affiliated_nodes_win_ties_in_discovery() {
+    // Two users at the same spot; user 1 declares affiliation with V5
+    // (node index 4). The manager must rank V5 into user 1's candidate
+    // list even though it would otherwise lose the tie-break.
+    let mut env = EnvSpec::realworld(2);
+    env.users[1].location = env.users[0].location;
+    env.users[1].affiliations = vec![4];
+    let result = Scenario::new(
+        env,
+        Strategy::client_centric_with(ClientConfig::default().with_top_n(2)),
+    )
+    .duration(SimDuration::from_secs(10))
+    .seed(2)
+    .run();
+    let unaffiliated = result.world().client(UserId::new(0)).unwrap();
+    let affiliated = result.world().client(UserId::new(1)).unwrap();
+    let reaches_v5 = |c: &armada::client::EdgeClient| {
+        c.current_node() == Some(armada::types::NodeId::new(4))
+            || c.backups().contains(&armada::types::NodeId::new(4))
+    };
+    assert!(
+        reaches_v5(affiliated),
+        "affiliation must pull V5 into the candidate set: current {:?}, backups {:?}",
+        affiliated.current_node(),
+        affiliated.backups()
+    );
+    assert!(
+        !reaches_v5(unaffiliated),
+        "without affiliation V5 (weak, far) should not make a TopN=2 list"
+    );
+}
