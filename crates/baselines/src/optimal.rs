@@ -26,7 +26,10 @@ pub fn exhaustive_optimal(problem: &AssignmentProblem) -> Assignment {
     let n = problem.users().len();
     let m = problem.nodes().len();
     let space = (m as f64).powi(n as i32);
-    assert!(space <= 1e7, "exhaustive search infeasible: {m}^{n} assignments");
+    assert!(
+        space <= 1e7,
+        "exhaustive search infeasible: {m}^{n} assignments"
+    );
     if n == 0 {
         return Assignment::new(Vec::new());
     }
@@ -83,14 +86,25 @@ pub fn search_optimal(problem: &AssignmentProblem, seed: u64) -> Assignment {
     }
     let mut rng = SimRng::seed_from(seed).stream("optimal-search");
 
-    let mut best = local_search(problem, greedy_seed(problem));
+    let mut best = local_search(problem, greedy_seed(problem, None));
     let mut best_cost = problem.mean_latency_ms(&best);
 
-    let restarts = 12;
-    for _ in 0..restarts {
-        let random_start =
-            Assignment::new((0..n).map(|_| rng.gen_range(0..m)).collect());
-        let candidate = local_search(problem, random_start);
+    let restarts = 24;
+    for r in 0..restarts {
+        // Alternate between uniformly random starts and greedy builds
+        // over a shuffled user order: the two start families fall into
+        // different basins, which is what protects the 5 %-of-exact
+        // bound across seeds.
+        let start = if r % 2 == 0 {
+            Assignment::new((0..n).map(|_| rng.gen_range(0..m)).collect())
+        } else {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            greedy_seed(problem, Some(&order))
+        };
+        let candidate = local_search(problem, start);
         let cost = problem.mean_latency_ms(&candidate);
         if cost < best_cost {
             best_cost = cost;
@@ -100,13 +114,17 @@ pub fn search_optimal(problem: &AssignmentProblem, seed: u64) -> Assignment {
     best
 }
 
-/// Greedy construction: users in index order each pick the node with
-/// the least marginal latency given the loads so far.
-fn greedy_seed(problem: &AssignmentProblem) -> Assignment {
+/// Greedy construction: users (in index order, or in the given
+/// `order`) each pick the node with the least marginal latency given
+/// the loads so far.
+fn greedy_seed(problem: &AssignmentProblem, order: Option<&[usize]>) -> Assignment {
+    let n = problem.users().len();
     let m = problem.nodes().len();
     let mut loads = vec![0usize; m];
-    let mut choice = Vec::with_capacity(problem.users().len());
-    for u in 0..problem.users().len() {
+    let mut choice = vec![0usize; n];
+    let default_order: Vec<usize> = (0..n).collect();
+    let order = order.unwrap_or(&default_order);
+    for &u in order {
         let best = (0..m)
             .min_by(|&a, &b| {
                 let la = problem.latency_with_load_ms(u, a, loads[a] + 1);
@@ -115,13 +133,17 @@ fn greedy_seed(problem: &AssignmentProblem) -> Assignment {
             })
             .expect("problems always have nodes");
         loads[best] += 1;
-        choice.push(best);
+        choice[u] = best;
     }
     Assignment::new(choice)
 }
 
-/// First-improvement hill climbing over single-user moves and pairwise
-/// swaps, until a full pass finds no improvement.
+/// First-improvement hill climbing over single-user moves, pairwise
+/// swaps and — once those are exhausted — coordinated two-user moves,
+/// until a full pass finds no improvement. The pair-move neighbourhood
+/// is what keeps move+swap local minima from trapping the search far
+/// from the optimum (their basins merge once two users can relocate
+/// together).
 fn local_search(problem: &AssignmentProblem, start: Assignment) -> Assignment {
     let n = problem.users().len();
     let m = problem.nodes().len();
@@ -163,6 +185,34 @@ fn local_search(problem: &AssignmentProblem, start: Assignment) -> Assignment {
                 }
             }
         }
+        // Coordinated pair moves, only once the cheap neighbourhoods are
+        // exhausted (O(n²m²) evaluations per pass).
+        if !improved {
+            'pairs: for u in 0..n {
+                for v in (u + 1)..n {
+                    let (ou, ov) = (current[u], current[v]);
+                    for a in 0..m {
+                        for b in 0..m {
+                            if a == ou && b == ov {
+                                continue;
+                            }
+                            current[u] = a;
+                            current[v] = b;
+                            let c = problem.mean_latency_ms(&Assignment::new(current.clone()));
+                            if c + 1e-9 < cost {
+                                cost = c;
+                                improved = true;
+                                // Re-run the cheap neighbourhoods before
+                                // scanning more pairs.
+                                break 'pairs;
+                            }
+                            current[u] = ou;
+                            current[v] = ov;
+                        }
+                    }
+                }
+            }
+        }
         if !improved {
             return Assignment::new(current);
         }
@@ -181,8 +231,9 @@ mod tests {
 
     fn random_problem(n_users: usize, n_nodes: usize, seed: u64) -> AssignmentProblem {
         let mut rng = SimRng::seed_from(seed);
-        let users: Vec<UserSpec> =
-            (0..n_users).map(|i| UserSpec::new(UserId::new(i as u64))).collect();
+        let users: Vec<UserSpec> = (0..n_users)
+            .map(|i| UserSpec::new(UserId::new(i as u64)))
+            .collect();
         let nodes: Vec<NodeSpec> = (0..n_nodes)
             .map(|i| {
                 let cores = rng.gen_range(1..9u32);
@@ -190,8 +241,7 @@ mod tests {
                 NodeSpec::new(
                     NodeId::new(i as u64),
                     NodeClass::Volunteer,
-                    HardwareProfile::new(format!("hw{i}"), cores, ms)
-                        .with_concurrency(cores),
+                    HardwareProfile::new(format!("hw{i}"), cores, ms).with_concurrency(cores),
                 )
             })
             .collect();
@@ -207,9 +257,7 @@ mod tests {
         let p = random_problem(1, 2, 7);
         let a = exhaustive_optimal(&p);
         let alt = 1 - a.node_of(0);
-        assert!(
-            p.mean_latency_ms(&a) <= p.mean_latency_ms(&Assignment::new(vec![alt]))
-        );
+        assert!(p.mean_latency_ms(&a) <= p.mean_latency_ms(&Assignment::new(vec![alt])));
     }
 
     #[test]

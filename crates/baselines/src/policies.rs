@@ -16,7 +16,9 @@ use crate::problem::{Assignment, AssignmentProblem};
 /// Panics if the problem has no nodes (enforced at construction).
 pub fn geo_proximity(problem: &AssignmentProblem) -> Assignment {
     let nodes = problem.nodes();
-    let have_distance = nodes.iter().all(|n| n.distance_km.len() == problem.users().len());
+    let have_distance = nodes
+        .iter()
+        .all(|n| n.distance_km.len() == problem.users().len());
     let choices = (0..problem.users().len())
         .map(|u| {
             (0..nodes.len())
@@ -52,7 +54,10 @@ pub fn dedicated_only(problem: &AssignmentProblem) -> Assignment {
     if pool.is_empty() {
         pool = problem.nodes_of_class(|c| c == NodeClass::Cloud);
     }
-    assert!(!pool.is_empty(), "dedicated-only baseline needs dedicated or cloud nodes");
+    assert!(
+        !pool.is_empty(),
+        "dedicated-only baseline needs dedicated or cloud nodes"
+    );
     wrr_over(problem, &pool)
 }
 
@@ -64,7 +69,10 @@ pub fn dedicated_only(problem: &AssignmentProblem) -> Assignment {
 /// Panics if the problem contains no cloud node.
 pub fn closest_cloud(problem: &AssignmentProblem) -> Assignment {
     let pool = problem.nodes_of_class(|c| c == NodeClass::Cloud);
-    assert!(!pool.is_empty(), "closest-cloud baseline needs a cloud node");
+    assert!(
+        !pool.is_empty(),
+        "closest-cloud baseline needs a cloud node"
+    );
     wrr_over(problem, &pool)
 }
 
@@ -72,8 +80,10 @@ pub fn closest_cloud(problem: &AssignmentProblem) -> Assignment {
 /// goes to the pool node maximising `capacity / (assigned + 1)`.
 fn wrr_over(problem: &AssignmentProblem, pool: &[usize]) -> Assignment {
     assert!(!pool.is_empty(), "WRR needs a non-empty pool");
-    let capacity: Vec<f64> =
-        pool.iter().map(|&i| problem.nodes()[i].hw.cores() as f64).collect();
+    let capacity: Vec<f64> = pool
+        .iter()
+        .map(|&i| problem.nodes()[i].hw.cores() as f64)
+        .collect();
     let mut assigned = vec![0usize; pool.len()];
     let choices = (0..problem.users().len())
         .map(|_| {
@@ -100,8 +110,7 @@ mod tests {
     /// 3 users; volunteer close+slow, volunteer far+fast, dedicated,
     /// cloud.
     fn problem() -> AssignmentProblem {
-        let users: Vec<UserSpec> =
-            (0..3).map(|i| UserSpec::new(UserId::new(i))).collect();
+        let users: Vec<UserSpec> = (0..3).map(|i| UserSpec::new(UserId::new(i))).collect();
         let nodes = vec![
             NodeSpec::new(
                 NodeId::new(0),
@@ -138,7 +147,11 @@ mod tests {
     #[test]
     fn geo_proximity_piles_onto_nearest() {
         let a = geo_proximity(&problem());
-        assert_eq!(a.as_slice(), &[0, 0, 0], "everyone's closest node is the slow one");
+        assert_eq!(
+            a.as_slice(),
+            &[0, 0, 0],
+            "everyone's closest node is the slow one"
+        );
     }
 
     #[test]
@@ -148,13 +161,17 @@ mod tests {
         for n in 0..4 {
             assert!(!p.nodes()[n].hw.processor().is_empty());
         }
-        p = AssignmentProblem::new(p.users().to_vec(), {
-            let mut nodes = p.nodes().to_vec();
-            for n in &mut nodes {
-                n.distance_km.clear();
-            }
-            nodes
-        }, 20.0)
+        p = AssignmentProblem::new(
+            p.users().to_vec(),
+            {
+                let mut nodes = p.nodes().to_vec();
+                for n in &mut nodes {
+                    n.distance_km.clear();
+                }
+                nodes
+            },
+            20.0,
+        )
         .with_rtt_ms(vec![
             vec![6.0, 25.0, 18.0, 80.0],
             vec![7.0, 28.0, 18.0, 80.0],
@@ -177,7 +194,11 @@ mod tests {
     #[test]
     fn wrr_first_pick_is_highest_capacity() {
         let a = resource_aware_wrr(&problem());
-        assert_eq!(a.node_of(0), 1, "first user goes to the highest-capacity node");
+        assert_eq!(
+            a.node_of(0),
+            1,
+            "first user goes to the highest-capacity node"
+        );
     }
 
     #[test]
@@ -199,8 +220,9 @@ mod tests {
         // the nearest node is slow and weak).
         let users: Vec<UserSpec> = (0..12).map(|i| UserSpec::new(UserId::new(i))).collect();
         let base = problem();
-        let rtts: Vec<Vec<f64>> =
-            (0..12).map(|u| vec![6.0 + u as f64 * 0.2, 25.0, 18.0, 80.0]).collect();
+        let rtts: Vec<Vec<f64>> = (0..12)
+            .map(|u| vec![6.0 + u as f64 * 0.2, 25.0, 18.0, 80.0])
+            .collect();
         let p = AssignmentProblem::new(users, base.nodes().to_vec(), 20.0).with_rtt_ms(rtts);
         let geo = p.mean_latency_ms(&geo_proximity(&p));
         let wrr = p.mean_latency_ms(&resource_aware_wrr(&p));

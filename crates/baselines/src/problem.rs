@@ -16,7 +16,10 @@ pub struct UserSpec {
 impl UserSpec {
     /// Creates a user with the default frame transfer delay.
     pub fn new(id: UserId) -> Self {
-        UserSpec { id, transfer_ms: 8.0 }
+        UserSpec {
+            id,
+            transfer_ms: 8.0,
+        }
     }
 
     /// Overrides the frame transfer delay.
@@ -44,7 +47,12 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Creates a node spec without distance information.
     pub fn new(id: NodeId, class: NodeClass, hw: HardwareProfile) -> Self {
-        NodeSpec { id, class, hw, distance_km: Vec::new() }
+        NodeSpec {
+            id,
+            class,
+            hw,
+            distance_km: Vec::new(),
+        }
     }
 
     /// Attaches per-user distances (indexed like the problem's users).
@@ -123,7 +131,12 @@ impl AssignmentProblem {
         assert!(!nodes.is_empty(), "assignment needs at least one node");
         assert!(fps.is_finite() && fps > 0.0, "fps must be positive");
         let rtt_ms = vec![vec![0.0; nodes.len()]; users.len()];
-        AssignmentProblem { users, nodes, rtt_ms, fps }
+        AssignmentProblem {
+            users,
+            nodes,
+            rtt_ms,
+            fps,
+        }
     }
 
     /// Supplies the `rtt_ms[user][node]` matrix.
@@ -174,7 +187,11 @@ impl AssignmentProblem {
     ///
     /// Panics if the assignment length differs from the user count.
     pub fn mean_latency_ms(&self, assignment: &Assignment) -> f64 {
-        assert_eq!(assignment.len(), self.users.len(), "assignment covers every user");
+        assert_eq!(
+            assignment.len(),
+            self.users.len(),
+            "assignment covers every user"
+        );
         if self.users.is_empty() {
             return 0.0;
         }
@@ -190,8 +207,7 @@ impl AssignmentProblem {
 
     /// Latency for `user` on `node` given `load` users attached there.
     pub fn latency_with_load_ms(&self, user: usize, node: usize, load: usize) -> f64 {
-        let proc: SimDuration =
-            estimate_response_time(&self.nodes[node].hw, load, self.fps);
+        let proc: SimDuration = estimate_response_time(&self.nodes[node].hw, load, self.fps);
         self.rtt_ms[user][node] + self.users[user].transfer_ms + proc.as_millis_f64()
     }
 

@@ -1,51 +1,84 @@
-//! Criterion micro-benchmarks for the performance-critical building
-//! blocks: the event queue, GeoHash codec, proximity index, the
-//! processor-sharing executor, candidate ranking, the optimal solver,
-//! and a full end-to-end scenario tick.
+//! Micro-benchmarks for the performance-critical building blocks: the
+//! event queue, GeoHash codec, proximity index, the processor-sharing
+//! executor, candidate ranking, the optimal solver, and a full
+//! end-to-end scenario tick.
+//!
+//! Criterion is unavailable in this build environment, so this is a
+//! self-contained harness (`harness = false`): each benchmark runs a
+//! calibrated number of iterations after a warm-up and reports the mean
+//! and median wall time per iteration.
+//!
+//! ```text
+//! cargo bench -p armada-bench
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use armada_client::{rank_candidates, ProbeResult};
 use armada_core::{EnvSpec, Scenario, Strategy};
 use armada_geo::{GeoHash, ProximityIndex};
 use armada_sim::{EventQueue, SimRng};
 use armada_types::{
-    GeoPoint, HardwareProfile, LocalSelectionPolicy, NodeId, QosRequirement, SimDuration,
-    SimTime, UserId,
+    GeoPoint, HardwareProfile, LocalSelectionPolicy, NodeId, QosRequirement, SimDuration, SimTime,
+    UserId,
 };
 use armada_workload::PsExecutor;
 use rand::Rng;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_10k", |b| {
-        let mut rng = SimRng::seed_from(1);
-        let times: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1_000_000)).collect();
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for &t in &times {
-                q.push(SimTime::from_micros(t), t);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+/// Runs `f` repeatedly for roughly `BUDGET` after a warm-up and prints
+/// per-iteration statistics.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    const WARMUP: Duration = Duration::from_millis(200);
+    const BUDGET: Duration = Duration::from_secs(1);
+
+    // Warm-up, also used to calibrate the iteration count.
+    let warm_started = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_started.elapsed() < WARMUP {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_started.elapsed() / warm_iters.max(1) as u32;
+    let iters = (BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(10, 100_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let started = Instant::now();
+        black_box(f());
+        samples.push(started.elapsed());
+    }
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    let mean = total / iters.max(1) as u32;
+    let median = samples[samples.len() / 2];
+    println!("{name:<42} {iters:>7} iters  mean {mean:>12.2?}  median {median:>12.2?}");
+}
+
+fn bench_event_queue() {
+    let mut rng = SimRng::seed_from(1);
+    let times: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+    bench("event_queue/push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_micros(t), t);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        sum
     });
 }
 
-fn bench_geohash(c: &mut Criterion) {
-    c.bench_function("geohash/encode_p8", |b| {
-        let p = GeoPoint::new(44.9778, -93.2650);
-        b.iter(|| black_box(GeoHash::encode(black_box(p), 8)))
-    });
-    c.bench_function("geohash/neighbors_p6", |b| {
-        let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 6);
-        b.iter(|| black_box(h.neighbors()))
-    });
+fn bench_geohash() {
+    let p = GeoPoint::new(44.9778, -93.2650);
+    bench("geohash/encode_p8", || GeoHash::encode(black_box(p), 8));
+    let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 6);
+    bench("geohash/neighbors_p6", || h.neighbors());
 }
 
-fn bench_proximity_index(c: &mut Criterion) {
+fn bench_proximity_index() {
     let mut index = ProximityIndex::new();
     let origin = GeoPoint::new(44.9778, -93.2650);
     let mut rng = SimRng::seed_from(2);
@@ -54,33 +87,28 @@ fn bench_proximity_index(c: &mut Criterion) {
         let n = rng.uniform(-80.0, 80.0);
         index.insert(NodeId::new(i), origin.offset_km(e, n));
     }
-    c.bench_function("proximity/widening_search_1k_nodes", |b| {
-        b.iter(|| black_box(index.widening_search(origin, 10.0, 5)))
+    bench("proximity/widening_search_1k_nodes", || {
+        index.widening_search(origin, 10.0, 5)
     });
 }
 
-fn bench_ps_executor(c: &mut Criterion) {
-    c.bench_function("ps_executor/admit_advance_100_frames", |b| {
-        let hw = HardwareProfile::new("bench", 4, 30.0);
-        b.iter(|| {
-            let mut exec = PsExecutor::new(&hw);
-            for i in 0..100u32 {
-                exec.admit(i, SimTime::from_millis(i as u64 * 10));
-            }
-            black_box(exec.advance(SimTime::from_secs(100)).len())
-        })
-    });
-    c.bench_function("ps_executor/whatif_under_load", |b| {
-        let hw = HardwareProfile::new("bench", 4, 30.0);
+fn bench_ps_executor() {
+    let hw = HardwareProfile::new("bench", 4, 30.0);
+    bench("ps_executor/admit_advance_100_frames", || {
         let mut exec = PsExecutor::new(&hw);
-        for i in 0..16u32 {
-            exec.admit(i, SimTime::ZERO);
+        for i in 0..100u32 {
+            exec.admit(i, SimTime::from_millis(i as u64 * 10));
         }
-        b.iter(|| black_box(exec.whatif_response()))
+        exec.advance(SimTime::from_secs(100)).len()
     });
+    let mut exec = PsExecutor::new(&hw);
+    for i in 0..16u32 {
+        exec.admit(i, SimTime::ZERO);
+    }
+    bench("ps_executor/whatif_under_load", || exec.whatif_response());
 }
 
-fn bench_ranking(c: &mut Criterion) {
+fn bench_ranking() {
     let mut rng = SimRng::seed_from(3);
     let results: Vec<ProbeResult> = (0..32)
         .map(|i| ProbeResult {
@@ -92,26 +120,17 @@ fn bench_ranking(c: &mut Criterion) {
             seq_num: 0,
         })
         .collect();
-    for policy in
-        [LocalSelectionPolicy::BestLocal, LocalSelectionPolicy::GlobalOverhead]
-    {
-        c.bench_with_input(
-            BenchmarkId::new("rank_candidates_32", format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    black_box(rank_candidates(
-                        results.clone(),
-                        policy,
-                        QosRequirement::default(),
-                    ))
-                })
-            },
-        );
+    for policy in [
+        LocalSelectionPolicy::BestLocal,
+        LocalSelectionPolicy::GlobalOverhead,
+    ] {
+        bench(&format!("rank_candidates_32/{policy:?}"), || {
+            rank_candidates(results.clone(), policy, QosRequirement::default())
+        });
     }
 }
 
-fn bench_optimal(c: &mut Criterion) {
+fn bench_optimal() {
     use armada_baselines::{AssignmentProblem, NodeSpec, UserSpec};
     let mut rng = SimRng::seed_from(4);
     let users: Vec<UserSpec> = (0..15).map(|i| UserSpec::new(UserId::new(i))).collect();
@@ -124,38 +143,40 @@ fn bench_optimal(c: &mut Criterion) {
             )
         })
         .collect();
-    let rtts: Vec<Vec<f64>> =
-        (0..15).map(|_| (0..9).map(|_| rng.uniform(8.0, 55.0)).collect()).collect();
+    let rtts: Vec<Vec<f64>> = (0..15)
+        .map(|_| (0..9).map(|_| rng.uniform(8.0, 55.0)).collect())
+        .collect();
     let problem = AssignmentProblem::new(users, nodes, 20.0).with_rtt_ms(rtts);
-    c.bench_function("optimal/search_15users_9nodes", |b| {
-        b.iter(|| black_box(armada_baselines::search_optimal(&problem, 7)))
+    bench("optimal/search_15users_9nodes", || {
+        armada_baselines::search_optimal(&problem, 7)
     });
 }
 
-fn bench_scenario(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenario");
-    group.sample_size(10);
-    group.bench_function("realworld_5users_10s", |b| {
-        b.iter(|| {
-            let result =
-                Scenario::new(EnvSpec::realworld(5), Strategy::client_centric())
-                    .duration(SimDuration::from_secs(10))
-                    .seed(1)
-                    .run();
-            black_box(result.recorder().len())
-        })
+fn bench_scenario() {
+    bench("scenario/realworld_5users_10s", || {
+        let result = Scenario::new(EnvSpec::realworld(5), Strategy::client_centric())
+            .duration(SimDuration::from_secs(10))
+            .seed(1)
+            .run();
+        result.recorder().len()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_geohash,
-    bench_proximity_index,
-    bench_ps_executor,
-    bench_ranking,
-    bench_optimal,
-    bench_scenario,
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` runs only the matching groups.
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let groups: [(&str, fn()); 7] = [
+        ("event_queue", bench_event_queue),
+        ("geohash", bench_geohash),
+        ("proximity", bench_proximity_index),
+        ("ps_executor", bench_ps_executor),
+        ("ranking", bench_ranking),
+        ("optimal", bench_optimal),
+        ("scenario", bench_scenario),
+    ];
+    for (name, run) in groups {
+        if filter.as_deref().is_none_or(|f| name.contains(f)) {
+            run();
+        }
+    }
+}

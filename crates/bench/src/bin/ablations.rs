@@ -4,51 +4,102 @@
 //! client's in-flight frame window.
 //!
 //! Each row runs the same 12-user real-world scenario with exactly one
-//! knob changed from the defaults.
+//! knob changed from the defaults; all variants run in parallel.
 
-use armada_bench::{ms, print_table};
+use armada_bench::{ms, print_table, Harness};
 use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{ClientConfig, LocalSelectionPolicy, SimDuration, SimTime};
 
-fn run(config: ClientConfig) -> (f64, u64, f64) {
-    let result = Scenario::new(
-        EnvSpec::realworld(12),
-        Strategy::ClientCentric { config, proactive: true },
-    )
-    .duration(SimDuration::from_secs(60))
-    .seed(17)
-    .run();
-    let mean = result
-        .recorder()
-        .user_mean_in_window(SimTime::from_secs(30), SimTime::from_secs(60))
-        .map(|d| d.as_millis_f64())
-        .unwrap_or(f64::NAN);
-    let switches = result.world().clients().map(|c| c.stats().switches).sum();
-    let fairness = result
-        .recorder()
-        .fairness_stddev(Some((SimTime::from_secs(30), SimTime::from_secs(60))))
-        .map(|d| d.as_millis_f64())
-        .unwrap_or(f64::NAN);
-    (mean, switches, fairness)
-}
+const DURATION_S: u64 = 60;
 
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("ablations", harness.threads());
+
     let base = ClientConfig::default();
     let variants: Vec<(&str, ClientConfig)> = vec![
         ("default (GO, 10% hysteresis, T=10s, window 4)", base),
-        ("policy = LO (ignore interference)", base.with_policy(LocalSelectionPolicy::BestLocal)),
-        ("policy = QoS-filtered GO", base.with_policy(LocalSelectionPolicy::QosFiltered)),
-        ("no switch hysteresis", ClientConfig { switch_margin: 0.0, ..base }),
-        ("aggressive hysteresis (30%)", ClientConfig { switch_margin: 0.3, ..base }),
-        ("fast probing (T = 2s)", base.with_probing_period(SimDuration::from_secs(2))),
-        ("slow probing (T = 30s)", base.with_probing_period(SimDuration::from_secs(30))),
-        ("in-flight window 1 (stop-and-wait)", ClientConfig { max_inflight: 1, ..base }),
-        ("in-flight window 16 (deep pipeline)", ClientConfig { max_inflight: 16, ..base }),
+        (
+            "policy = LO (ignore interference)",
+            base.with_policy(LocalSelectionPolicy::BestLocal),
+        ),
+        (
+            "policy = QoS-filtered GO",
+            base.with_policy(LocalSelectionPolicy::QosFiltered),
+        ),
+        (
+            "no switch hysteresis",
+            ClientConfig {
+                switch_margin: 0.0,
+                ..base
+            },
+        ),
+        (
+            "aggressive hysteresis (30%)",
+            ClientConfig {
+                switch_margin: 0.3,
+                ..base
+            },
+        ),
+        (
+            "fast probing (T = 2s)",
+            base.with_probing_period(SimDuration::from_secs(2)),
+        ),
+        (
+            "slow probing (T = 30s)",
+            base.with_probing_period(SimDuration::from_secs(30)),
+        ),
+        (
+            "in-flight window 1 (stop-and-wait)",
+            ClientConfig {
+                max_inflight: 1,
+                ..base
+            },
+        ),
+        (
+            "in-flight window 16 (deep pipeline)",
+            ClientConfig {
+                max_inflight: 16,
+                ..base
+            },
+        ),
     ];
 
+    let runs = harness.run(variants, |(name, config)| {
+        let result = Scenario::new(
+            EnvSpec::realworld(12),
+            Strategy::ClientCentric {
+                config,
+                proactive: true,
+            },
+        )
+        .duration(SimDuration::from_secs(DURATION_S))
+        .seed(17)
+        .run();
+        let mean = result
+            .recorder()
+            .user_mean_in_window(SimTime::from_secs(30), SimTime::from_secs(60))
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        let switches: u64 = result.world().clients().map(|c| c.stats().switches).sum();
+        let fairness = result
+            .recorder()
+            .fairness_stddev(Some((SimTime::from_secs(30), SimTime::from_secs(60))))
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        (
+            name,
+            mean,
+            switches,
+            fairness,
+            result.recorder().len() as u64,
+        )
+    });
+
     let mut rows = Vec::new();
-    for (name, config) in variants {
-        let (mean, switches, fairness) = run(config);
+    for &(name, mean, switches, fairness, samples) in &runs {
+        report.record(name, DURATION_S as f64, samples);
         rows.push(vec![
             name.to_string(),
             ms(mean),
@@ -58,12 +109,25 @@ fn main() {
     }
     print_table(
         "Ablations — 12 users, real-world roster, steady state 30–60 s",
-        &["variant", "mean (ms)", "switches", "stddev across users (ms)"],
+        &[
+            "variant",
+            "mean (ms)",
+            "switches",
+            "stddev across users (ms)",
+        ],
         &rows,
     );
     println!(
         "\nreading guide: GO should not lose to LO under load; removing hysteresis\n\
          inflates switches; very slow probing hurts adaptation; a deep pipeline\n\
          inflates queueing latency on saturated nodes."
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

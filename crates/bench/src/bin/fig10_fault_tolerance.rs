@@ -6,10 +6,13 @@
 //! gap where proactive switching shows none; (b) TopN = 2 already
 //! removes most failures, and from TopN = 3 the count reaches ~0.
 
-use armada_bench::{print_csv, print_table};
+use armada_bench::{print_csv, print_table, Harness};
 use armada_churn::ChurnTrace;
 use armada_core::{EnvSpec, RunResult, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{ClientConfig, SimDuration, SimTime};
+
+const DURATION_S: u64 = 180;
 
 fn churn_env() -> EnvSpec {
     let mut env = EnvSpec::emulation(10, 8);
@@ -21,7 +24,7 @@ fn churn_env() -> EnvSpec {
 fn run(strategy: Strategy) -> RunResult {
     Scenario::new(churn_env(), strategy)
         .with_churn(ChurnTrace::paper_fig8())
-        .duration(SimDuration::from_secs(180))
+        .duration(SimDuration::from_secs(DURATION_S))
         .seed(8)
         .run()
 }
@@ -50,17 +53,54 @@ fn recovery_gaps(result: &RunResult) -> (f64, f64, usize) {
         }
     }
     let n = gaps.len();
-    let mean = if n == 0 { 0.0 } else { gaps.iter().sum::<f64>() / n as f64 };
+    let mean = if n == 0 {
+        0.0
+    } else {
+        gaps.iter().sum::<f64>() / n as f64
+    };
     let max = gaps.iter().cloned().fold(0.0f64, f64::max);
     (mean, max, n)
 }
 
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig10_fault_tolerance", harness.threads());
+
+    // One batch of 7 independent units: the two part-(a) modes plus the
+    // five part-(b) TopN variants.
+    let units: Vec<(&str, Strategy)> = vec![
+        ("proactive", Strategy::client_centric()),
+        ("reactive", Strategy::client_centric_reactive()),
+        (
+            "top_n=1",
+            Strategy::client_centric_with(ClientConfig::default().with_top_n(1)),
+        ),
+        (
+            "top_n=2",
+            Strategy::client_centric_with(ClientConfig::default().with_top_n(2)),
+        ),
+        (
+            "top_n=3",
+            Strategy::client_centric_with(ClientConfig::default().with_top_n(3)),
+        ),
+        (
+            "top_n=4",
+            Strategy::client_centric_with(ClientConfig::default().with_top_n(4)),
+        ),
+        (
+            "top_n=5",
+            Strategy::client_centric_with(ClientConfig::default().with_top_n(5)),
+        ),
+    ];
+    let runs = harness.run(units, |(name, strategy)| (name, run(strategy)));
+    for (name, result) in &runs {
+        report.record(*name, DURATION_S as f64, result.recorder().len() as u64);
+    }
+
     // (a) proactive vs reactive under identical churn.
-    let proactive = run(Strategy::client_centric());
-    let reactive = run(Strategy::client_centric_reactive());
-    let (pro_mean, pro_max, pro_n) = recovery_gaps(&proactive);
-    let (rea_mean, rea_max, rea_n) = recovery_gaps(&reactive);
+    let (proactive, reactive) = (&runs[0].1, &runs[1].1);
+    let (pro_mean, pro_max, pro_n) = recovery_gaps(proactive);
+    let (rea_mean, rea_max, rea_n) = recovery_gaps(reactive);
     let rows_a = vec![
         vec![
             "proactive".into(),
@@ -79,28 +119,41 @@ fn main() {
     ];
     print_table(
         "Fig. 10a — recovery after serving-node failures under churn",
-        &["mode", "failures", "mean recovery gap (ms)", "max gap (ms)", "backup failovers"],
+        &[
+            "mode",
+            "failures",
+            "mean recovery gap (ms)",
+            "max gap (ms)",
+            "backup failovers",
+        ],
         &rows_a,
     );
 
     // (b) hard failures vs TopN.
     let mut rows_b = Vec::new();
     let mut csv = Vec::new();
-    for top_n in 1..=5usize {
-        let config = ClientConfig::default().with_top_n(top_n);
-        let result = Scenario::new(churn_env(), Strategy::client_centric_with(config))
-            .with_churn(ChurnTrace::paper_fig8())
-            .duration(SimDuration::from_secs(180))
-            .seed(8)
-            .run();
+    for (_, result) in &runs[2..] {
+        let top_n = rows_b.len() + 1;
         let hard = result.world().total_hard_failures();
         let absorbed = result.world().total_backup_failovers();
-        rows_b.push(vec![top_n.to_string(), hard.to_string(), absorbed.to_string()]);
-        csv.push(vec![top_n.to_string(), hard.to_string(), absorbed.to_string()]);
+        rows_b.push(vec![
+            top_n.to_string(),
+            hard.to_string(),
+            absorbed.to_string(),
+        ]);
+        csv.push(vec![
+            top_n.to_string(),
+            hard.to_string(),
+            absorbed.to_string(),
+        ]);
     }
     print_table(
         "Fig. 10b — failures vs TopN (10 users, 180 s churn)",
-        &["TopN", "hard failures (re-discovery)", "failovers absorbed by backups"],
+        &[
+            "TopN",
+            "hard failures (re-discovery)",
+            "failovers absorbed by backups",
+        ],
         &rows_b,
     );
     print_csv("fig10b", &["top_n", "hard_failures", "absorbed"], &csv);
@@ -118,5 +171,13 @@ fn main() {
         hard[1],
         &hard[2..],
         hard[0] > hard[1] && hard[2..].iter().all(|&h| h <= hard[1])
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

@@ -6,18 +6,23 @@
 //! (which pays an intra-ISP peering penalty), and both are far below the
 //! closest cloud.
 
-use armada_bench::{dur_ms, print_csv, print_table};
+use armada_bench::{dur_ms, print_csv, print_table, Harness};
 use armada_core::EnvSpec;
+use armada_metrics::BenchReport;
 use armada_net::{Addr, MeasurementCampaign};
 use armada_sim::SimRng;
 use armada_types::{NodeClass, NodeId, UserId};
 
+const PROBES_PER_PAIR: usize = 100;
+
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig1_rtt_measurements", harness.threads());
+
     let env = EnvSpec::realworld(15);
     let net = env.to_network();
 
-    let sources: Vec<Addr> =
-        (0..15).map(|i| Addr::User(UserId::new(i))).collect();
+    let sources: Vec<Addr> = (0..15).map(|i| Addr::User(UserId::new(i))).collect();
     // Targets: V1–V5 individually, one Local Zone instance (D6), and
     // the cloud.
     let mut targets = Vec::new();
@@ -34,9 +39,26 @@ fn main() {
         }
     }
 
-    let campaign = MeasurementCampaign::new(sources, targets, 100);
-    let mut rng = SimRng::seed_from(1);
-    let summaries = campaign.run(&net, &mut rng);
+    // One campaign per target, each on its own deterministic RNG stream,
+    // so the targets can be probed in parallel and the result is the
+    // same at every thread count.
+    let root = SimRng::seed_from(1);
+    let units: Vec<(String, Addr)> = labels
+        .iter()
+        .cloned()
+        .zip(targets.iter().copied())
+        .collect();
+    let summaries = harness.run(units, |(label, target)| {
+        let campaign = MeasurementCampaign::new(sources.clone(), vec![target], PROBES_PER_PAIR);
+        let mut rng = root.stream(&label);
+        campaign
+            .run(&net, &mut rng)
+            .pop()
+            .expect("one target per campaign")
+    });
+    for (s, label) in summaries.iter().zip(&labels) {
+        report.record(label.clone(), 0.0, s.samples as u64);
+    }
 
     let rows: Vec<Vec<String>> = summaries
         .iter()
@@ -77,5 +99,13 @@ fn main() {
         dur_ms(lz),
         dur_ms(cloud),
         volunteer_best < lz && lz < cloud
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

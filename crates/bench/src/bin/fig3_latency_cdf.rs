@@ -6,23 +6,29 @@
 //! dedicated Local Zone node (D6) because their network latency to the
 //! user is lower; the weak volunteer (V4) loses on processing time.
 
-use armada_bench::{dur_ms, print_csv, print_table};
+use armada_bench::{dur_ms, print_csv, print_table, Harness};
 use armada_core::EnvSpec;
+use armada_metrics::BenchReport;
 use armada_net::Addr;
 use armada_sim::SimRng;
 use armada_types::{NodeId, SimDuration, UserId};
 use armada_workload::{FRAME_SIZE, RESPONSE_SIZE};
 
+const SAMPLES_PER_SERVER: usize = 500;
+
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig3_latency_cdf", harness.threads());
+
     let env = EnvSpec::realworld(15);
     let net = env.to_network();
     let user = Addr::User(UserId::new(0));
-    let mut rng = SimRng::seed_from(3);
+    // Each server samples on its own RNG stream so the four CDFs can be
+    // drawn in parallel yet stay identical at every thread count.
+    let root = SimRng::seed_from(3);
 
     let picks = ["V1", "V2", "V4", "D6"];
-    let mut all_rows = Vec::new();
-    let mut summary_rows = Vec::new();
-    for label in picks {
+    let cdfs = harness.run(picks.to_vec(), |label| {
         let (index, spec) = env
             .nodes
             .iter()
@@ -30,16 +36,27 @@ fn main() {
             .find(|(_, n)| n.label == label)
             .expect("label exists in the real-world roster");
         let node = Addr::Node(NodeId::new(index as u64));
+        let mut rng = root.stream(label);
         // One frame's end-to-end latency on an idle server: uplink
         // delivery + processing + response delivery.
-        let mut samples: Vec<SimDuration> = Vec::with_capacity(500);
-        for _ in 0..500 {
-            let up = net.delivery_delay(user, node, FRAME_SIZE, &mut rng).unwrap();
+        let mut samples: Vec<SimDuration> = Vec::with_capacity(SAMPLES_PER_SERVER);
+        for _ in 0..SAMPLES_PER_SERVER {
+            let up = net
+                .delivery_delay(user, node, FRAME_SIZE, &mut rng)
+                .unwrap();
             let proc = spec.hw.base_frame_time();
-            let down = net.delivery_delay(node, user, RESPONSE_SIZE, &mut rng).unwrap();
+            let down = net
+                .delivery_delay(node, user, RESPONSE_SIZE, &mut rng)
+                .unwrap();
             samples.push(up + proc + down);
         }
-        let cdf = armada_metrics::Cdf::from_samples(samples);
+        armada_metrics::Cdf::from_samples(samples)
+    });
+
+    let mut all_rows = Vec::new();
+    let mut summary_rows = Vec::new();
+    for (label, cdf) in picks.iter().zip(&cdfs) {
+        report.record(*label, 0.0, SAMPLES_PER_SERVER as u64);
         summary_rows.push(vec![
             label.to_string(),
             dur_ms(cdf.quantile(0.1).unwrap()),
@@ -57,4 +74,12 @@ fn main() {
         &summary_rows,
     );
     print_csv("fig3_cdf", &["server", "latency_ms", "cum_prob"], &all_rows);
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
+    );
 }

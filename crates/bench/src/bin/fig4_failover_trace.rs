@@ -6,11 +6,13 @@
 //! failure while the client re-discovers; the proactive line continues
 //! with at most a small blip.
 
-use armada_bench::{dur_ms, print_csv, print_table};
+use armada_bench::{dur_ms, print_csv, print_table, Harness};
 use armada_core::{EnvSpec, RunResult, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{SimDuration, SimTime, UserId};
 
 const KILL_AT_S: u64 = 10;
+const DURATION_S: u64 = 20;
 
 fn run(strategy: Strategy) -> RunResult {
     let mut env = EnvSpec::realworld(15);
@@ -26,7 +28,7 @@ fn run(strategy: Strategy) -> RunResult {
         .and_then(|c| c.current_node())
         .expect("pilot run attaches the user");
     Scenario::new(env, strategy)
-        .duration(SimDuration::from_secs(20))
+        .duration(SimDuration::from_secs(DURATION_S))
         .seed(11)
         .kill_node(serving.as_u64() as usize, SimTime::from_secs(KILL_AT_S))
         .run()
@@ -50,11 +52,22 @@ fn worst_gap_ms(result: &RunResult) -> f64 {
 }
 
 fn main() {
-    let proactive = run(Strategy::client_centric());
-    let reactive = run(Strategy::client_centric_reactive());
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig4_failover_trace", harness.threads());
+
+    // Each mode is one independent unit (pilot + kill run).
+    let modes: Vec<(&str, Strategy)> = vec![
+        ("proactive", Strategy::client_centric()),
+        ("reactive", Strategy::client_centric_reactive()),
+    ];
+    let runs = harness.run(modes, |(name, strategy)| (name, run(strategy)));
+    for (name, result) in &runs {
+        report.record(*name, DURATION_S as f64, result.recorder().len() as u64);
+    }
+    let (proactive, reactive) = (&runs[0].1, &runs[1].1);
 
     let mut rows = Vec::new();
-    for (label, result) in [("proactive", &proactive), ("reactive", &reactive)] {
+    for (label, result) in [("proactive", proactive), ("reactive", reactive)] {
         for s in result.recorder().samples() {
             // Plot the window around the failure.
             if s.at >= SimTime::from_secs(KILL_AT_S - 2)
@@ -73,26 +86,39 @@ fn main() {
     let summary = vec![
         vec![
             "proactive (immediate switch)".into(),
-            format!("{:.0}", worst_gap_ms(&proactive)),
+            format!("{:.0}", worst_gap_ms(proactive)),
             (proactive.world().total_backup_failovers()).to_string(),
             (proactive.world().total_hard_failures()).to_string(),
         ],
         vec![
             "reactive (re-connect)".into(),
-            format!("{:.0}", worst_gap_ms(&reactive)),
+            format!("{:.0}", worst_gap_ms(reactive)),
             (reactive.world().total_backup_failovers()).to_string(),
             (reactive.world().total_hard_failures()).to_string(),
         ],
     ];
     print_table(
         "Fig. 4 — node failure at t=10s: service gap",
-        &["mode", "worst response gap (ms)", "backup failovers", "hard failures"],
+        &[
+            "mode",
+            "worst response gap (ms)",
+            "backup failovers",
+            "hard failures",
+        ],
         &summary,
     );
     println!(
         "\nshape check: reactive gap {} >> proactive gap {} : {}",
-        worst_gap_ms(&reactive).round(),
-        worst_gap_ms(&proactive).round(),
-        worst_gap_ms(&reactive) > 1.5 * worst_gap_ms(&proactive)
+        worst_gap_ms(reactive).round(),
+        worst_gap_ms(proactive).round(),
+        worst_gap_ms(reactive) > 1.5 * worst_gap_ms(proactive)
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

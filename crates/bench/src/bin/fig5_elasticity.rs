@@ -7,26 +7,19 @@
 //! 15 users; cloud is a flat, high line. The paper reports 18–46 %
 //! latency reduction for client-centric at high demand.
 
-use armada_bench::{ms, print_csv, print_table};
+use armada_bench::{ms, print_csv, print_table, Harness};
 use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{SimDuration, SimTime};
 
-fn mean_for(strategy: Strategy, users: usize) -> f64 {
-    let result = Scenario::new(EnvSpec::realworld(users), strategy)
-        .duration(SimDuration::from_secs(40))
-        .seed(5)
-        .run();
-    // Steady-state window (user-weighted): skip the first half.
-    result
-        .recorder()
-        .user_mean_in_window(SimTime::from_secs(20), SimTime::from_secs(40))
-        .map(|d| d.as_millis_f64())
-        .unwrap_or(f64::NAN)
-}
+const DURATION_S: u64 = 40;
 
 type StrategyMaker = fn() -> Strategy;
 
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig5_elasticity", harness.threads());
+
     let strategies: Vec<(&str, StrategyMaker)> = vec![
         ("client-centric", Strategy::client_centric),
         ("geo-proximity", || Strategy::GeoProximity),
@@ -34,16 +27,43 @@ fn main() {
         ("dedicated-only", || Strategy::DedicatedOnly),
         ("closest-cloud", || Strategy::ClosestCloud),
     ];
-
     let counts = [1usize, 3, 5, 7, 9, 11, 13, 15];
+
+    // One independent run per (user count, strategy) pair.
+    let mut specs = Vec::new();
+    for &n in &counts {
+        for (name, make) in &strategies {
+            specs.push((n, *name, make()));
+        }
+    }
+    let runs = harness.run(specs, |(n, name, strategy)| {
+        let result = Scenario::new(EnvSpec::realworld(n), strategy)
+            .duration(SimDuration::from_secs(DURATION_S))
+            .seed(5)
+            .run();
+        // Steady-state window (user-weighted): skip the first half.
+        let mean = result
+            .recorder()
+            .user_mean_in_window(
+                SimTime::from_secs(DURATION_S / 2),
+                SimTime::from_secs(DURATION_S),
+            )
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        (n, name, mean, result.recorder().len() as u64)
+    });
+    for &(n, name, _, samples) in &runs {
+        report.record(format!("users={n}/{name}"), DURATION_S as f64, samples);
+    }
+
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut table: Vec<Vec<f64>> = Vec::new();
-    for &n in &counts {
+    for chunk in runs.chunks(strategies.len()) {
+        let n = chunk[0].0;
         let mut row = vec![n.to_string()];
         let mut values = Vec::new();
-        for (name, make) in &strategies {
-            let mean = mean_for(make(), n);
+        for &(_, name, mean, _) in chunk {
             row.push(ms(mean));
             values.push(mean);
             csv.push(vec![n.to_string(), name.to_string(), ms(mean)]);
@@ -53,7 +73,14 @@ fn main() {
     }
     print_table(
         "Fig. 5 — mean end-to-end latency vs. #users (ms), real-world setup, TopN=3",
-        &["users", "client-centric", "geo-prox", "res-aware", "dedicated", "cloud"],
+        &[
+            "users",
+            "client-centric",
+            "geo-prox",
+            "res-aware",
+            "dedicated",
+            "cloud",
+        ],
         &rows,
     );
     print_csv("fig5", &["users", "strategy", "mean_ms"], &csv);
@@ -75,7 +102,13 @@ fn main() {
         ms(last[4]),
         last[3] > last[4]
     );
+    println!("  latency reduction vs best edge baseline: {reduction:.0}% (paper: 18-46%)");
+
+    let path = report.write().expect("write bench report");
     println!(
-        "  latency reduction vs best edge baseline: {reduction:.0}% (paper: 18-46%)"
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

@@ -7,34 +7,42 @@
 //! picks needlessly slow network paths; (c) client-centric keeps every
 //! user low, with visible dynamic switches as load grows.
 
-use armada_bench::{dur_ms, print_csv, print_table};
+use armada_bench::{dur_ms, print_csv, print_table, Harness};
 use armada_core::{EnvSpec, RunResult, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{SimDuration, SimTime};
 
 const USERS: usize = 15;
 const SEED: u64 = 21;
+const DURATION_S: u64 = 180;
 
-fn run(strategy: Strategy) -> RunResult {
-    Scenario::new(EnvSpec::emulation(USERS, SEED), strategy)
+fn run((name, strategy): (&'static str, Strategy)) -> (&'static str, RunResult) {
+    let result = Scenario::new(EnvSpec::emulation(USERS, SEED), strategy)
         .users_joining_every(SimDuration::from_secs(10))
-        .duration(SimDuration::from_secs(180))
+        .duration(SimDuration::from_secs(DURATION_S))
         .seed(SEED)
-        .run()
+        .run();
+    (name, result)
 }
 
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig6_join_trace", harness.threads());
+
     let methods: Vec<(&str, Strategy)> = vec![
         ("locality", Strategy::GeoProximity),
         ("resource-aware", Strategy::ResourceAwareWrr),
         ("client-centric", Strategy::client_centric()),
     ];
+    let runs = harness.run(methods, run);
 
     let mut summary = Vec::new();
-    for (name, strategy) in methods {
-        let result = run(strategy);
+    for (name, result) in &runs {
+        report.record(*name, DURATION_S as f64, result.recorder().len() as u64);
         let mut csv = Vec::new();
-        for (user, series) in
-            result.recorder().per_user_binned_mean(SimDuration::from_secs(2))
+        for (user, series) in result
+            .recorder()
+            .per_user_binned_mean(SimDuration::from_secs(2))
         {
             for (t, latency) in series {
                 csv.push(vec![
@@ -44,14 +52,21 @@ fn main() {
                 ]);
             }
         }
-        print_csv(&format!("fig6_{name}"), &["user", "time_s", "latency_ms"], &csv);
+        print_csv(
+            &format!("fig6_{name}"),
+            &["user", "time_s", "latency_ms"],
+            &csv,
+        );
 
         // Sustained QoS violations once all users are in (last 60 s):
         // the share of 2-second (user, bin) points above 150 ms. Users
         // parked on an overloaded node dominate this; transient switch
         // blips barely register.
         let (mut over, mut total) = (0usize, 0usize);
-        for series in result.recorder().per_user_binned_mean(SimDuration::from_secs(2)).values()
+        for series in result
+            .recorder()
+            .per_user_binned_mean(SimDuration::from_secs(2))
+            .values()
         {
             for (t, l) in series {
                 if *t < SimTime::from_secs(120) {
@@ -64,8 +79,7 @@ fn main() {
             }
         }
         let over_150 = format!("{:.1}%", 100.0 * over as f64 / total.max(1) as f64);
-        let switches: u64 =
-            result.world().clients().map(|c| c.stats().switches).sum();
+        let switches: u64 = result.world().clients().map(|c| c.stats().switches).sum();
         let steady = result
             .recorder()
             .user_mean_in_window(SimTime::from_secs(150), SimTime::from_secs(180))
@@ -80,7 +94,20 @@ fn main() {
     }
     print_table(
         "Fig. 6 — 15 users joining every 10 s, 9 static emulated nodes",
-        &["method", "steady-state mean (ms)", "bins >150ms", "switches"],
+        &[
+            "method",
+            "steady-state mean (ms)",
+            "bins >150ms",
+            "switches",
+        ],
         &summary,
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

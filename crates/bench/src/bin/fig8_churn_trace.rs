@@ -6,12 +6,18 @@
 //! leave — but service never stops, because backup connections take
 //! over instantly.
 
-use armada_bench::{print_csv, print_table};
+use armada_bench::{print_csv, print_table, Harness};
 use armada_churn::ChurnTrace;
 use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{SimDuration, SimTime};
 
+const DURATION_S: u64 = 180;
+
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig8_churn_trace", harness.threads());
+
     let trace = ChurnTrace::paper_fig8();
     println!(
         "churn trace: {} nodes over {:.0}s, {} alive at t=0",
@@ -24,13 +30,28 @@ fn main() {
     env.nodes.clear(); // all nodes come from the churn trace
     env.pairwise_rtt_ms.clear();
 
-    let result = Scenario::new(env, Strategy::client_centric())
-        .with_churn(trace.clone())
-        .duration(SimDuration::from_secs(180))
-        .seed(8)
-        .run();
+    // A single scenario; it still goes through the harness so the wall
+    // time lands in the bench report like every other figure.
+    let run_trace = trace.clone();
+    let result = harness
+        .run(vec![(env, run_trace)], |(env, trace)| {
+            Scenario::new(env, Strategy::client_centric())
+                .with_churn(trace)
+                .duration(SimDuration::from_secs(DURATION_S))
+                .seed(8)
+                .run()
+        })
+        .pop()
+        .expect("one run");
+    report.record(
+        "churn/top_n=3",
+        DURATION_S as f64,
+        result.recorder().len() as u64,
+    );
 
-    let bins = result.recorder().binned_user_mean(SimDuration::from_secs(5));
+    let bins = result
+        .recorder()
+        .binned_user_mean(SimDuration::from_secs(5));
     let mut rows = Vec::new();
     for (t, latency) in &bins {
         rows.push(vec![
@@ -39,7 +60,11 @@ fn main() {
             trace.alive_at(*t).to_string(),
         ]);
     }
-    print_csv("fig8_trace", &["time_s", "mean_latency_ms", "alive_nodes"], &rows);
+    print_csv(
+        "fig8_trace",
+        &["time_s", "mean_latency_ms", "alive_nodes"],
+        &rows,
+    );
 
     // Correlation check: average latency when many nodes are alive
     // should undercut the average when few are alive.
@@ -53,8 +78,16 @@ fn main() {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let summary = vec![
-        vec!["≥6 nodes alive".into(), format!("{:.1}", avg(&rich)), rich.len().to_string()],
-        vec!["≤3 nodes alive".into(), format!("{:.1}", avg(&poor)), poor.len().to_string()],
+        vec![
+            "≥6 nodes alive".into(),
+            format!("{:.1}", avg(&rich)),
+            rich.len().to_string(),
+        ],
+        vec![
+            "≤3 nodes alive".into(),
+            format!("{:.1}", avg(&poor)),
+            poor.len().to_string(),
+        ],
     ];
     print_table(
         "Fig. 8 — latency vs resource availability",
@@ -72,5 +105,13 @@ fn main() {
     println!(
         "shape check: more alive nodes => lower latency : {}",
         avg(&rich) < avg(&poor)
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

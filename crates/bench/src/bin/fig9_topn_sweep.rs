@@ -8,45 +8,75 @@
 //! latency is flat-ish with a shallow optimum at TopN = 3; fairness
 //! improves (stddev shrinks) with larger TopN.
 
-use armada_bench::{print_csv, print_table};
+use armada_bench::{print_csv, print_table, Harness};
 use armada_churn::ChurnTrace;
 use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_types::{ClientConfig, SimDuration, SimTime};
 
+const DURATION_S: u64 = 180;
+
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("fig9_topn_sweep", harness.threads());
+
     let trace = ChurnTrace::paper_fig8();
     // The paper runs the experiment "multiple times" per TopN; average
-    // over three seeds likewise.
+    // over several seeds likewise. Every (TopN, seed) run is
+    // independent.
     let seeds = [8u64, 9, 10, 11, 12];
+    let mut specs = Vec::new();
+    for top_n in 1..=5usize {
+        for &seed in &seeds {
+            specs.push((top_n, seed, trace.clone()));
+        }
+    }
+    let runs = harness.run(specs, |(top_n, seed, trace)| {
+        let mut env = EnvSpec::emulation(10, seed);
+        env.nodes.clear();
+        env.pairwise_rtt_ms.clear();
+        let config = ClientConfig::default().with_top_n(top_n);
+        let result = Scenario::new(env, Strategy::client_centric_with(config))
+            .with_churn(trace)
+            .duration(SimDuration::from_secs(DURATION_S))
+            .seed(seed)
+            .run();
+        let mean = result
+            .recorder()
+            .user_mean_in_window(SimTime::from_secs(60), SimTime::from_secs(120))
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        let fairness = result
+            .recorder()
+            .fairness_stddev(Some((SimTime::from_secs(60), SimTime::from_secs(120))))
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        (
+            result.world().total_probes_sent() as f64,
+            result.world().total_test_invocations() as f64,
+            mean,
+            fairness,
+            result.recorder().len() as u64,
+        )
+    });
+    for (i, run) in runs.iter().enumerate() {
+        let (top_n, seed) = (1 + i / seeds.len(), seeds[i % seeds.len()]);
+        report.record(
+            format!("top_n={top_n}/seed={seed}"),
+            DURATION_S as f64,
+            run.4,
+        );
+    }
+
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for top_n in 1..=5usize {
-        let (mut probes, mut tests, mut mean, mut fairness) = (0.0, 0.0, 0.0, 0.0);
-        for &seed in &seeds {
-            let mut env = EnvSpec::emulation(10, seed);
-            env.nodes.clear();
-            env.pairwise_rtt_ms.clear();
-            let config = ClientConfig::default().with_top_n(top_n);
-            let result = Scenario::new(env, Strategy::client_centric_with(config))
-                .with_churn(trace.clone())
-                .duration(SimDuration::from_secs(180))
-                .seed(seed)
-                .run();
-            probes += result.world().total_probes_sent() as f64;
-            tests += result.world().total_test_invocations() as f64;
-            mean += result
-                .recorder()
-                .user_mean_in_window(SimTime::from_secs(60), SimTime::from_secs(120))
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-            fairness += result
-                .recorder()
-                .fairness_stddev(Some((SimTime::from_secs(60), SimTime::from_secs(120))))
-                .map(|d| d.as_millis_f64())
-                .unwrap_or(f64::NAN);
-        }
+    for (i, chunk) in runs.chunks(seeds.len()).enumerate() {
+        let top_n = i + 1;
         let k = seeds.len() as f64;
-        let (probes, tests, mean, fairness) = (probes / k, tests / k, mean / k, fairness / k);
+        let probes = chunk.iter().map(|r| r.0).sum::<f64>() / k;
+        let tests = chunk.iter().map(|r| r.1).sum::<f64>() / k;
+        let mean = chunk.iter().map(|r| r.2).sum::<f64>() / k;
+        let fairness = chunk.iter().map(|r| r.3).sum::<f64>() / k;
         let row = vec![
             top_n.to_string(),
             format!("{probes:.0}"),
@@ -70,7 +100,13 @@ fn main() {
     );
     print_csv(
         "fig9",
-        &["top_n", "probes", "test_invocations", "mean_ms", "stddev_ms"],
+        &[
+            "top_n",
+            "probes",
+            "test_invocations",
+            "mean_ms",
+            "stddev_ms",
+        ],
         &csv,
     );
 
@@ -91,5 +127,13 @@ fn main() {
         "  fairness: best stddev at TopN>=3 ({best_high:.1}) <= TopN=1 ({:.1}) : {}",
         fairness[0],
         best_high <= fairness[0]
+    );
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

@@ -5,27 +5,22 @@
 //! Reports per-strategy mean latency distribution over seeds and the
 //! distribution of the relative reduction achieved by client-centric.
 
-use armada_bench::{ms, print_table};
-use armada_core::{EnvSpec, Scenario, Strategy};
-use armada_metrics::{mean, percentile, stddev};
+use armada_bench::{ms, print_table, Harness, RunSpec};
+use armada_core::{EnvSpec, Strategy};
+use armada_metrics::{mean, percentile, stddev, BenchReport};
 use armada_types::{SimDuration, SimTime};
 
 const USERS: usize = 15;
 const SEEDS: u64 = 10;
+const DURATION_S: u64 = 40;
 
-fn steady(strategy: Strategy, seed: u64) -> f64 {
-    Scenario::new(EnvSpec::realworld(USERS), strategy)
-        .duration(SimDuration::from_secs(40))
-        .seed(seed)
-        .run()
-        .recorder()
-        .user_mean_in_window(SimTime::from_secs(20), SimTime::from_secs(40))
-        .map(|d| d.as_millis_f64())
-        .unwrap_or(f64::NAN)
-}
+type NamedStrategy = (&'static str, fn() -> Strategy);
 
 fn main() {
-    let strategies: &[(&str, fn() -> Strategy)] = &[
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("robustness_sweep", harness.threads());
+
+    let strategies: &[NamedStrategy] = &[
         ("client-centric", Strategy::client_centric),
         ("geo-proximity", || Strategy::GeoProximity),
         ("resource-aware", || Strategy::ResourceAwareWrr),
@@ -33,11 +28,39 @@ fn main() {
         ("closest-cloud", || Strategy::ClosestCloud),
     ];
 
-    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    // seed-major order: specs[s * strategies + i].
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
     for seed in 100..100 + SEEDS {
-        for (i, (_, make)) in strategies.iter().enumerate() {
-            per_strategy[i].push(steady(make(), seed));
+        for (name, make) in strategies {
+            specs.push(RunSpec {
+                env: EnvSpec::realworld(USERS),
+                strategy: make(),
+                seed,
+                duration: SimDuration::from_secs(DURATION_S),
+            });
+            labels.push(format!("{name}/seed={seed}"));
         }
+    }
+    let results = harness.run_specs(specs);
+
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for (i, result) in results.iter().enumerate() {
+        report.record(
+            labels[i].clone(),
+            DURATION_S as f64,
+            result.recorder().len() as u64,
+        );
+        per_strategy[i % strategies.len()].push(
+            result
+                .recorder()
+                .user_mean_in_window(
+                    SimTime::from_secs(DURATION_S / 2),
+                    SimTime::from_secs(DURATION_S),
+                )
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN),
+        );
     }
 
     let rows: Vec<Vec<String>> = strategies
@@ -79,8 +102,18 @@ fn main() {
     let wins = (0..SEEDS as usize)
         .filter(|&s| {
             per_strategy[0][s]
-                < per_strategy[1][s].min(per_strategy[2][s]).min(per_strategy[3][s])
+                < per_strategy[1][s]
+                    .min(per_strategy[2][s])
+                    .min(per_strategy[3][s])
         })
         .count();
     println!("client-centric wins in {wins}/{SEEDS} seeds");
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
+    );
 }

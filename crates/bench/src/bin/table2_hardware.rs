@@ -6,25 +6,33 @@
 //! so this binary also validates that the contention model's base case
 //! matches the paper's profile numbers exactly.
 
-use armada_bench::print_table;
+use armada_bench::{print_table, Harness};
+use armada_metrics::BenchReport;
 use armada_types::{table2_profiles, SimTime};
 use armada_workload::PsExecutor;
 
 fn main() {
-    let rows: Vec<Vec<String>> = table2_profiles()
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("table2_hardware", harness.threads());
+
+    let measured = harness.run(table2_profiles(), |(label, class, hw)| {
+        // Measure one frame on an idle executor.
+        let mut exec = PsExecutor::new(&hw);
+        exec.admit((), SimTime::ZERO);
+        let done = exec.advance(SimTime::from_secs(10));
+        let frame_time = done[0].1.saturating_since(SimTime::ZERO);
+        (label, class, hw, frame_time)
+    });
+    let rows: Vec<Vec<String>> = measured
         .into_iter()
-        .map(|(label, class, hw)| {
-            // Measure one frame on an idle executor.
-            let mut exec = PsExecutor::new(&hw);
-            exec.admit((), SimTime::ZERO);
-            let done = exec.advance(SimTime::from_secs(10));
-            let measured = done[0].1.saturating_since(SimTime::ZERO);
+        .map(|(label, class, hw, frame_time)| {
+            report.record(label.clone(), 0.0, 1);
             vec![
                 label,
                 class.to_string(),
                 hw.processor().to_string(),
                 hw.cores().to_string(),
-                format!("{:.0}ms", measured.as_millis_f64()),
+                format!("{:.0}ms", frame_time.as_millis_f64()),
             ]
         })
         .collect();
@@ -33,7 +41,13 @@ fn main() {
         &["node", "class", "processor", "cores", "processing"],
         &rows,
     );
+    println!("\npaper: V1=24ms V2=32ms V3=31ms V4=45ms V5=49ms D6-D9=30ms Cloud=30ms");
+
+    let path = report.write().expect("write bench report");
     println!(
-        "\npaper: V1=24ms V2=32ms V3=31ms V4=45ms V5=49ms D6-D9=30ms Cloud=30ms"
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
     );
 }

@@ -6,22 +6,28 @@
 //! sets TopN large enough that every node is probed; selections land on
 //! each user's best-performing node.
 
-use armada_bench::{ms, print_table};
+use armada_bench::{ms, print_table, Harness};
 use armada_core::{EnvSpec, Scenario, Strategy};
+use armada_metrics::BenchReport;
 use armada_net::Addr;
 use armada_types::{ClientConfig, NodeId, SimDuration, UserId};
 use armada_workload::FRAME_SIZE;
 
+const DURATION_S: u64 = 10;
+
 fn main() {
+    let harness = Harness::from_env();
+    let mut report = BenchReport::start("table3_pairwise", harness.threads());
+
     let full = EnvSpec::realworld(15);
     let columns = ["V1", "V2", "V3", "V4", "V5", "D6", "Cloud"];
 
-    let mut rows = Vec::new();
     // One participant from each neighbourhood cluster (west/east/downtown),
     // each run separately ("to avoid interference"): the chosen user joins
     // at t = 0, everyone else is scheduled past the horizon.
-    for (row, user_index) in [0usize, 4, 7].into_iter().enumerate() {
-        let duration = SimDuration::from_secs(10);
+    let users: Vec<(usize, usize)> = [0usize, 4, 7].into_iter().enumerate().collect();
+    let runs = harness.run(users, |(row, user_index)| {
+        let duration = SimDuration::from_secs(DURATION_S);
         let join_times = (0..full.users.len())
             .map(|i| {
                 if i == user_index {
@@ -43,8 +49,13 @@ fn main() {
             .world()
             .client(UserId::new(user_index as u64))
             .and_then(|c| c.current_node());
+        (row, user_index, selected, result.recorder().len() as u64)
+    });
 
-        let net = full.to_network();
+    let net = full.to_network();
+    let mut rows = Vec::new();
+    for &(row, user_index, selected, samples) in &runs {
+        report.record(format!("U{}", row + 1), DURATION_S as f64, samples);
         let user = Addr::User(UserId::new(user_index as u64));
         let mut cells = vec![format!("U{}", row + 1)];
         for label in columns {
@@ -56,10 +67,15 @@ fn main() {
                 .expect("roster label");
             let node = Addr::Node(NodeId::new(i as u64));
             let rtt = net.mean_rtt(user, node).expect("static topology");
-            let xfer = net.transfer_delay(user, node, FRAME_SIZE).expect("static topology");
+            let xfer = net
+                .transfer_delay(user, node, FRAME_SIZE)
+                .expect("static topology");
             let e2e = rtt + xfer + spec.hw.base_frame_time();
-            let marker =
-                if selected == Some(NodeId::new(i as u64)) { "*" } else { "" };
+            let marker = if selected == Some(NodeId::new(i as u64)) {
+                "*"
+            } else {
+                ""
+            };
             cells.push(format!("{}{}", ms(e2e.as_millis_f64()), marker));
         }
         rows.push(cells);
@@ -74,4 +90,12 @@ fn main() {
     );
     println!("\npaper shape: each user's selected cell is its row minimum;");
     println!("U1 -> V1 (38), U2 -> V2 (35), U3 -> D6 (42) in the paper's instance.");
+
+    let path = report.write().expect("write bench report");
+    println!(
+        "\nbench report: {} ({} runs, {:.0} ms wall)",
+        path.display(),
+        report.run_count(),
+        report.wall_ms()
+    );
 }

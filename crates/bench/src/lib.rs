@@ -5,14 +5,23 @@
 //! recorded outcomes). Run them with, e.g.:
 //!
 //! ```text
-//! cargo run --release -p armada-bench --bin fig5_elasticity
+//! cargo run --release -p armada-bench --bin fig5_elasticity -- --threads 4
 //! ```
 //!
 //! The binaries print both a human-readable table and (where a figure is
-//! a line/CDF plot) CSV series ready for any plotting tool.
+//! a line/CDF plot) CSV series ready for any plotting tool. Independent
+//! experiment units run on the shared [`Harness`] worker pool
+//! (`--threads N` / `ARMADA_BENCH_THREADS`, default all cores) with
+//! results returned in spec order, so stdout is identical at every
+//! thread count; each binary also writes a machine-readable
+//! `BENCH_<name>.json` run report (see `EXPERIMENTS.md` for the schema).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod harness;
+
+pub use harness::{Harness, RunSpec};
 
 use armada_metrics::render_table;
 

@@ -31,7 +31,10 @@ const LANCZOS: [f64; 9] = [
 /// assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
 /// ```
 pub fn gamma(x: f64) -> f64 {
-    assert!(x.is_finite() && x > 0.0, "gamma requires positive finite input");
+    assert!(
+        x.is_finite() && x > 0.0,
+        "gamma requires positive finite input"
+    );
     if x < 0.5 {
         // Reflection formula keeps the Lanczos series in its sweet spot.
         std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))

@@ -1,7 +1,6 @@
 //! Replayable churn traces.
 
 use rand_distr::{Distribution, Poisson};
-use serde::{Deserialize, Serialize};
 
 use armada_sim::SimRng;
 use armada_types::{SimDuration, SimTime};
@@ -9,7 +8,7 @@ use armada_types::{SimDuration, SimTime};
 use crate::lifetime::WeibullLifetime;
 
 /// One node's lifecycle within a churn trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChurnEvent {
     /// Trace-local node index (0-based, in join order).
     pub index: usize,
@@ -33,7 +32,7 @@ impl ChurnEvent {
 }
 
 /// A generated, replayable churn trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChurnTrace {
     events: Vec<ChurnEvent>,
     duration: SimDuration,
@@ -224,10 +223,17 @@ impl ChurnTraceBuilder {
             .enumerate()
             .map(|(index, join_at)| {
                 let leave_at = join_at + lifetime.sample(rng);
-                ChurnEvent { index, join_at, leave_at }
+                ChurnEvent {
+                    index,
+                    join_at,
+                    leave_at,
+                }
             })
             .collect();
-        ChurnTrace { events, duration: self.duration }
+        ChurnTrace {
+            events,
+            duration: self.duration,
+        }
     }
 }
 
@@ -237,7 +243,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn build(seed: u64) -> ChurnTrace {
-        ChurnTraceBuilder::new().initial_nodes(2).build(&mut SimRng::seed_from(seed))
+        ChurnTraceBuilder::new()
+            .initial_nodes(2)
+            .build(&mut SimRng::seed_from(seed))
     }
 
     #[test]
@@ -295,8 +303,10 @@ mod tests {
         assert_eq!(trace.total_nodes(), 18);
         assert_eq!(trace.duration(), SimDuration::from_secs(180));
         // Service never becomes impossible: ≥3 nodes alive throughout.
-        let min_alive =
-            (0..=180).map(|s| trace.alive_at(SimTime::from_secs(s))).min().unwrap();
+        let min_alive = (0..=180)
+            .map(|s| trace.alive_at(SimTime::from_secs(s)))
+            .min()
+            .unwrap();
         assert!(min_alive >= 3, "min alive {min_alive}");
         // Deterministic across calls.
         assert_eq!(trace, ChurnTrace::paper_fig8());

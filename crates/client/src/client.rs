@@ -219,7 +219,10 @@ impl EdgeClient {
             }
         }
         self.pending_join = Some(best.node);
-        ClientDecision::AttemptJoin { target: best.node, seq: best.seq_num }
+        ClientDecision::AttemptJoin {
+            target: best.node,
+            seq: best.seq_num,
+        }
     }
 
     /// Feeds the outcome of the `Join()` attempt issued after
@@ -356,17 +359,31 @@ mod tests {
     }
 
     fn client() -> EdgeClient {
-        EdgeClient::new(UserId::new(1), GeoPoint::new(44.98, -93.26), ClientConfig::default())
+        EdgeClient::new(
+            UserId::new(1),
+            GeoPoint::new(44.98, -93.26),
+            ClientConfig::default(),
+        )
     }
 
     #[test]
     fn first_round_joins_best_candidate() {
         let mut c = client();
         let decision = c.on_probe_round(
-            vec![probe(1, 30, 30, 0), probe(2, 10, 24, 5), probe(3, 20, 30, 0)],
+            vec![
+                probe(1, 30, 30, 0),
+                probe(2, 10, 24, 5),
+                probe(3, 20, 30, 0),
+            ],
             SimTime::ZERO,
         );
-        assert_eq!(decision, ClientDecision::AttemptJoin { target: NodeId::new(2), seq: 5 });
+        assert_eq!(
+            decision,
+            ClientDecision::AttemptJoin {
+                target: NodeId::new(2),
+                seq: 5
+            }
+        );
         assert_eq!(c.backups(), &[NodeId::new(3), NodeId::new(1)]);
         let followup = c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
         assert_eq!(followup, JoinFollowup::SwitchComplete { leave: None });
@@ -407,9 +424,20 @@ mod tests {
             vec![probe(1, 40, 40, 0), probe(2, 10, 24, 3)],
             SimTime::ZERO,
         );
-        assert_eq!(decision, ClientDecision::AttemptJoin { target: NodeId::new(2), seq: 3 });
+        assert_eq!(
+            decision,
+            ClientDecision::AttemptJoin {
+                target: NodeId::new(2),
+                seq: 3
+            }
+        );
         let followup = c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
-        assert_eq!(followup, JoinFollowup::SwitchComplete { leave: Some(NodeId::new(1)) });
+        assert_eq!(
+            followup,
+            JoinFollowup::SwitchComplete {
+                leave: Some(NodeId::new(1))
+            }
+        );
         assert_eq!(c.stats().switches, 1);
         // The backup list is C[1:]: the departed node was probed and
         // ranked second, so it is the first backup.
@@ -433,7 +461,12 @@ mod tests {
         c.force_attach(NodeId::new(1), vec![NodeId::new(2), NodeId::new(3)]);
         let d = c.on_node_failure(SimTime::ZERO, |n| n != NodeId::new(2));
         // Backup 2 is dead, 3 takes over.
-        assert_eq!(d, FailoverDecision::SwitchToBackup { target: NodeId::new(3) });
+        assert_eq!(
+            d,
+            FailoverDecision::SwitchToBackup {
+                target: NodeId::new(3)
+            }
+        );
         assert_eq!(c.current_node(), Some(NodeId::new(3)));
         assert_eq!(c.stats().backup_failovers, 1);
         assert_eq!(c.stats().hard_failures, 0);
@@ -461,13 +494,20 @@ mod tests {
         c.on_join_result(NodeId::new(1), true, SimTime::ZERO);
         assert!(c.backups().is_empty());
         let d = c.on_node_failure(SimTime::ZERO, |_| true);
-        assert_eq!(d, FailoverDecision::Rediscover, "TopN=1 cannot absorb failures");
+        assert_eq!(
+            d,
+            FailoverDecision::Rediscover,
+            "TopN=1 cannot absorb failures"
+        );
     }
 
     #[test]
     fn empty_probe_round_rediscovers() {
         let mut c = client();
-        assert_eq!(c.on_probe_round(vec![], SimTime::ZERO), ClientDecision::Rediscover);
+        assert_eq!(
+            c.on_probe_round(vec![], SimTime::ZERO),
+            ClientDecision::Rediscover
+        );
     }
 
     #[test]
@@ -528,7 +568,10 @@ mod tests {
         assert!(!c.can_send_frame());
         let _ = c.on_probe_round(vec![probe(2, 5, 20, 0)], SimTime::ZERO);
         c.on_join_result(NodeId::new(2), true, SimTime::ZERO);
-        assert!(c.can_send_frame(), "in-flight frames to the old node are written off");
+        assert!(
+            c.can_send_frame(),
+            "in-flight frames to the old node are written off"
+        );
         assert_eq!(c.outstanding(), 0);
     }
 
@@ -538,7 +581,11 @@ mod tests {
         c.force_attach(NodeId::new(2), vec![NodeId::new(2), NodeId::new(3)]);
         assert!(!c.backups().contains(&NodeId::new(2)));
         let _ = c.on_probe_round(
-            vec![probe(2, 10, 24, 0), probe(3, 20, 30, 0), probe(2, 12, 24, 0)],
+            vec![
+                probe(2, 10, 24, 0),
+                probe(3, 20, 30, 0),
+                probe(2, 12, 24, 0),
+            ],
             SimTime::ZERO,
         );
         assert!(!c.backups().contains(&NodeId::new(2)));

@@ -1,12 +1,10 @@
 //! Probe results and the local selection policies (paper §IV-D).
 
-use serde::{Deserialize, Serialize};
-
 use armada_types::{LocalSelectionPolicy, NodeId, QosRequirement, SimDuration};
 
 /// The combined outcome of probing one edge candidate:
 /// `RTT_probe()` + `Process_probe()`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeResult {
     /// The probed candidate.
     pub node: NodeId,
@@ -82,13 +80,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn probe(
-        id: u64,
-        rtt_ms: u64,
-        whatif_ms: u64,
-        current_ms: u64,
-        users: usize,
-    ) -> ProbeResult {
+    fn probe(id: u64, rtt_ms: u64, whatif_ms: u64, current_ms: u64, users: usize) -> ProbeResult {
         ProbeResult {
             node: NodeId::new(id),
             rtt: SimDuration::from_millis(rtt_ms),
@@ -142,7 +134,11 @@ mod tests {
             LocalSelectionPolicy::GlobalOverhead,
             QosRequirement::default(),
         );
-        assert_eq!(by_go[0].node, NodeId::new(2), "GO accounts for the 5 degraded users");
+        assert_eq!(
+            by_go[0].node,
+            NodeId::new(2),
+            "GO accounts for the 5 degraded users"
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub(crate) fn user_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
 
 /// Edge discovery + probe fan-out (Algorithm 2, lines 1–10).
 pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
-    let Some(client) = w.clients.get(&user) else { return };
+    let Some(client) = w.clients.get(&user) else {
+        return;
+    };
     let loc = client.location();
     let top_n = w.client_config.top_n;
     let Some(rtt_m) = w.net.rtt(Addr::User(user), Addr::Manager, ctx.rng()) else {
@@ -57,7 +59,9 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
         let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
         let mut candidates = w.manager.discover(loc, &affiliations, top_n, now);
         if candidates.is_empty() {
-            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| start_probe_round(w, ctx, user));
+            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
+                start_probe_round(w, ctx, user)
+            });
             return;
         }
         // Always re-probe the currently serving node as well, so the
@@ -79,7 +83,6 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
                 expected: candidates.len(),
                 results: Vec::new(),
                 failed: 0,
-                finished: false,
             },
         );
         for node in candidates {
@@ -130,9 +133,11 @@ fn probe_reply(
     reply: ProbeReply,
     rtt: SimDuration,
 ) {
-    let Some(p) = w.pending_probes.get_mut(&user) else { return };
-    if p.round != round || p.finished {
+    let Some(p) = w.pending_probes.get_mut(&user) else {
         return;
+    };
+    if p.round != round {
+        return; // stale reply from a concluded (and pruned) round
     }
     p.results.push(ProbeResult {
         node: reply.node,
@@ -148,8 +153,10 @@ fn probe_reply(
 }
 
 fn probe_failed(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u64) {
-    let Some(p) = w.pending_probes.get_mut(&user) else { return };
-    if p.round != round || p.finished {
+    let Some(p) = w.pending_probes.get_mut(&user) else {
+        return;
+    };
+    if p.round != round {
         return;
     }
     p.failed += 1;
@@ -160,14 +167,23 @@ fn probe_failed(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u64) {
 
 /// Algorithm 2, lines 11–20: rank, decide, switch.
 fn conclude_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u64) {
-    let Some(p) = w.pending_probes.get_mut(&user) else { return };
-    if p.round != round || p.finished {
-        return;
+    match w.pending_probes.get(&user) {
+        Some(p) if p.round == round => {}
+        _ => return, // already concluded (pruned) or superseded by a newer round
     }
-    p.finished = true;
-    let results = std::mem::take(&mut p.results);
+    // Remove, don't mark: a concluded round's bookkeeping must not
+    // outlive the round, or each round leaks one entry forever. Late
+    // stragglers are rejected by the entry's absence (or, once the next
+    // round starts, its round mismatch).
+    let results = w
+        .pending_probes
+        .remove(&user)
+        .expect("checked above")
+        .results;
     let now = ctx.now();
-    let Some(client) = w.clients.get_mut(&user) else { return };
+    let Some(client) = w.clients.get_mut(&user) else {
+        return;
+    };
     match client.on_probe_round(results, now) {
         ClientDecision::Stay => {
             ensure_streaming(w, ctx, user);
@@ -176,14 +192,19 @@ fn conclude_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u
             attempt_join(w, ctx, user, target, seq);
         }
         ClientDecision::Rediscover => {
-            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| start_probe_round(w, ctx, user));
+            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
+                start_probe_round(w, ctx, user)
+            });
         }
     }
 }
 
 /// `Join()` with sequence-number synchronisation (Algorithm 1).
 fn attempt_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, seq: u64) {
-    match w.net.one_way(Addr::User(user), Addr::Node(target), ctx.rng()) {
+    match w
+        .net
+        .one_way(Addr::User(user), Addr::Node(target), ctx.rng())
+    {
         Some(d1) => {
             ctx.schedule_in(d1, move |w, ctx| {
                 let now = ctx.now();
@@ -203,9 +224,11 @@ fn attempt_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, 
                 let d2 = w
                     .net
                     .one_way(Addr::Node(target), Addr::User(user), ctx.rng())
-                    // If the node died between request and reply, the
-                    // client learns via (approximately symmetric) timeout.
-                    .unwrap_or(d1);
+                    // If the node died between request and reply, no
+                    // reply ever arrives — the client learns through a
+                    // transport-level timeout, not the (much shorter)
+                    // one-way delay of the request leg.
+                    .unwrap_or(RECONNECT_TIMEOUT);
                 ctx.schedule_in(d2, move |w, ctx| {
                     join_reply(w, ctx, user, target, accepted);
                 });
@@ -220,7 +243,9 @@ fn attempt_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, 
 
 fn join_reply(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, accepted: bool) {
     let now = ctx.now();
-    let Some(client) = w.clients.get_mut(&user) else { return };
+    let Some(client) = w.clients.get_mut(&user) else {
+        return;
+    };
     match client.on_join_result(target, accepted, now) {
         JoinFollowup::SwitchComplete { leave } => {
             if let Some(previous) = leave {
@@ -231,7 +256,9 @@ fn join_reply(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, ac
         }
         JoinFollowup::Rediscover => {
             // Algorithm 2, line 14: repeat from the edge-discovery step.
-            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| start_probe_round(w, ctx, user));
+            ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
+                start_probe_round(w, ctx, user)
+            });
         }
         JoinFollowup::Stale => {}
     }
@@ -273,12 +300,7 @@ fn ensure_periodic_probing(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
 /// Self-rescheduling probing tick with ±5 % jitter, so the fleet's probe
 /// rounds desynchronise instead of herding onto the same best node at
 /// the same instant.
-fn schedule_next_probe_tick(
-    _w: &mut World,
-    ctx: &mut Ctx<'_>,
-    user: UserId,
-    period: SimDuration,
-) {
+fn schedule_next_probe_tick(_w: &mut World, ctx: &mut Ctx<'_>, user: UserId, period: SimDuration) {
     let jitter = ctx.rng().uniform(0.95, 1.05);
     ctx.schedule_in(period.mul_f64(jitter), move |w, ctx| {
         if ctx.now() >= w.end_time {
@@ -297,7 +319,9 @@ fn send_frame(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
     if now >= w.end_time {
         return;
     }
-    let Some(client) = w.clients.get_mut(&user) else { return };
+    let Some(client) = w.clients.get_mut(&user) else {
+        return;
+    };
     match client.current_node() {
         None => {
             // Not attached (e.g. reactive recovery in flight): retry soon.
@@ -313,7 +337,9 @@ fn send_frame(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
             }
             let seq = client.next_frame_seq();
             let frame = Frame::live(user, seq, now);
-            match w.net.delivery_delay(Addr::User(user), Addr::Node(node), FRAME_SIZE, ctx.rng())
+            match w
+                .net
+                .delivery_delay(Addr::User(user), Addr::Node(node), FRAME_SIZE, ctx.rng())
             {
                 Some(d) => {
                     ctx.schedule_in(d, move |w, ctx| receive_frame(w, ctx, node, frame));
@@ -333,7 +359,9 @@ fn receive_frame(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId, frame: Frame) {
     if !w.node_is_up(node) {
         return; // node died while the frame was in flight: frame lost
     }
-    let Some(n) = w.nodes.get_mut(&node) else { return };
+    let Some(n) = w.nodes.get_mut(&node) else {
+        return;
+    };
     let actions = n.offload(frame, ctx.now());
     handle_node_actions(w, ctx, node, actions);
     schedule_node_wakeup(w, ctx, node);
@@ -397,7 +425,9 @@ pub(crate) fn handle_node_actions(
 /// scheduled its own wake-up).
 pub(crate) fn schedule_node_wakeup(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId) {
     let Some(n) = w.nodes.get(&node) else { return };
-    let Some((epoch, at)) = n.next_wakeup(ctx.now()) else { return };
+    let Some((epoch, at)) = n.next_wakeup(ctx.now()) else {
+        return;
+    };
     ctx.schedule_at(at, move |w, ctx| {
         if !w.node_is_up(node) {
             return;
@@ -407,7 +437,9 @@ pub(crate) fn schedule_node_wakeup(w: &mut World, ctx: &mut Ctx<'_>, node: NodeI
             Some((current_epoch, _)) if current_epoch == epoch => {}
             _ => return, // stale or idle
         }
-        let Some(n) = w.nodes.get_mut(&node) else { return };
+        let Some(n) = w.nodes.get_mut(&node) else {
+            return;
+        };
         let actions = n.on_wakeup(epoch, ctx.now());
         handle_node_actions(w, ctx, node, actions);
         schedule_node_wakeup(w, ctx, node);
@@ -419,20 +451,26 @@ fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
     let now = ctx.now();
     w.failure_events.push((user, now));
     if w.strategy.is_client_centric() && w.strategy.is_proactive() {
-        let Some(client) = w.clients.get(&user) else { return };
+        let Some(client) = w.clients.get(&user) else {
+            return;
+        };
         let alive: HashSet<NodeId> = client
             .backups()
             .iter()
             .copied()
             .filter(|&n| w.node_is_up(n))
             .collect();
-        let Some(client) = w.clients.get_mut(&user) else { return };
+        let Some(client) = w.clients.get_mut(&user) else {
+            return;
+        };
         match client.on_node_failure(now, |n| alive.contains(&n)) {
             FailoverDecision::SwitchToBackup { target } => {
                 // The connection is pre-established; Unexpected_join
                 // cannot be rejected (Table I). Frames resume on the next
                 // tick of the send loop.
-                if let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(target), ctx.rng())
+                if let Some(d) = w
+                    .net
+                    .one_way(Addr::User(user), Addr::Node(target), ctx.rng())
                 {
                     ctx.schedule_in(d, move |w, ctx| {
                         if !w.node_is_up(target) {
@@ -462,7 +500,9 @@ fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
         if let Some(client) = w.clients.get_mut(&user) {
             client.detach();
         }
-        ctx.schedule_in(RECONNECT_TIMEOUT, move |w, ctx| start_probe_round(w, ctx, user));
+        ctx.schedule_in(RECONNECT_TIMEOUT, move |w, ctx| {
+            start_probe_round(w, ctx, user)
+        });
     } else {
         // Baselines re-assign through the manager.
         if let Some(client) = w.clients.get_mut(&user) {
@@ -510,8 +550,7 @@ fn pick_baseline_node(w: &World, user: UserId) -> Option<NodeId> {
     let client = w.clients.get(&user)?;
     let loc = client.location();
     let alive: Vec<&armada_node::EdgeNode> = {
-        let mut v: Vec<_> =
-            w.nodes.values().filter(|n| w.node_is_up(n.id())).collect();
+        let mut v: Vec<_> = w.nodes.values().filter(|n| w.node_is_up(n.id())).collect();
         v.sort_by_key(|n| n.id());
         v
     };
@@ -618,4 +657,189 @@ pub(crate) fn start_node_lifecycle(w: &mut World, ctx: &mut Ctx<'_>, node: NodeI
 pub(crate) fn node_leave(w: &mut World, _ctx: &mut Ctx<'_>, node: NodeId) {
     w.net.set_down(Addr::Node(node));
     w.dead_nodes.insert(node);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{HashMap, HashSet};
+
+    use armada_client::EdgeClient;
+    use armada_manager::{CentralManager, GlobalSelectionPolicy};
+    use armada_metrics::LatencyRecorder;
+    use armada_net::{Endpoint, LatencyModelParams, Network};
+    use armada_node::EdgeNode;
+    use armada_sim::Simulation;
+    use armada_types::{AccessNetwork, GeoPoint, HardwareProfile, SimTime, SystemConfig};
+
+    use super::*;
+
+    const USER: UserId = UserId::new(0);
+    const NODE: NodeId = NodeId::new(0);
+    /// Pinned user↔node one-way delay for the tests below.
+    const ONE_WAY: SimDuration = SimDuration::from_millis(10);
+
+    /// One user, one node, a jitter-free network with a pinned 10 ms
+    /// one-way delay between them, and no manager endpoint (these tests
+    /// drive the probe/join events directly).
+    fn tiny_world() -> World {
+        let loc = GeoPoint::new(44.98, -93.26);
+        let system = SystemConfig::default();
+        let mut net = Network::new(LatencyModelParams::deterministic());
+        net.add_endpoint(
+            Addr::User(USER),
+            Endpoint::new(loc, AccessNetwork::HomeWifi),
+        );
+        net.add_endpoint(Addr::Node(NODE), Endpoint::new(loc, AccessNetwork::Fiber));
+        net.set_pairwise_one_way(Addr::User(USER), Addr::Node(NODE), ONE_WAY);
+
+        let strategy = crate::strategy::Strategy::client_centric();
+        let client_config = strategy.client_config();
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            NODE,
+            EdgeNode::new(
+                NODE,
+                NodeClass::Volunteer,
+                HardwareProfile::new("tiny", 4, 30.0),
+                loc,
+                system.join_refresh_delay(),
+                system.perf_drift_threshold,
+            ),
+        );
+        let mut clients = HashMap::new();
+        clients.insert(USER, EdgeClient::new(USER, loc, client_config));
+
+        World {
+            net,
+            manager: CentralManager::new(system, GlobalSelectionPolicy::default()),
+            nodes,
+            clients,
+            recorder: LatencyRecorder::new(),
+            strategy,
+            client_config,
+            system,
+            pending_probes: HashMap::new(),
+            streaming: HashSet::new(),
+            periodic_started: HashSet::new(),
+            next_round: 0,
+            dead_nodes: HashSet::new(),
+            end_time: SimTime::from_secs(60),
+            failure_events: Vec::new(),
+            affiliations: HashMap::new(),
+        }
+    }
+
+    fn good_probe_result() -> armada_client::ProbeResult {
+        armada_client::ProbeResult {
+            node: NODE,
+            rtt: ONE_WAY * 2,
+            whatif_proc: SimDuration::from_millis(30),
+            current_proc: SimDuration::from_millis(30),
+            attached_users: 0,
+            seq_num: 0,
+        }
+    }
+
+    /// Regression: a node dying between the `Join()` request and its
+    /// reply must cost the client a transport-level timeout
+    /// ([`RECONNECT_TIMEOUT`]), not the one-way delay of the request leg
+    /// — with no reply on the wire there is nothing that could arrive
+    /// that fast.
+    #[test]
+    fn lost_join_reply_costs_a_transport_timeout() {
+        let mut sim = Simulation::new(tiny_world(), 1);
+        sim.schedule_at(SimTime::ZERO, |w: &mut World, ctx| {
+            let decision = w
+                .clients
+                .get_mut(&USER)
+                .unwrap()
+                .on_probe_round(vec![good_probe_result()], ctx.now());
+            match decision {
+                ClientDecision::AttemptJoin { target, seq } => {
+                    attempt_join(w, ctx, USER, target, seq);
+                }
+                _ => panic!("a lone healthy candidate must trigger a join"),
+            }
+        });
+        // The node dies while the join request is in flight.
+        sim.schedule_at(SimTime::from_millis(5), |w: &mut World, ctx| {
+            node_leave(w, ctx, NODE);
+        });
+
+        // Well past request + a "symmetric" reply delay (2 × 10 ms), yet
+        // before request + RECONNECT_TIMEOUT: the outcome must still be
+        // unknown to the client.
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(
+            sim.world().client(USER).unwrap().stats().join_rejections,
+            0,
+            "the client learned the join outcome without any reply or timeout"
+        );
+
+        // Once the transport timeout fires the join is abandoned.
+        sim.run_until(SimTime::from_millis(1_100));
+        assert_eq!(sim.world().client(USER).unwrap().stats().join_rejections, 1);
+    }
+
+    /// Regression: concluding a probe round must prune its bookkeeping
+    /// entry; marking it finished in place leaks one entry per user for
+    /// the rest of the run.
+    #[test]
+    fn concluded_probe_rounds_are_pruned() {
+        let mut sim = Simulation::new(tiny_world(), 2);
+        sim.schedule_at(SimTime::ZERO, |w: &mut World, ctx| {
+            let round = w.fresh_round();
+            w.pending_probes.insert(
+                USER,
+                PendingProbe {
+                    round,
+                    expected: 1,
+                    results: Vec::new(),
+                    failed: 0,
+                },
+            );
+            let reply = ProbeReply {
+                node: NODE,
+                whatif_proc: SimDuration::from_millis(30),
+                current_proc: SimDuration::from_millis(30),
+                attached_users: 0,
+                seq_num: 0,
+            };
+            probe_reply(w, ctx, USER, round, reply, ONE_WAY * 2);
+        });
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(
+            sim.world().open_probe_rounds(),
+            0,
+            "a concluded round left its PendingProbe entry behind"
+        );
+    }
+
+    /// Stragglers arriving after their round concluded (or timed out)
+    /// are dropped without resurrecting any state.
+    #[test]
+    fn stragglers_after_conclusion_are_ignored() {
+        let mut sim = Simulation::new(tiny_world(), 3);
+        sim.schedule_at(SimTime::ZERO, |w: &mut World, ctx| {
+            let round = w.fresh_round();
+            w.pending_probes.insert(
+                USER,
+                PendingProbe {
+                    round,
+                    expected: 2,
+                    results: Vec::new(),
+                    failed: 0,
+                },
+            );
+            // Only one of two probes ever resolves: the round concludes
+            // via the timeout path.
+            conclude_probe_round(w, ctx, USER, round);
+            assert_eq!(w.open_probe_rounds(), 0);
+            // The second probe fails late — a stale straggler.
+            probe_failed(w, ctx, USER, round);
+            assert_eq!(w.open_probe_rounds(), 0);
+        });
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(sim.world().open_probe_rounds(), 0);
+    }
 }

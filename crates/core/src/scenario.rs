@@ -108,7 +108,15 @@ impl Scenario {
     /// Builds the world and runs the full event timeline. Deterministic
     /// for a given configuration and seed.
     pub fn run(self) -> RunResult {
-        let Scenario { env, strategy, duration, seed, arrivals, churn, node_kills } = self;
+        let Scenario {
+            env,
+            strategy,
+            duration,
+            seed,
+            arrivals,
+            churn,
+            node_kills,
+        } = self;
         let client_config = strategy.client_config();
         let n_users = env.users.len();
 
@@ -229,9 +237,9 @@ impl Scenario {
         // User arrivals.
         let join_times: Vec<SimTime> = match arrivals {
             Arrivals::AllAtStart => vec![SimTime::ZERO; n_users],
-            Arrivals::Every(interval) => {
-                (0..n_users).map(|i| SimTime::ZERO + interval * i as u64).collect()
-            }
+            Arrivals::Every(interval) => (0..n_users)
+                .map(|i| SimTime::ZERO + interval * i as u64)
+                .collect(),
             Arrivals::At(times) => {
                 assert_eq!(times.len(), n_users, "one join time per user");
                 times
@@ -245,7 +253,10 @@ impl Scenario {
         }
 
         let end = sim.run_until(SimTime::ZERO + duration);
-        RunResult { world: sim.into_world(), end }
+        RunResult {
+            world: sim.into_world(),
+            end,
+        }
     }
 }
 
@@ -318,7 +329,11 @@ mod tests {
     #[test]
     fn client_centric_streams_frames() {
         let result = short(Strategy::client_centric());
-        assert!(result.recorder().len() > 100, "got {} samples", result.recorder().len());
+        assert!(
+            result.recorder().len() > 100,
+            "got {} samples",
+            result.recorder().len()
+        );
         let mean = result.recorder().mean().unwrap();
         assert!(
             mean.as_millis_f64() > 10.0 && mean.as_millis_f64() < 200.0,
@@ -409,8 +424,12 @@ mod tests {
             .duration(SimDuration::from_secs(5))
             .seed(7)
             .run();
-        let serving =
-            probe_run.world().client(UserId::new(0)).unwrap().current_node().unwrap();
+        let serving = probe_run
+            .world()
+            .client(UserId::new(0))
+            .unwrap()
+            .current_node()
+            .unwrap();
         // Only static nodes can be killed by index.
         let index = serving.as_u64() as usize;
 
@@ -420,7 +439,11 @@ mod tests {
             .kill_node(index, SimTime::from_secs(8))
             .run();
         let client = result.world().client(UserId::new(0)).unwrap();
-        assert_ne!(client.current_node(), Some(serving), "must have moved off the dead node");
+        assert_ne!(
+            client.current_node(),
+            Some(serving),
+            "must have moved off the dead node"
+        );
         let failovers = client.stats().backup_failovers + client.stats().hard_failures;
         assert!(failovers >= 1, "the failure must have been noticed");
         // Frames kept flowing after the kill.
@@ -446,7 +469,11 @@ mod tests {
             .run();
         assert!(result.recorder().len() > 100);
         // Churn nodes were created.
-        let churned = result.world().nodes().filter(|n| n.id().as_u64() >= 1_000).count();
+        let churned = result
+            .world()
+            .nodes()
+            .filter(|n| n.id().as_u64() >= 1_000)
+            .count();
         assert_eq!(churned, 18);
     }
 

@@ -3,9 +3,7 @@
 
 use armada_net::LatencyModelParams;
 use armada_sim::SimRng;
-use armada_types::{
-    AccessNetwork, GeoPoint, HardwareProfile, NodeClass, SystemConfig,
-};
+use armada_types::{AccessNetwork, GeoPoint, HardwareProfile, NodeClass, SystemConfig};
 
 /// One edge node in an environment description.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,11 +72,11 @@ impl EnvSpec {
         // weaker V4/V5 are the *nearest* nodes of the outer clusters —
         // the configuration in which locality-based selection hurts.
         let volunteer_spots: [(f64, f64, AccessNetwork); 5] = [
-            (0.0, 1.0, AccessNetwork::Fiber),     // V1: downtown
+            (0.0, 1.0, AccessNetwork::Fiber),      // V1: downtown
             (-6.0, -4.0, AccessNetwork::HomeWifi), // V2: west cluster
-            (7.0, 4.0, AccessNetwork::Fiber),     // V3: east cluster
+            (7.0, 4.0, AccessNetwork::Fiber),      // V3: east cluster
             (-8.0, -6.0, AccessNetwork::HomeWifi), // V4: west edge
-            (9.0, 6.0, AccessNetwork::HomeWifi),  // V5: east edge
+            (9.0, 6.0, AccessNetwork::HomeWifi),   // V5: east edge
         ];
         for (i, (label, class, hw)) in armada_types::table2_profiles().into_iter().enumerate() {
             match class {
@@ -194,8 +192,7 @@ impl EnvSpec {
                 let angle = i as f64 * 2.399_963;
                 let radius = 5.0 + 35.0 * ((i * 53 % 100) as f64 / 100.0);
                 UserSpec {
-                    location: anchor
-                        .offset_km(radius * angle.cos(), radius * angle.sin()),
+                    location: anchor.offset_km(radius * angle.cos(), radius * angle.sin()),
                     access: AccessNetwork::HomeWifi,
                     affiliations: Vec::new(),
                 }
@@ -216,7 +213,10 @@ impl EnvSpec {
             users,
             // Jitter still applies on top of the pinned base, as queueing
             // noise did in the real emulation.
-            latency: LatencyModelParams { jitter_gain: 0.3, ..Default::default() },
+            latency: LatencyModelParams {
+                jitter_gain: 0.3,
+                ..Default::default()
+            },
             pairwise_rtt_ms: pairwise,
             system: SystemConfig::default(),
         }
@@ -250,7 +250,10 @@ impl EnvSpec {
         use armada_net::{Addr, Endpoint, Network};
         use armada_types::{NodeId, SimDuration, UserId};
         let mut net = Network::new(self.latency);
-        net.add_endpoint(Addr::Manager, Endpoint::new(msp(), AccessNetwork::DataCenter));
+        net.add_endpoint(
+            Addr::Manager,
+            Endpoint::new(msp(), AccessNetwork::DataCenter),
+        );
         for (i, node) in self.nodes.iter().enumerate() {
             net.add_endpoint(
                 Addr::Node(NodeId::new(i as u64)),
@@ -281,12 +284,8 @@ impl EnvSpec {
 pub fn ec2_profile(instance_type: &str) -> HardwareProfile {
     match instance_type {
         "t2.medium" => HardwareProfile::new("AWS EC2 t2.medium", 2, 42.0),
-        "t2.xlarge" => {
-            HardwareProfile::new("AWS EC2 t2.xlarge", 4, 30.0).with_concurrency(2)
-        }
-        "t2.2xlarge" => {
-            HardwareProfile::new("AWS EC2 t2.2xlarge", 8, 22.0).with_concurrency(4)
-        }
+        "t2.xlarge" => HardwareProfile::new("AWS EC2 t2.xlarge", 4, 30.0).with_concurrency(2),
+        "t2.2xlarge" => HardwareProfile::new("AWS EC2 t2.2xlarge", 8, 22.0).with_concurrency(4),
         "t3.xlarge" => HardwareProfile::new("AWS EC2 t3.xlarge", 4, 30.0),
         other => panic!("unknown instance type {other}"),
     }
@@ -301,11 +300,21 @@ mod tests {
         let env = EnvSpec::realworld(15);
         assert_eq!(env.nodes.len(), 10);
         assert_eq!(env.users.len(), 15);
-        let volunteers =
-            env.nodes.iter().filter(|n| n.class == NodeClass::Volunteer).count();
-        let dedicated =
-            env.nodes.iter().filter(|n| n.class == NodeClass::Dedicated).count();
-        let cloud = env.nodes.iter().filter(|n| n.class == NodeClass::Cloud).count();
+        let volunteers = env
+            .nodes
+            .iter()
+            .filter(|n| n.class == NodeClass::Volunteer)
+            .count();
+        let dedicated = env
+            .nodes
+            .iter()
+            .filter(|n| n.class == NodeClass::Dedicated)
+            .count();
+        let cloud = env
+            .nodes
+            .iter()
+            .filter(|n| n.class == NodeClass::Cloud)
+            .count();
         assert_eq!((volunteers, dedicated, cloud), (5, 4, 1));
         assert_eq!(env.nodes[0].label, "V1");
         assert_eq!(env.nodes[0].hw.base_frame_ms(), 24.0);
@@ -322,7 +331,11 @@ mod tests {
     #[test]
     fn realworld_cloud_is_far_away() {
         let env = EnvSpec::realworld(1);
-        let cloud = env.nodes.iter().find(|n| n.class == NodeClass::Cloud).unwrap();
+        let cloud = env
+            .nodes
+            .iter()
+            .find(|n| n.class == NodeClass::Cloud)
+            .unwrap();
         assert!(msp().distance_km(cloud.location) > 500.0);
     }
 

@@ -41,17 +41,26 @@ impl Strategy {
     /// The paper's default configuration: client-centric, proactive,
     /// `TopN = 3`, 10 s probing period, global-overhead policy.
     pub fn client_centric() -> Strategy {
-        Strategy::ClientCentric { config: ClientConfig::default(), proactive: true }
+        Strategy::ClientCentric {
+            config: ClientConfig::default(),
+            proactive: true,
+        }
     }
 
     /// Client-centric with a custom client configuration.
     pub fn client_centric_with(config: ClientConfig) -> Strategy {
-        Strategy::ClientCentric { config, proactive: true }
+        Strategy::ClientCentric {
+            config,
+            proactive: true,
+        }
     }
 
     /// Client-centric but with reactive (re-connect) failure handling.
     pub fn client_centric_reactive() -> Strategy {
-        Strategy::ClientCentric { config: ClientConfig::default(), proactive: false }
+        Strategy::ClientCentric {
+            config: ClientConfig::default(),
+            proactive: false,
+        }
     }
 
     /// The client configuration in effect (defaults for baselines).
@@ -69,14 +78,24 @@ impl Strategy {
 
     /// `true` when warm backups absorb failures.
     pub fn is_proactive(&self) -> bool {
-        matches!(self, Strategy::ClientCentric { proactive: true, .. })
+        matches!(
+            self,
+            Strategy::ClientCentric {
+                proactive: true,
+                ..
+            }
+        )
     }
 
     /// Short name used in experiment output.
     pub fn name(&self) -> &'static str {
         match self {
-            Strategy::ClientCentric { proactive: true, .. } => "client-centric",
-            Strategy::ClientCentric { proactive: false, .. } => "client-centric-reactive",
+            Strategy::ClientCentric {
+                proactive: true, ..
+            } => "client-centric",
+            Strategy::ClientCentric {
+                proactive: false, ..
+            } => "client-centric-reactive",
             Strategy::GeoProximity => "geo-proximity",
             Strategy::ResourceAwareWrr => "resource-aware-wrr",
             Strategy::DedicatedOnly => "dedicated-only",

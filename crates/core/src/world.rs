@@ -22,8 +22,6 @@ pub(crate) struct PendingProbe {
     pub results: Vec<ProbeResult>,
     /// Probes known to have failed (dead candidate).
     pub failed: usize,
-    /// Set once the round has been concluded (by completion or timeout).
-    pub finished: bool,
 }
 
 impl PendingProbe {
@@ -109,7 +107,10 @@ impl World {
 
     /// Total test-workload invocations across all nodes (Fig. 9b).
     pub fn total_test_invocations(&self) -> u64 {
-        self.nodes.values().map(|n| n.stats().test_invocations).sum()
+        self.nodes
+            .values()
+            .map(|n| n.stats().test_invocations)
+            .sum()
     }
 
     /// Total hard failures (re-discovery required) across all clients
@@ -120,13 +121,24 @@ impl World {
 
     /// Total failovers absorbed by warm backups.
     pub fn total_backup_failovers(&self) -> u64 {
-        self.clients.values().map(|c| c.stats().backup_failovers).sum()
+        self.clients
+            .values()
+            .map(|c| c.stats().backup_failovers)
+            .sum()
     }
 
     /// Every serving-node failure observed by a client, with its time —
     /// the events Fig. 10a measures recovery gaps around.
     pub fn failure_events(&self) -> &[(UserId, SimTime)] {
         &self.failure_events
+    }
+
+    /// Number of probe rounds still awaiting conclusion. Concluded
+    /// rounds are pruned, so at quiesce (no probe round in flight) this
+    /// is zero — the invariant that a round's bookkeeping does not
+    /// outlive the round.
+    pub fn open_probe_rounds(&self) -> usize {
+        self.pending_probes.len()
     }
 
     /// `true` while the node is present and reachable.

@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use armada_types::GeoPoint;
 
 /// The standard GeoHash base-32 alphabet (no `a`, `i`, `l`, `o`).
@@ -19,7 +17,10 @@ pub const MAX_PRECISION: usize = 12;
 
 /// Decodes a base-32 character to its 5-bit value.
 fn decode_char(c: u8) -> Option<u8> {
-    ALPHABET.iter().position(|&a| a == c.to_ascii_lowercase()).map(|p| p as u8)
+    ALPHABET
+        .iter()
+        .position(|&a| a == c.to_ascii_lowercase())
+        .map(|p| p as u8)
 }
 
 /// An encoded GeoHash cell.
@@ -34,7 +35,7 @@ fn decode_char(c: u8) -> Option<u8> {
 /// let center = h.decode_center();
 /// assert!(center.distance_km(GeoPoint::new(44.9778, -93.2650)) < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GeoHash(String);
 
 impl GeoHash {
@@ -56,8 +57,11 @@ impl GeoHash {
         let mut even = true; // longitude first, per the GeoHash spec
 
         while out.len() < precision {
-            let (range, value) =
-                if even { (&mut lon, point.lon()) } else { (&mut lat, point.lat()) };
+            let (range, value) = if even {
+                (&mut lon, point.lon())
+            } else {
+                (&mut lat, point.lat())
+            };
             let mid = (range.0 + range.1) / 2.0;
             bits <<= 1;
             if value >= mid {

@@ -68,7 +68,11 @@ impl ProximityIndex {
             (1..=crate::geohash::MAX_PRECISION).contains(&precision),
             "invalid index precision"
         );
-        ProximityIndex { precision, positions: HashMap::new(), buckets: HashMap::new() }
+        ProximityIndex {
+            precision,
+            positions: HashMap::new(),
+            buckets: HashMap::new(),
+        }
     }
 
     /// Number of indexed nodes.
@@ -120,7 +124,10 @@ impl ProximityIndex {
         let mut out: Vec<RankedNeighbor> = self
             .positions
             .iter()
-            .map(|(&id, &p)| RankedNeighbor { id, distance_km: from.distance_km(p) })
+            .map(|(&id, &p)| RankedNeighbor {
+                id,
+                distance_km: from.distance_km(p),
+            })
             .filter(|n| n.distance_km <= radius_km)
             .collect();
         sort_ranked(&mut out);
@@ -133,7 +140,10 @@ impl ProximityIndex {
         let mut out: Vec<RankedNeighbor> = self
             .positions
             .iter()
-            .map(|(&id, &p)| RankedNeighbor { id, distance_km: from.distance_km(p) })
+            .map(|(&id, &p)| RankedNeighbor {
+                id,
+                distance_km: from.distance_km(p),
+            })
             .collect();
         sort_ranked(&mut out);
         out.truncate(count);

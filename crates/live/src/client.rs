@@ -2,10 +2,8 @@
 //! frame streaming with failover.
 
 use std::collections::HashMap;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
-
-use tokio::net::TcpStream;
 
 use armada_client::{rank_candidates, ProbeResult};
 use armada_types::{ClientConfig, GeoPoint, NodeId, SimDuration};
@@ -14,7 +12,7 @@ use armada_workload::AimdController;
 use crate::proto::{read_message, write_message, Request, Response};
 
 /// All protocol exchanges time out after this long; a silent peer is a
-/// dead peer.
+/// dead peer. Applied as the socket read timeout on every connection.
 const RPC_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// What a [`LiveClient`] session measured.
@@ -64,7 +62,11 @@ struct Candidate {
 impl LiveClient {
     /// Creates a client.
     pub fn new(id: u64, location: GeoPoint, config: ClientConfig) -> Self {
-        LiveClient { id, location, config }
+        LiveClient {
+            id,
+            location,
+            config,
+        }
     }
 
     /// This client's identity.
@@ -79,7 +81,7 @@ impl LiveClient {
     ///
     /// Fails if the manager is unreachable, no candidate can be probed,
     /// or every candidate dies mid-session.
-    pub async fn run_session(
+    pub fn run_session(
         &self,
         manager: SocketAddr,
         frames: usize,
@@ -90,9 +92,9 @@ impl LiveClient {
         let mut last_err = None;
         for attempt in 0..5u32 {
             if attempt > 0 {
-                tokio::time::sleep(Duration::from_millis(50 * u64::from(attempt))).await;
+                std::thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
             }
-            match self.try_session(manager, frames).await {
+            match self.try_session(manager, frames) {
                 Ok(report) => return Ok(report),
                 Err(e) => last_err = Some(e),
             }
@@ -101,20 +103,16 @@ impl LiveClient {
     }
 
     /// One discovery → probe → join → stream attempt.
-    async fn try_session(
-        &self,
-        manager: SocketAddr,
-        frames: usize,
-    ) -> std::io::Result<SessionReport> {
+    fn try_session(&self, manager: SocketAddr, frames: usize) -> std::io::Result<SessionReport> {
         // --- Edge discovery ------------------------------------------
-        let mut mgr = TcpStream::connect(manager).await?;
+        let mut mgr = connect(manager)?;
         let request = Request::Discover {
             user: self.id,
             lat: self.location.lat(),
             lon: self.location.lon(),
             top_n: self.config.top_n,
         };
-        let candidates = match rpc(&mut mgr, &request).await? {
+        let candidates = match rpc(&mut mgr, &request)? {
             Response::Candidates { nodes } => nodes,
             other => return Err(protocol_error(format!("discovery got {other:?}"))),
         };
@@ -123,34 +121,21 @@ impl LiveClient {
         }
 
         // --- Concurrent probing ---------------------------------------
-        let probes = candidates.into_iter().map(|(id, addr)| async move {
-            let mut stream = TcpStream::connect(&addr).await.ok()?;
-            let started = Instant::now();
-            let pong = rpc(&mut stream, &Request::RttProbe).await.ok()?;
-            let rtt = started.elapsed();
-            if pong != Response::RttPong {
-                return None;
-            }
-            match rpc(&mut stream, &Request::ProcessProbe).await.ok()? {
-                Response::ProbeReply { whatif_us, current_us, attached, seq } => Some((
-                    ProbeResult {
-                        node: NodeId::new(id),
-                        rtt: SimDuration::from_micros(rtt.as_micros() as u64),
-                        whatif_proc: SimDuration::from_micros(whatif_us),
-                        current_proc: SimDuration::from_micros(current_us),
-                        attached_users: attached,
-                        seq_num: seq,
-                    },
-                    Candidate { stream },
-                )),
-                _ => None,
-            }
+        // One scoped thread per candidate: all RTT/process probes are in
+        // flight simultaneously, exactly like the async version.
+        let outcomes: Vec<Option<(ProbeResult, Candidate)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .iter()
+                .map(|(id, addr)| scope.spawn(move || probe_candidate(*id, addr)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().ok().flatten())
+                .collect()
         });
-        let outcomes = futures_join_all(probes).await;
         let mut results = Vec::new();
         let mut connections: HashMap<u64, Candidate> = HashMap::new();
-        for outcome in outcomes.into_iter().flatten() {
-            let (result, candidate) = outcome;
+        for (result, candidate) in outcomes.into_iter().flatten() {
             connections.insert(result.node.as_u64(), candidate);
             results.push(result);
         }
@@ -170,13 +155,17 @@ impl LiveClient {
 
         // --- Local selection + synchronised join ----------------------
         let ranked = rank_candidates(results, self.config.policy, self.config.qos);
-        let mut order: Vec<(u64, u64)> =
-            ranked.iter().map(|r| (r.node.as_u64(), r.seq_num)).collect();
+        let mut order: Vec<(u64, u64)> = ranked
+            .iter()
+            .map(|r| (r.node.as_u64(), r.seq_num))
+            .collect();
         let (initial_node, _) = order[0];
         let mut serving = None;
         while let Some((node, seq)) = pop_front(&mut order) {
-            let Some(candidate) = connections.get_mut(&node) else { continue };
-            match rpc(&mut candidate.stream, &Request::Join { user: self.id, seq }).await {
+            let Some(candidate) = connections.get_mut(&node) else {
+                continue;
+            };
+            match rpc(&mut candidate.stream, &Request::Join { user: self.id, seq }) {
                 Ok(Response::JoinResult { accepted: true }) => {
                     serving = Some(node);
                     break;
@@ -202,8 +191,7 @@ impl LiveClient {
         let mut failovers = 0u64;
         let mut switches = 0u64;
         let mut seq = 0u64;
-        let probing_period =
-            Duration::from_micros(self.config.probing_period.as_micros());
+        let probing_period = Duration::from_micros(self.config.probing_period.as_micros());
         let mut last_probe = Instant::now();
         while latencies.len() < frames {
             // Periodic re-probing (`T_probing`): re-evaluate the open
@@ -211,16 +199,15 @@ impl LiveClient {
             // better node appears (Algorithm 2 over live sockets).
             if last_probe.elapsed() >= probing_period {
                 last_probe = Instant::now();
-                if let Some(better) = self
-                    .find_better_candidate(&mut connections, serving, &mut backups)
-                    .await
+                if let Some(better) =
+                    self.find_better_candidate(&mut connections, serving, &mut backups)
                 {
                     let previous = serving;
                     serving = better;
                     switches += 1;
                     rate.reset();
                     if let Some(old) = connections.get_mut(&previous) {
-                        let _ = rpc(&mut old.stream, &Request::Leave { user: self.id }).await;
+                        let _ = rpc(&mut old.stream, &Request::Leave { user: self.id });
                     }
                     backups.retain(|&n| n != serving);
                     if !backups.contains(&previous) {
@@ -228,10 +215,14 @@ impl LiveClient {
                     }
                 }
             }
-            let frame = Request::Frame { user: self.id, seq, payload_len: 20_000 };
+            let frame = Request::Frame {
+                user: self.id,
+                seq,
+                payload_len: 20_000,
+            };
             let started = Instant::now();
             let outcome = match connections.get_mut(&serving) {
-                Some(candidate) => rpc(&mut candidate.stream, &frame).await,
+                Some(candidate) => rpc(&mut candidate.stream, &frame),
                 None => Err(protocol_error("serving connection lost".into())),
             };
             match outcome {
@@ -240,10 +231,7 @@ impl LiveClient {
                     latencies.push(latency);
                     rate.on_latency(SimDuration::from_micros(latency.as_micros() as u64));
                     seq += 1;
-                    tokio::time::sleep(Duration::from_micros(
-                        rate.frame_interval().as_micros(),
-                    ))
-                    .await;
+                    std::thread::sleep(Duration::from_micros(rate.frame_interval().as_micros()));
                 }
                 _ => {
                     // Serving node failed: immediate switch to the best
@@ -255,9 +243,7 @@ impl LiveClient {
                             if let Ok(Response::Ack) = rpc(
                                 &mut candidate.stream,
                                 &Request::UnexpectedJoin { user: self.id },
-                            )
-                            .await
-                            {
+                            ) {
                                 serving = backup;
                                 failovers += 1;
                                 rate.reset();
@@ -268,9 +254,7 @@ impl LiveClient {
                         }
                     }
                     if !switched {
-                        return Err(protocol_error(
-                            "all backups failed simultaneously".into(),
-                        ));
+                        return Err(protocol_error("all backups failed simultaneously".into()));
                     }
                 }
             }
@@ -278,7 +262,7 @@ impl LiveClient {
 
         // --- Graceful leave -------------------------------------------
         if let Some(candidate) = connections.get_mut(&serving) {
-            let _ = rpc(&mut candidate.stream, &Request::Leave { user: self.id }).await;
+            let _ = rpc(&mut candidate.stream, &Request::Leave { user: self.id });
         }
 
         Ok(SessionReport {
@@ -295,7 +279,7 @@ impl LiveClient {
 impl LiveClient {
     /// Re-probes the open candidate connections and returns a strictly
     /// better serving node, if one exists past the hysteresis margin.
-    async fn find_better_candidate(
+    fn find_better_candidate(
         &self,
         connections: &mut HashMap<u64, Candidate>,
         serving: u64,
@@ -306,7 +290,7 @@ impl LiveClient {
         for id in ids {
             let candidate = connections.get_mut(&id)?;
             let started = Instant::now();
-            let pong = rpc(&mut candidate.stream, &Request::RttProbe).await;
+            let pong = rpc(&mut candidate.stream, &Request::RttProbe);
             if !matches!(pong, Ok(Response::RttPong)) {
                 // Dead connection discovered during probing: drop it so
                 // failover never tries it.
@@ -315,8 +299,12 @@ impl LiveClient {
                 continue;
             }
             let rtt = started.elapsed();
-            if let Ok(Response::ProbeReply { whatif_us, current_us, attached, seq }) =
-                rpc(&mut candidate.stream, &Request::ProcessProbe).await
+            if let Ok(Response::ProbeReply {
+                whatif_us,
+                current_us,
+                attached,
+                seq,
+            }) = rpc(&mut candidate.stream, &Request::ProcessProbe)
             {
                 results.push(ProbeResult {
                     node: NodeId::new(id),
@@ -343,23 +331,64 @@ impl LiveClient {
         // the state moved — stay put until the next round.
         let target = best.node.as_u64();
         let candidate = connections.get_mut(&target)?;
-        match rpc(&mut candidate.stream, &Request::Join { user: self.id, seq: best.seq_num })
-            .await
-        {
+        match rpc(
+            &mut candidate.stream,
+            &Request::Join {
+                user: self.id,
+                seq: best.seq_num,
+            },
+        ) {
             Ok(Response::JoinResult { accepted: true }) => Some(target),
             _ => None,
         }
     }
 }
 
-/// One request/response exchange with a timeout.
-async fn rpc(stream: &mut TcpStream, request: &Request) -> std::io::Result<Response> {
-    tokio::time::timeout(RPC_TIMEOUT, async {
-        write_message(stream, request).await?;
-        read_message::<_, Response>(stream).await
-    })
-    .await
-    .map_err(|_| std::io::Error::new(std::io::ErrorKind::TimedOut, "rpc timed out"))?
+/// Connects with the RPC timeout installed as the socket read timeout.
+fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(RPC_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Probes one discovered candidate: connect, RTT probe, process probe.
+fn probe_candidate(id: u64, addr: &str) -> Option<(ProbeResult, Candidate)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(RPC_TIMEOUT)).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut candidate = Candidate { stream };
+    let started = Instant::now();
+    let pong = rpc(&mut candidate.stream, &Request::RttProbe).ok()?;
+    let rtt = started.elapsed();
+    if pong != Response::RttPong {
+        return None;
+    }
+    match rpc(&mut candidate.stream, &Request::ProcessProbe).ok()? {
+        Response::ProbeReply {
+            whatif_us,
+            current_us,
+            attached,
+            seq,
+        } => Some((
+            ProbeResult {
+                node: NodeId::new(id),
+                rtt: SimDuration::from_micros(rtt.as_micros() as u64),
+                whatif_proc: SimDuration::from_micros(whatif_us),
+                current_proc: SimDuration::from_micros(current_us),
+                attached_users: attached,
+                seq_num: seq,
+            },
+            candidate,
+        )),
+        _ => None,
+    }
+}
+
+/// One request/response exchange; the socket read timeout bounds it.
+fn rpc(stream: &mut TcpStream, request: &Request) -> std::io::Result<Response> {
+    write_message(stream, request)?;
+    read_message(stream)
 }
 
 fn protocol_error(message: String) -> std::io::Error {
@@ -374,63 +403,48 @@ fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
     }
 }
 
-/// Minimal join-all (avoids pulling in the `futures` crate for one
-/// combinator): polls the futures sequentially-started but concurrently
-/// via `tokio::join!`-style task spawning.
-async fn futures_join_all<F, T>(futures: impl IntoIterator<Item = F>) -> Vec<Option<T>>
-where
-    F: std::future::Future<Output = Option<T>> + Send + 'static,
-    T: Send + 'static,
-{
-    let handles: Vec<_> = futures.into_iter().map(tokio::spawn).collect();
-    let mut out = Vec::with_capacity(handles.len());
-    for h in handles {
-        out.push(h.await.ok().flatten());
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::manager::LiveManager;
     use crate::node::{LiveNode, NodeConfig};
     use armada_types::{HardwareProfile, NodeClass};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
-    async fn rpc(stream: &mut TcpStream, request: Request) -> Response {
-        super::rpc(stream, &request).await.expect("test rpc")
+    fn rpc(stream: &mut TcpStream, request: Request) -> Response {
+        super::rpc(stream, &request).expect("test rpc")
     }
 
     fn node_config(id: u64, cores: u32, frame_ms: f64, delay_ms: u64) -> NodeConfig {
         NodeConfig {
             id,
             class: NodeClass::Volunteer,
-            hw: HardwareProfile::new(format!("hw-{id}"), cores, frame_ms)
-                .with_concurrency(cores),
+            hw: HardwareProfile::new(format!("hw-{id}"), cores, frame_ms).with_concurrency(cores),
             location: GeoPoint::new(44.98, -93.26),
             one_way_delay: Duration::from_millis(delay_ms),
         }
     }
 
-    #[tokio::test]
-    async fn client_selects_the_fast_nearby_node() {
-        let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
+    #[test]
+    fn client_selects_the_fast_nearby_node() {
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
         // Node 1: fast hardware, low delay. Node 2: fast hardware, far.
         // Node 3: nearby but very slow hardware.
-        let (_n1, _) =
-            LiveNode::bind(node_config(1, 4, 10.0, 2), Some(mgr_addr)).await.unwrap();
-        let (_n2, _) =
-            LiveNode::bind(node_config(2, 4, 10.0, 40), Some(mgr_addr)).await.unwrap();
-        let (_n3, _) =
-            LiveNode::bind(node_config(3, 1, 80.0, 2), Some(mgr_addr)).await.unwrap();
+        let (_n1, _) = LiveNode::bind(node_config(1, 4, 10.0, 2), Some(mgr_addr)).unwrap();
+        let (_n2, _) = LiveNode::bind(node_config(2, 4, 10.0, 40), Some(mgr_addr)).unwrap();
+        let (_n3, _) = LiveNode::bind(node_config(3, 1, 80.0, 2), Some(mgr_addr)).unwrap();
 
         let client = LiveClient::new(
             100,
             GeoPoint::new(44.98, -93.26),
             ClientConfig::default().with_top_n(3),
         );
-        let report = client.run_session(mgr_addr, 10).await.unwrap();
-        assert_eq!(report.initial_node, 1, "probing must pick the fast nearby node");
+        let report = client.run_session(mgr_addr, 10).unwrap();
+        assert_eq!(
+            report.initial_node, 1,
+            "probing must pick the fast nearby node"
+        );
         assert_eq!(report.final_node, 1);
         assert_eq!(report.latencies.len(), 10);
         assert_eq!(report.probed.len(), 3);
@@ -440,13 +454,11 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn failover_switches_to_backup_mid_session() {
-        let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
-        let (n1, _) =
-            LiveNode::bind(node_config(1, 4, 5.0, 1), Some(mgr_addr)).await.unwrap();
-        let (_n2, _) =
-            LiveNode::bind(node_config(2, 4, 5.0, 15), Some(mgr_addr)).await.unwrap();
+    #[test]
+    fn failover_switches_to_backup_mid_session() {
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+        let (n1, _) = LiveNode::bind(node_config(1, 4, 5.0, 1), Some(mgr_addr)).unwrap();
+        let (_n2, _) = LiveNode::bind(node_config(2, 4, 5.0, 15), Some(mgr_addr)).unwrap();
 
         let client = LiveClient::new(
             200,
@@ -456,63 +468,75 @@ mod tests {
         // Kill the primary once the session is safely in its streaming
         // phase (discovery + probing take ~100-200 ms un-optimised; 30
         // frames at 20 FPS keep streaming for ~1.5 s beyond that).
-        let killer = tokio::spawn(async move {
-            tokio::time::sleep(Duration::from_millis(800)).await;
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(800));
             n1.shutdown();
             n1
         });
-        let report = client.run_session(mgr_addr, 30).await.unwrap();
-        let _n1 = killer.await.unwrap();
+        let report = client.run_session(mgr_addr, 30).unwrap();
+        let _n1 = killer.join().unwrap();
         assert_eq!(report.initial_node, 1);
         assert_eq!(report.final_node, 2, "must have failed over to the backup");
         assert_eq!(report.failovers, 1);
         assert_eq!(report.latencies.len(), 30, "all frames eventually served");
     }
 
-    #[tokio::test]
-    async fn periodic_reprobing_switches_to_an_improved_node() {
-        let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
+    #[test]
+    fn periodic_reprobing_switches_to_an_improved_node() {
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
         // Node 1 starts strictly better (nearer, faster); node 2 is the
         // fallback. After the initial selection we saturate node 1 with
         // competing clients, so periodic re-probing should migrate the
         // user to node 2.
-        let (_n1, n1_addr) =
-            LiveNode::bind(node_config(1, 1, 10.0, 2), Some(mgr_addr)).await.unwrap();
-        let (_n2, _) =
-            LiveNode::bind(node_config(2, 2, 12.0, 6), Some(mgr_addr)).await.unwrap();
+        let (_n1, n1_addr) = LiveNode::bind(node_config(1, 1, 10.0, 2), Some(mgr_addr)).unwrap();
+        let (_n2, _) = LiveNode::bind(node_config(2, 2, 12.0, 6), Some(mgr_addr)).unwrap();
 
-        // Saturating competitors: two streams hammer node 1 directly,
-        // starting only after the client's initial join settles.
-        let competitor = tokio::spawn(async move {
-            tokio::time::sleep(Duration::from_millis(400)).await;
-            let mut a = TcpStream::connect(n1_addr).await.unwrap();
-            let mut b = TcpStream::connect(n1_addr).await.unwrap();
-            // Attach so the GO policy sees the interference too.
-            let _ = rpc(&mut a, Request::UnexpectedJoin { user: 98 }).await;
-            let _ = rpc(&mut b, Request::UnexpectedJoin { user: 99 }).await;
-            for seq in 0..2_000u64 {
-                let (ra, rb) = tokio::join!(
-                    rpc(&mut a, Request::Frame { user: 98, seq, payload_len: 20_000 }),
-                    rpc(&mut b, Request::Frame { user: 99, seq, payload_len: 20_000 }),
-                );
-                if !matches!(ra, Response::FrameResult { .. })
-                    || !matches!(rb, Response::FrameResult { .. })
-                {
-                    break;
-                }
-            }
-        });
+        // Saturating competitors: four streams hammer node 1 directly
+        // (one thread each, so their frames are always in flight and the
+        // single core never idles), starting only after the client's
+        // initial join settles.
+        let stop = Arc::new(AtomicBool::new(false));
+        let competitors: Vec<_> = [96u64, 97, 98, 99]
+            .into_iter()
+            .map(|user| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(400));
+                    let mut s = TcpStream::connect(n1_addr).unwrap();
+                    s.set_read_timeout(Some(RPC_TIMEOUT)).unwrap();
+                    // Attach so the GO policy sees the interference too.
+                    let _ = rpc(&mut s, Request::UnexpectedJoin { user });
+                    for seq in 0..2_000u64 {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let r = super::rpc(
+                            &mut s,
+                            &Request::Frame {
+                                user,
+                                seq,
+                                payload_len: 20_000,
+                            },
+                        );
+                        if !matches!(r, Ok(Response::FrameResult { .. })) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
 
         let mut config = ClientConfig::default().with_top_n(2);
         // Short probing period and a long session: on a loaded test
         // machine individual probe rounds are noisy, but across ~15
         // rounds of sustained saturation the migration must happen.
-        config = config.with_probing_period(
-            armada_types::SimDuration::from_millis(500),
-        );
+        config = config.with_probing_period(armada_types::SimDuration::from_millis(500));
         let client = LiveClient::new(5, GeoPoint::new(44.98, -93.26), config);
-        let report = client.run_session(mgr_addr, 120).await.unwrap();
-        competitor.abort();
+        let report = client.run_session(mgr_addr, 120).unwrap();
+        stop.store(true, Ordering::Release);
+        for c in competitors {
+            let _ = c.join();
+        }
         assert_eq!(report.initial_node, 1, "node 1 wins the initial probe");
         assert!(
             report.switches >= 1,
@@ -528,25 +552,25 @@ mod tests {
             report.final_node,
             report.switches
         );
-        assert_eq!(report.failovers, 0, "this is a voluntary switch, not a failure");
+        assert_eq!(
+            report.failovers, 0,
+            "this is a voluntary switch, not a failure"
+        );
     }
 
-    #[tokio::test]
-    async fn no_nodes_is_an_error() {
-        let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
-        let client =
-            LiveClient::new(1, GeoPoint::new(44.98, -93.26), ClientConfig::default());
-        let err = client.run_session(mgr_addr, 1).await.unwrap_err();
+    #[test]
+    fn no_nodes_is_an_error() {
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+        let client = LiveClient::new(1, GeoPoint::new(44.98, -93.26), ClientConfig::default());
+        let err = client.run_session(mgr_addr, 1).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
-    #[tokio::test]
-    async fn two_clients_share_the_cluster() {
-        let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
-        let (n1, _) =
-            LiveNode::bind(node_config(1, 2, 5.0, 1), Some(mgr_addr)).await.unwrap();
-        let (n2, _) =
-            LiveNode::bind(node_config(2, 2, 5.0, 1), Some(mgr_addr)).await.unwrap();
+    #[test]
+    fn two_clients_share_the_cluster() {
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+        let (n1, _) = LiveNode::bind(node_config(1, 2, 5.0, 1), Some(mgr_addr)).unwrap();
+        let (n2, _) = LiveNode::bind(node_config(2, 2, 5.0, 1), Some(mgr_addr)).unwrap();
         let a = LiveClient::new(
             1,
             GeoPoint::new(44.98, -93.26),
@@ -557,10 +581,11 @@ mod tests {
             GeoPoint::new(44.97, -93.25),
             ClientConfig::default().with_top_n(2),
         );
-        let (ra, rb) = tokio::join!(
-            a.run_session(mgr_addr, 8),
-            b.run_session(mgr_addr, 8)
-        );
+        let (ra, rb) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| a.run_session(mgr_addr, 8));
+            let hb = scope.spawn(|| b.run_session(mgr_addr, 8));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
         let (ra, rb) = (ra.unwrap(), rb.unwrap());
         assert_eq!(ra.latencies.len(), 8);
         assert_eq!(rb.latencies.len(), 8);

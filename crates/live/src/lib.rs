@@ -3,7 +3,8 @@
 //! The simulator (`armada-core`) reproduces the paper's figures; this
 //! crate demonstrates that the same protocol is a real networked system:
 //! a [`LiveManager`], [`LiveNode`]s and [`LiveClient`]s speak a
-//! length-prefixed JSON protocol over tokio TCP sockets, with per-node
+//! length-prefixed JSON protocol over `std::net` TCP sockets (one thread
+//! per connection), with per-node
 //! artificial delays standing in for geographic distance when everything
 //! runs on localhost.
 //!

@@ -1,13 +1,11 @@
 //! The live Central Manager server.
 
 use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::Mutex;
-use tokio::task::JoinHandle;
 
 use armada_types::GeoPoint;
 
@@ -35,14 +33,17 @@ struct ManagerState {
 /// # Examples
 ///
 /// ```no_run
-/// # async fn demo() -> std::io::Result<()> {
-/// let (manager, addr) = armada_live::LiveManager::bind().await?;
+/// # fn demo() -> std::io::Result<()> {
+/// let (manager, addr) = armada_live::LiveManager::bind()?;
 /// println!("manager listening on {addr}");
 /// # drop(manager); Ok(()) }
 /// ```
 pub struct LiveManager {
     state: Arc<Mutex<ManagerState>>,
-    handle: JoinHandle<()>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl LiveManager {
@@ -51,26 +52,46 @@ impl LiveManager {
     /// # Errors
     ///
     /// Propagates socket errors.
-    pub async fn bind() -> std::io::Result<(LiveManager, SocketAddr)> {
-        let listener = TcpListener::bind("127.0.0.1:0").await?;
+    pub fn bind() -> std::io::Result<(LiveManager, SocketAddr)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let state = Arc::new(Mutex::new(ManagerState::default()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
         let accept_state = Arc::clone(&state);
-        let handle = tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else { break };
-                let conn_state = Arc::clone(&accept_state);
-                tokio::spawn(async move {
-                    let _ = serve_connection(stream, conn_state).await;
-                });
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_handle = std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                break;
+            };
+            if accept_shutdown.load(Ordering::Acquire) {
+                break;
             }
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                accept_connections.lock().expect("not poisoned").push(clone);
+            }
+            let conn_state = Arc::clone(&accept_state);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, conn_state);
+            });
         });
-        Ok((LiveManager { state, handle }, addr))
+
+        let manager = LiveManager {
+            state,
+            shutdown,
+            addr,
+            accept_handle: Some(accept_handle),
+            connections,
+        };
+        Ok((manager, addr))
     }
 
     /// Number of nodes currently considered alive.
-    pub async fn alive_count(&self) -> usize {
-        let state = self.state.lock().await;
+    pub fn alive_count(&self) -> usize {
+        let state = self.state.lock().expect("not poisoned");
         let now = Instant::now();
         state
             .nodes
@@ -80,40 +101,53 @@ impl LiveManager {
     }
 
     /// Total discovery queries served.
-    pub async fn discoveries_served(&self) -> u64 {
-        self.state.lock().await.discoveries
+    pub fn discoveries_served(&self) -> u64 {
+        self.state.lock().expect("not poisoned").discoveries
     }
 }
 
 impl Drop for LiveManager {
     fn drop(&mut self) {
-        self.handle.abort();
+        self.shutdown.store(true, Ordering::Release);
+        // Nudge the accept loop awake so it observes the flag, then sever
+        // every open connection so their serve threads unblock and exit.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.connections.lock().expect("not poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
-async fn serve_connection(
-    mut stream: TcpStream,
-    state: Arc<Mutex<ManagerState>>,
-) -> std::io::Result<()> {
+fn serve_connection(mut stream: TcpStream, state: Arc<Mutex<ManagerState>>) -> std::io::Result<()> {
     loop {
-        let request: Request = read_message(&mut stream).await?;
-        let response = handle_request(request, &state).await;
-        write_message(&mut stream, &response).await?;
+        let request: Request = read_message(&mut stream)?;
+        let response = handle_request(request, &state);
+        write_message(&mut stream, &response)?;
     }
 }
 
-async fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
+fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
     match request {
-        Request::Register { status, listen_addr } => {
-            let mut s = state.lock().await;
+        Request::Register {
+            status,
+            listen_addr,
+        } => {
+            let mut s = state.lock().expect("not poisoned");
             s.nodes.insert(
                 status.id,
-                Registration { status, listen_addr, last_seen: Instant::now() },
+                Registration {
+                    status,
+                    listen_addr,
+                    last_seen: Instant::now(),
+                },
             );
             Response::Registered
         }
         Request::Heartbeat { status } => {
-            let mut s = state.lock().await;
+            let mut s = state.lock().expect("not poisoned");
             match s.nodes.get_mut(&status.id) {
                 Some(reg) => {
                     reg.status = status;
@@ -125,8 +159,13 @@ async fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Respon
                 },
             }
         }
-        Request::Discover { user: _, lat, lon, top_n } => {
-            let mut s = state.lock().await;
+        Request::Discover {
+            user: _,
+            lat,
+            lon,
+            top_n,
+        } => {
+            let mut s = state.lock().expect("not poisoned");
             s.discoveries += 1;
             let user_loc = GeoPoint::new(lat, lon);
             let now = Instant::now();
@@ -139,8 +178,7 @@ async fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Respon
             // distance as the tiebreaker scale.
             alive.sort_by(|a, b| {
                 let score = |r: &Registration| {
-                    10.0 * r.status.load_score
-                        + 0.2 * user_loc.distance_km(r.status.location)
+                    10.0 * r.status.load_score + 0.2 * user_loc.distance_km(r.status.location)
                 };
                 score(a)
                     .partial_cmp(&score(b))
@@ -176,15 +214,15 @@ mod tests {
         }
     }
 
-    async fn rpc(addr: SocketAddr, req: Request) -> Response {
-        let mut stream = TcpStream::connect(addr).await.unwrap();
-        write_message(&mut stream, &req).await.unwrap();
-        read_message(&mut stream).await.unwrap()
+    fn rpc(addr: SocketAddr, req: Request) -> Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_message(&mut stream, &req).unwrap();
+        read_message(&mut stream).unwrap()
     }
 
-    #[tokio::test]
-    async fn register_then_discover() {
-        let (mgr, addr) = LiveManager::bind().await.unwrap();
+    #[test]
+    fn register_then_discover() {
+        let (mgr, addr) = LiveManager::bind().unwrap();
         for id in 0..3 {
             let resp = rpc(
                 addr,
@@ -192,16 +230,19 @@ mod tests {
                     status: status(id, id as f64 * 0.5),
                     listen_addr: format!("127.0.0.1:{}", 9000 + id),
                 },
-            )
-            .await;
+            );
             assert_eq!(resp, Response::Registered);
         }
-        assert_eq!(mgr.alive_count().await, 3);
+        assert_eq!(mgr.alive_count(), 3);
         let resp = rpc(
             addr,
-            Request::Discover { user: 1, lat: 44.98, lon: -93.26, top_n: 2 },
-        )
-        .await;
+            Request::Discover {
+                user: 1,
+                lat: 44.98,
+                lon: -93.26,
+                top_n: 2,
+            },
+        );
         match resp {
             Response::Candidates { nodes } => {
                 assert_eq!(nodes.len(), 2);
@@ -210,21 +251,32 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(mgr.discoveries_served().await, 1);
+        assert_eq!(mgr.discoveries_served(), 1);
     }
 
-    #[tokio::test]
-    async fn heartbeat_from_unknown_node_errors() {
-        let (_mgr, addr) = LiveManager::bind().await.unwrap();
-        let resp = rpc(addr, Request::Heartbeat { status: status(9, 0.0) }).await;
+    #[test]
+    fn heartbeat_from_unknown_node_errors() {
+        let (_mgr, addr) = LiveManager::bind().unwrap();
+        let resp = rpc(
+            addr,
+            Request::Heartbeat {
+                status: status(9, 0.0),
+            },
+        );
         assert!(matches!(resp, Response::Error { .. }));
     }
 
-    #[tokio::test]
-    async fn frame_request_to_manager_is_an_error() {
-        let (_mgr, addr) = LiveManager::bind().await.unwrap();
-        let resp =
-            rpc(addr, Request::Frame { user: 0, seq: 0, payload_len: 10 }).await;
+    #[test]
+    fn frame_request_to_manager_is_an_error() {
+        let (_mgr, addr) = LiveManager::bind().unwrap();
+        let resp = rpc(
+            addr,
+            Request::Frame {
+                user: 0,
+                seq: 0,
+                payload_len: 10,
+            },
+        );
         assert!(matches!(resp, Response::Error { .. }));
     }
 }

@@ -1,13 +1,9 @@
 //! The live edge-node server.
 
-use std::net::SocketAddr;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::{Mutex, Semaphore};
-use tokio::task::JoinHandle;
 
 use armada_types::{GeoPoint, HardwareProfile, NodeClass};
 use armada_workload::offered_load;
@@ -31,6 +27,43 @@ pub struct NodeConfig {
     pub one_way_delay: Duration,
 }
 
+/// A counting semaphore built on `Mutex` + `Condvar`: frames queue on
+/// the node's core permits so probing observes real contention.
+struct Semaphore {
+    permits: Mutex<u32>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: u32) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock().expect("not poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("not poisoned");
+        }
+        *permits -= 1;
+        SemaphoreGuard { sem: self }
+    }
+}
+
+struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.sem.permits.lock().expect("not poisoned");
+        *permits += 1;
+        self.sem.available.notify_one();
+    }
+}
+
 struct NodeState {
     cfg: NodeConfig,
     /// `cores` permits: frames queue here, so probing observes real
@@ -51,14 +84,15 @@ struct NodeState {
 /// A running live edge node.
 ///
 /// Registers with the manager, heartbeats every 2 seconds, and serves
-/// the Table I APIs over TCP. Dropping the handle aborts the server and
-/// every open connection — which is exactly how an abrupt volunteer
+/// the Table I APIs over TCP. Dropping the handle severs the listener
+/// and every open connection — which is exactly how an abrupt volunteer
 /// departure looks to its clients.
 pub struct LiveNode {
     state: Arc<NodeState>,
-    accept_handle: JoinHandle<()>,
-    heartbeat_handle: Option<JoinHandle<()>>,
-    connections: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    connections: Arc<Mutex<Vec<TcpStream>>>,
+    heartbeat_stream: Option<TcpStream>,
 }
 
 impl LiveNode {
@@ -68,14 +102,14 @@ impl LiveNode {
     /// # Errors
     ///
     /// Propagates socket errors and registration I/O failures.
-    pub async fn bind(
+    pub fn bind(
         cfg: NodeConfig,
         manager_addr: Option<SocketAddr>,
     ) -> std::io::Result<(LiveNode, SocketAddr)> {
-        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let state = Arc::new(NodeState {
-            execution: Semaphore::new(cfg.hw.concurrency() as usize),
+            execution: Semaphore::new(cfg.hw.concurrency()),
             seq: Mutex::new(0),
             attached: Mutex::new(Default::default()),
             whatif_us: AtomicU64::new(0),
@@ -85,59 +119,71 @@ impl LiveNode {
             frames_processed: AtomicU64::new(0),
             cfg,
         });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let connections: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
-            Arc::new(std::sync::Mutex::new(Vec::new()));
         let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
         let accept_connections = Arc::clone(&connections);
-        let accept_handle = tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else { break };
-                let conn_state = Arc::clone(&accept_state);
-                let handle = tokio::spawn(async move {
-                    let _ = serve_connection(stream, conn_state).await;
-                });
-                let mut conns = accept_connections.lock().expect("not poisoned");
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
+        std::thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                break;
+            };
+            if accept_shutdown.load(Ordering::Acquire) {
+                break;
             }
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                accept_connections.lock().expect("not poisoned").push(clone);
+            }
+            let conn_state = Arc::clone(&accept_state);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, conn_state);
+            });
         });
 
-        let heartbeat_handle = match manager_addr {
+        let heartbeat_stream = match manager_addr {
             Some(mgr) => {
-                let hb_state = Arc::clone(&state);
                 // Initial registration happens synchronously so callers
                 // can discover the node as soon as bind returns.
-                let mut stream = TcpStream::connect(mgr).await?;
+                let mut stream = TcpStream::connect(mgr)?;
+                stream.set_nodelay(true)?;
                 write_message(
                     &mut stream,
                     &Request::Register {
-                        status: status_of(&hb_state).await,
+                        status: status_of(&state),
                         listen_addr: addr.to_string(),
                     },
-                )
-                .await?;
-                let _: Response = read_message(&mut stream).await?;
-                Some(tokio::spawn(async move {
-                    loop {
-                        tokio::time::sleep(Duration::from_secs(2)).await;
-                        let status = status_of(&hb_state).await;
-                        let ok = async {
-                            write_message(&mut stream, &Request::Heartbeat { status })
-                                .await?;
-                            read_message::<_, Response>(&mut stream).await
-                        }
-                        .await;
-                        if ok.is_err() {
-                            break;
-                        }
+                )?;
+                let _: Response = read_message(&mut stream)?;
+                let hb_state = Arc::clone(&state);
+                let hb_shutdown = Arc::clone(&shutdown);
+                let mut hb_stream = stream.try_clone()?;
+                std::thread::spawn(move || loop {
+                    std::thread::sleep(Duration::from_secs(2));
+                    if hb_shutdown.load(Ordering::Acquire) {
+                        break;
                     }
-                }))
+                    let status = status_of(&hb_state);
+                    let ok = write_message(&mut hb_stream, &Request::Heartbeat { status })
+                        .and_then(|()| read_message::<_, Response>(&mut hb_stream));
+                    if ok.is_err() {
+                        break;
+                    }
+                });
+                Some(stream)
             }
             None => None,
         };
 
-        Ok((LiveNode { state, accept_handle, heartbeat_handle, connections }, addr))
+        let node = LiveNode {
+            state,
+            shutdown,
+            addr,
+            connections,
+            heartbeat_stream,
+        };
+        Ok((node, addr))
     }
 
     /// Number of test-workload invocations so far.
@@ -151,8 +197,8 @@ impl LiveNode {
     }
 
     /// Currently attached users.
-    pub async fn attached_count(&self) -> usize {
-        self.state.attached.lock().await.len()
+    pub fn attached_count(&self) -> usize {
+        self.state.attached.lock().expect("not poisoned").len()
     }
 }
 
@@ -161,12 +207,14 @@ impl LiveNode {
     /// connection and silences heartbeats — a volunteer departing
     /// "anytime without notifications".
     pub fn shutdown(&self) {
-        self.accept_handle.abort();
-        if let Some(h) = &self.heartbeat_handle {
-            h.abort();
-        }
+        self.shutdown.store(true, Ordering::Release);
+        // Nudge the accept loop awake so it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
         for conn in self.connections.lock().expect("not poisoned").drain(..) {
-            conn.abort();
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(hb) = &self.heartbeat_stream {
+            let _ = hb.shutdown(Shutdown::Both);
         }
     }
 }
@@ -177,8 +225,8 @@ impl Drop for LiveNode {
     }
 }
 
-async fn status_of(state: &NodeState) -> WireNodeStatus {
-    let attached = state.attached.lock().await.len();
+fn status_of(state: &NodeState) -> WireNodeStatus {
+    let attached = state.attached.lock().expect("not poisoned").len();
     WireNodeStatus {
         id: state.cfg.id,
         class: state.cfg.class,
@@ -191,51 +239,47 @@ async fn status_of(state: &NodeState) -> WireNodeStatus {
 /// Executes one frame's worth of work: queue on the core semaphore,
 /// then hold a core for the base frame time. Returns total elapsed
 /// (queueing + execution).
-async fn execute_frame(state: &NodeState) -> Duration {
+fn execute_frame(state: &NodeState) -> Duration {
     let started = Instant::now();
-    let _permit = state.execution.acquire().await.expect("semaphore never closes");
-    tokio::time::sleep(Duration::from_micros(
+    let _permit = state.execution.acquire();
+    std::thread::sleep(Duration::from_micros(
         state.cfg.hw.base_frame_time().as_micros(),
-    ))
-    .await;
+    ));
     started.elapsed()
 }
 
 /// Runs the synthetic test workload and refreshes the what-if cache.
 /// Concurrent triggers coalesce into one invocation.
-async fn run_test_workload(state: Arc<NodeState>) {
+fn run_test_workload(state: Arc<NodeState>) {
     if state.refresh_pending.swap(true, Ordering::AcqRel) {
         return;
     }
     state.test_invocations.fetch_add(1, Ordering::Relaxed);
-    let elapsed = execute_frame(&state).await;
+    let elapsed = execute_frame(&state);
     state
         .whatif_us
         .store(elapsed.as_micros() as u64, Ordering::Relaxed);
     state.refresh_pending.store(false, Ordering::Release);
 }
 
-async fn serve_connection(
-    mut stream: TcpStream,
-    state: Arc<NodeState>,
-) -> std::io::Result<()> {
+fn serve_connection(mut stream: TcpStream, state: Arc<NodeState>) -> std::io::Result<()> {
     loop {
-        let request: Request = read_message(&mut stream).await?;
+        let request: Request = read_message(&mut stream)?;
         // Inbound leg of the artificial geographic delay.
-        tokio::time::sleep(state.cfg.one_way_delay).await;
-        let response = handle_request(request, &state).await;
+        std::thread::sleep(state.cfg.one_way_delay);
+        let response = handle_request(request, &state);
         // Outbound leg.
-        tokio::time::sleep(state.cfg.one_way_delay).await;
-        write_message(&mut stream, &response).await?;
+        std::thread::sleep(state.cfg.one_way_delay);
+        write_message(&mut stream, &response)?;
     }
 }
 
-async fn handle_request(request: Request, state: &Arc<NodeState>) -> Response {
+fn handle_request(request: Request, state: &Arc<NodeState>) -> Response {
     match request {
         Request::RttProbe => Response::RttPong,
         Request::ProcessProbe => {
-            let seq = *state.seq.lock().await;
-            let attached = state.attached.lock().await.len();
+            let seq = *state.seq.lock().expect("not poisoned");
+            let attached = state.attached.lock().expect("not poisoned").len();
             let base_us = state.cfg.hw.base_frame_time().as_micros();
             let whatif = state.whatif_us.load(Ordering::Relaxed);
             let current = state.current_us.load(Ordering::Relaxed);
@@ -246,42 +290,45 @@ async fn handle_request(request: Request, state: &Arc<NodeState>) -> Response {
                 seq,
             }
         }
-        Request::Join { user, seq: presented } => {
-            let mut seq = state.seq.lock().await;
+        Request::Join {
+            user,
+            seq: presented,
+        } => {
+            let mut seq = state.seq.lock().expect("not poisoned");
             if *seq != presented {
                 return Response::JoinResult { accepted: false };
             }
             *seq += 1;
             drop(seq);
-            state.attached.lock().await.insert(user);
+            state.attached.lock().expect("not poisoned").insert(user);
             // Refresh the what-if after the new user's traffic starts
             // (the paper delays by ~2× the common RTT).
             let refresh_state = Arc::clone(state);
             let delay = state.cfg.one_way_delay * 4;
-            tokio::spawn(async move {
-                tokio::time::sleep(delay).await;
-                run_test_workload(refresh_state).await;
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                run_test_workload(refresh_state);
             });
             Response::JoinResult { accepted: true }
         }
         Request::UnexpectedJoin { user } => {
-            *state.seq.lock().await += 1;
-            state.attached.lock().await.insert(user);
+            *state.seq.lock().expect("not poisoned") += 1;
+            state.attached.lock().expect("not poisoned").insert(user);
             let refresh_state = Arc::clone(state);
-            tokio::spawn(run_test_workload(refresh_state));
+            std::thread::spawn(move || run_test_workload(refresh_state));
             Response::Ack
         }
         Request::Leave { user } => {
-            let removed = state.attached.lock().await.remove(&user);
+            let removed = state.attached.lock().expect("not poisoned").remove(&user);
             if removed {
-                *state.seq.lock().await += 1;
+                *state.seq.lock().expect("not poisoned") += 1;
                 let refresh_state = Arc::clone(state);
-                tokio::spawn(run_test_workload(refresh_state));
+                std::thread::spawn(move || run_test_workload(refresh_state));
             }
             Response::Ack
         }
         Request::Frame { seq, .. } => {
-            let elapsed = execute_frame(state).await;
+            let elapsed = execute_frame(state);
             let elapsed_us = elapsed.as_micros() as u64;
             state.current_us.store(elapsed_us, Ordering::Relaxed);
             state.frames_processed.fetch_add(1, Ordering::Relaxed);
@@ -292,13 +339,19 @@ async fn handle_request(request: Request, state: &Arc<NodeState>) -> Response {
             if whatif > 0 {
                 let drift = (elapsed_us as f64 - whatif as f64).abs() / whatif as f64;
                 if drift > 0.25 {
-                    *state.seq.lock().await += 1;
-                    tokio::spawn(run_test_workload(Arc::clone(state)));
+                    *state.seq.lock().expect("not poisoned") += 1;
+                    let refresh_state = Arc::clone(state);
+                    std::thread::spawn(move || run_test_workload(refresh_state));
                 }
             }
-            Response::FrameResult { seq, processing_us: elapsed_us }
+            Response::FrameResult {
+                seq,
+                processing_us: elapsed_us,
+            }
         }
-        other => Response::Error { message: format!("node cannot serve {other:?}") },
+        other => Response::Error {
+            message: format!("node cannot serve {other:?}"),
+        },
     }
 }
 
@@ -316,18 +369,23 @@ mod tests {
         }
     }
 
-    async fn rpc(stream: &mut TcpStream, req: Request) -> Response {
-        write_message(stream, &req).await.unwrap();
-        read_message(stream).await.unwrap()
+    fn rpc(stream: &mut TcpStream, req: Request) -> Response {
+        write_message(stream, &req).unwrap();
+        read_message(stream).unwrap()
     }
 
-    #[tokio::test]
-    async fn probe_join_leave_cycle() {
-        let (node, addr) = LiveNode::bind(config(1, 4, 5.0, 0), None).await.unwrap();
-        let mut stream = TcpStream::connect(addr).await.unwrap();
-        let reply = rpc(&mut stream, Request::ProcessProbe).await;
+    #[test]
+    fn probe_join_leave_cycle() {
+        let (node, addr) = LiveNode::bind(config(1, 4, 5.0, 0), None).unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let reply = rpc(&mut stream, Request::ProcessProbe);
         let seq = match reply {
-            Response::ProbeReply { seq, attached, whatif_us, .. } => {
+            Response::ProbeReply {
+                seq,
+                attached,
+                whatif_us,
+                ..
+            } => {
                 assert_eq!(attached, 0);
                 assert_eq!(whatif_us, 5_000, "fallback is the base frame time");
                 seq
@@ -335,26 +393,32 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(
-            rpc(&mut stream, Request::Join { user: 7, seq }).await,
+            rpc(&mut stream, Request::Join { user: 7, seq }),
             Response::JoinResult { accepted: true }
         );
-        assert_eq!(node.attached_count().await, 1);
+        assert_eq!(node.attached_count(), 1);
         // Stale sequence numbers are rejected (Algorithm 1).
         assert_eq!(
-            rpc(&mut stream, Request::Join { user: 8, seq }).await,
+            rpc(&mut stream, Request::Join { user: 8, seq }),
             Response::JoinResult { accepted: false }
         );
-        assert_eq!(rpc(&mut stream, Request::Leave { user: 7 }).await, Response::Ack);
-        assert_eq!(node.attached_count().await, 0);
+        assert_eq!(rpc(&mut stream, Request::Leave { user: 7 }), Response::Ack);
+        assert_eq!(node.attached_count(), 0);
     }
 
-    #[tokio::test]
-    async fn frames_take_at_least_base_time() {
-        let (_node, addr) = LiveNode::bind(config(1, 2, 8.0, 0), None).await.unwrap();
-        let mut stream = TcpStream::connect(addr).await.unwrap();
+    #[test]
+    fn frames_take_at_least_base_time() {
+        let (_node, addr) = LiveNode::bind(config(1, 2, 8.0, 0), None).unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
         let started = Instant::now();
-        let reply =
-            rpc(&mut stream, Request::Frame { user: 1, seq: 0, payload_len: 20_000 }).await;
+        let reply = rpc(
+            &mut stream,
+            Request::Frame {
+                user: 1,
+                seq: 0,
+                payload_len: 20_000,
+            },
+        );
         let elapsed = started.elapsed();
         match reply {
             Response::FrameResult { seq, processing_us } => {
@@ -366,37 +430,47 @@ mod tests {
         assert!(elapsed >= Duration::from_millis(8));
     }
 
-    #[tokio::test]
-    async fn artificial_delay_shows_in_rtt() {
-        let (_node, addr) = LiveNode::bind(config(1, 2, 1.0, 10), None).await.unwrap();
-        let mut stream = TcpStream::connect(addr).await.unwrap();
+    #[test]
+    fn artificial_delay_shows_in_rtt() {
+        let (_node, addr) = LiveNode::bind(config(1, 2, 1.0, 10), None).unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
         let started = Instant::now();
-        let reply = rpc(&mut stream, Request::RttProbe).await;
+        let reply = rpc(&mut stream, Request::RttProbe);
         assert_eq!(reply, Response::RttPong);
-        assert!(started.elapsed() >= Duration::from_millis(20), "two legs of 10 ms each");
+        assert!(
+            started.elapsed() >= Duration::from_millis(20),
+            "two legs of 10 ms each"
+        );
     }
 
-    #[tokio::test]
-    async fn contention_inflates_whatif() {
-        let (node, addr) = LiveNode::bind(config(1, 1, 20.0, 0), None).await.unwrap();
+    #[test]
+    fn contention_inflates_whatif() {
+        let (node, addr) = LiveNode::bind(config(1, 1, 20.0, 0), None).unwrap();
         // Saturate the single core with frames from several connections.
         let mut tasks = Vec::new();
         for user in 0..4u64 {
-            let mut s = TcpStream::connect(addr).await.unwrap();
-            tasks.push(tokio::spawn(async move {
-                let _ = rpc(&mut s, Request::Frame { user, seq: 0, payload_len: 20_000 }).await;
+            let mut s = TcpStream::connect(addr).unwrap();
+            tasks.push(std::thread::spawn(move || {
+                let _ = rpc(
+                    &mut s,
+                    Request::Frame {
+                        user,
+                        seq: 0,
+                        payload_len: 20_000,
+                    },
+                );
             }));
         }
         // Trigger a test workload while the queue is full.
-        let mut stream = TcpStream::connect(addr).await.unwrap();
-        let _ = rpc(&mut stream, Request::UnexpectedJoin { user: 99 }).await;
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let _ = rpc(&mut stream, Request::UnexpectedJoin { user: 99 });
         for t in tasks {
-            t.await.unwrap();
+            t.join().unwrap();
         }
         // Wait for the test workload to drain through the queue.
-        tokio::time::sleep(Duration::from_millis(200)).await;
+        std::thread::sleep(Duration::from_millis(200));
         assert!(node.test_invocations() >= 1);
-        let reply = rpc(&mut stream, Request::ProcessProbe).await;
+        let reply = rpc(&mut stream, Request::ProcessProbe);
         match reply {
             Response::ProbeReply { whatif_us, .. } => {
                 assert!(

@@ -1,8 +1,8 @@
 //! The wire protocol: length-prefixed JSON messages.
 
-use serde::{de::DeserializeOwned, Deserialize, Serialize};
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use std::io::{Read, Write};
 
+use armada_json::{FromJson, Json, JsonError, ToJson};
 use armada_types::{GeoPoint, NodeClass};
 
 /// Upper bound on a single message, guarding against corrupt length
@@ -10,7 +10,7 @@ use armada_types::{GeoPoint, NodeClass};
 const MAX_MESSAGE_BYTES: u32 = 1 << 20;
 
 /// Requests sent to the manager or to a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Node → manager: initial registration.
     Register {
@@ -69,7 +69,7 @@ pub enum Request {
 }
 
 /// Replies to [`Request`]s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Registration accepted.
     Registered,
@@ -116,7 +116,7 @@ pub enum Response {
 }
 
 /// Node status as carried on the wire.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WireNodeStatus {
     /// Node identity.
     pub id: u64,
@@ -130,22 +130,265 @@ pub struct WireNodeStatus {
     pub load_score: f64,
 }
 
+impl ToJson for WireNodeStatus {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::Int(self.id as i64)),
+            ("class", self.class.to_json()),
+            ("location", self.location.to_json()),
+            ("attached_users", Json::Int(self.attached_users as i64)),
+            ("load_score", Json::Float(self.load_score)),
+        ])
+    }
+}
+
+impl FromJson for WireNodeStatus {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(WireNodeStatus {
+            id: u64::from_json(value.require("id")?)?,
+            class: NodeClass::from_json(value.require("class")?)?,
+            location: GeoPoint::from_json(value.require("location")?)?,
+            attached_users: usize::from_json(value.require("attached_users")?)?,
+            load_score: f64::from_json(value.require("load_score")?)?,
+        })
+    }
+}
+
+/// Unit variants serialise as a bare string, struct variants as a
+/// single-key object (serde's external tagging, which the previous
+/// derive produced).
+fn variant(name: &str, fields: Vec<(&str, Json)>) -> Json {
+    Json::object(vec![(name, Json::object(fields))])
+}
+
+/// Placeholder payload for unit variants.
+static NULL_PAYLOAD: Json = Json::Null;
+
+/// Splits an externally-tagged value into `(variant_name, payload)`.
+fn untag(value: &Json) -> Result<(&str, &Json), JsonError> {
+    match value {
+        Json::Str(name) => Ok((name.as_str(), &NULL_PAYLOAD)),
+        Json::Object(members) if members.len() == 1 => Ok((members[0].0.as_str(), &members[0].1)),
+        _ => Err(JsonError::new("expected an externally-tagged enum value")),
+    }
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Register {
+                status,
+                listen_addr,
+            } => variant(
+                "Register",
+                vec![
+                    ("status", status.to_json()),
+                    ("listen_addr", Json::Str(listen_addr.clone())),
+                ],
+            ),
+            Request::Heartbeat { status } => {
+                variant("Heartbeat", vec![("status", status.to_json())])
+            }
+            Request::Discover {
+                user,
+                lat,
+                lon,
+                top_n,
+            } => variant(
+                "Discover",
+                vec![
+                    ("user", Json::Int(*user as i64)),
+                    ("lat", Json::Float(*lat)),
+                    ("lon", Json::Float(*lon)),
+                    ("top_n", Json::Int(*top_n as i64)),
+                ],
+            ),
+            Request::RttProbe => Json::Str("RttProbe".to_owned()),
+            Request::ProcessProbe => Json::Str("ProcessProbe".to_owned()),
+            Request::Join { user, seq } => variant(
+                "Join",
+                vec![
+                    ("user", Json::Int(*user as i64)),
+                    ("seq", Json::Int(*seq as i64)),
+                ],
+            ),
+            Request::UnexpectedJoin { user } => {
+                variant("UnexpectedJoin", vec![("user", Json::Int(*user as i64))])
+            }
+            Request::Leave { user } => variant("Leave", vec![("user", Json::Int(*user as i64))]),
+            Request::Frame {
+                user,
+                seq,
+                payload_len,
+            } => variant(
+                "Frame",
+                vec![
+                    ("user", Json::Int(*user as i64)),
+                    ("seq", Json::Int(*seq as i64)),
+                    ("payload_len", Json::Int(*payload_len as i64)),
+                ],
+            ),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let (name, body) = untag(value)?;
+        match name {
+            "Register" => Ok(Request::Register {
+                status: WireNodeStatus::from_json(body.require("status")?)?,
+                listen_addr: String::from_json(body.require("listen_addr")?)?,
+            }),
+            "Heartbeat" => Ok(Request::Heartbeat {
+                status: WireNodeStatus::from_json(body.require("status")?)?,
+            }),
+            "Discover" => Ok(Request::Discover {
+                user: u64::from_json(body.require("user")?)?,
+                lat: f64::from_json(body.require("lat")?)?,
+                lon: f64::from_json(body.require("lon")?)?,
+                top_n: usize::from_json(body.require("top_n")?)?,
+            }),
+            "RttProbe" => Ok(Request::RttProbe),
+            "ProcessProbe" => Ok(Request::ProcessProbe),
+            "Join" => Ok(Request::Join {
+                user: u64::from_json(body.require("user")?)?,
+                seq: u64::from_json(body.require("seq")?)?,
+            }),
+            "UnexpectedJoin" => Ok(Request::UnexpectedJoin {
+                user: u64::from_json(body.require("user")?)?,
+            }),
+            "Leave" => Ok(Request::Leave {
+                user: u64::from_json(body.require("user")?)?,
+            }),
+            "Frame" => Ok(Request::Frame {
+                user: u64::from_json(body.require("user")?)?,
+                seq: u64::from_json(body.require("seq")?)?,
+                payload_len: u32::from_json(body.require("payload_len")?)?,
+            }),
+            other => Err(JsonError::new(format!("unknown Request variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Registered => Json::Str("Registered".to_owned()),
+            Response::HeartbeatAck => Json::Str("HeartbeatAck".to_owned()),
+            Response::Candidates { nodes } => variant(
+                "Candidates",
+                vec![(
+                    "nodes",
+                    Json::Array(
+                        nodes
+                            .iter()
+                            .map(|(id, addr)| {
+                                Json::Array(vec![Json::Int(*id as i64), Json::Str(addr.clone())])
+                            })
+                            .collect(),
+                    ),
+                )],
+            ),
+            Response::RttPong => Json::Str("RttPong".to_owned()),
+            Response::ProbeReply {
+                whatif_us,
+                current_us,
+                attached,
+                seq,
+            } => variant(
+                "ProbeReply",
+                vec![
+                    ("whatif_us", Json::Int(*whatif_us as i64)),
+                    ("current_us", Json::Int(*current_us as i64)),
+                    ("attached", Json::Int(*attached as i64)),
+                    ("seq", Json::Int(*seq as i64)),
+                ],
+            ),
+            Response::JoinResult { accepted } => {
+                variant("JoinResult", vec![("accepted", Json::Bool(*accepted))])
+            }
+            Response::Ack => Json::Str("Ack".to_owned()),
+            Response::FrameResult { seq, processing_us } => variant(
+                "FrameResult",
+                vec![
+                    ("seq", Json::Int(*seq as i64)),
+                    ("processing_us", Json::Int(*processing_us as i64)),
+                ],
+            ),
+            Response::Error { message } => {
+                variant("Error", vec![("message", Json::Str(message.clone()))])
+            }
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let (name, body) = untag(value)?;
+        match name {
+            "Registered" => Ok(Response::Registered),
+            "HeartbeatAck" => Ok(Response::HeartbeatAck),
+            "Candidates" => {
+                let raw = body
+                    .require("nodes")?
+                    .as_array()
+                    .ok_or_else(|| JsonError::new("Candidates.nodes must be an array"))?;
+                let mut nodes = Vec::with_capacity(raw.len());
+                for pair in raw {
+                    let items = pair
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| JsonError::new("candidate must be [id, addr]"))?;
+                    nodes.push((u64::from_json(&items[0])?, String::from_json(&items[1])?));
+                }
+                Ok(Response::Candidates { nodes })
+            }
+            "RttPong" => Ok(Response::RttPong),
+            "ProbeReply" => Ok(Response::ProbeReply {
+                whatif_us: u64::from_json(body.require("whatif_us")?)?,
+                current_us: u64::from_json(body.require("current_us")?)?,
+                attached: usize::from_json(body.require("attached")?)?,
+                seq: u64::from_json(body.require("seq")?)?,
+            }),
+            "JoinResult" => Ok(Response::JoinResult {
+                accepted: bool::from_json(body.require("accepted")?)?,
+            }),
+            "Ack" => Ok(Response::Ack),
+            "FrameResult" => Ok(Response::FrameResult {
+                seq: u64::from_json(body.require("seq")?)?,
+                processing_us: u64::from_json(body.require("processing_us")?)?,
+            }),
+            "Error" => Ok(Response::Error {
+                message: String::from_json(body.require("message")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown Response variant `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Writes one length-prefixed JSON message.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; serialisation of these types cannot fail.
-pub async fn write_message<W, T>(writer: &mut W, message: &T) -> std::io::Result<()>
+pub fn write_message<W, T>(writer: &mut W, message: &T) -> std::io::Result<()>
 where
-    W: AsyncWriteExt + Unpin,
-    T: Serialize,
+    W: Write,
+    T: ToJson,
 {
-    let body = serde_json::to_vec(message).expect("protocol types always serialise");
+    let body = armada_json::to_string(message).into_bytes();
     let len = u32::try_from(body.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "message too large"))?;
-    writer.write_all(&len.to_be_bytes()).await?;
-    writer.write_all(&body).await?;
-    writer.flush().await
+    // One write per message: a separate length-prefix write would sit in
+    // a Nagle buffer waiting on the peer's delayed ACK (~40 ms per RPC).
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&body);
+    writer.write_all(&frame)?;
+    writer.flush()
 }
 
 /// Reads one length-prefixed JSON message.
@@ -154,13 +397,13 @@ where
 ///
 /// Returns an error on I/O failure, oversized frames, or malformed
 /// JSON.
-pub async fn read_message<R, T>(reader: &mut R) -> std::io::Result<T>
+pub fn read_message<R, T>(reader: &mut R) -> std::io::Result<T>
 where
-    R: AsyncReadExt + Unpin,
-    T: DeserializeOwned,
+    R: Read,
+    T: FromJson,
 {
     let mut len_buf = [0u8; 4];
-    reader.read_exact(&mut len_buf).await?;
+    reader.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_MESSAGE_BYTES {
         return Err(std::io::Error::new(
@@ -169,55 +412,136 @@ where
         ));
     }
     let mut body = vec![0u8; len as usize];
-    reader.read_exact(&mut body).await?;
-    serde_json::from_slice(&body)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    reader.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    armada_json::from_str(text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
 
-    #[tokio::test]
-    async fn roundtrip_over_duplex() {
-        let (mut a, mut b) = tokio::io::duplex(4096);
+    #[test]
+    fn roundtrip_over_buffer() {
+        let mut buf = Vec::new();
         let msg = Request::Join { user: 7, seq: 42 };
-        write_message(&mut a, &msg).await.unwrap();
-        let back: Request = read_message(&mut b).await.unwrap();
+        write_message(&mut buf, &msg).unwrap();
+        let back: Request = read_message(&mut Cursor::new(buf)).unwrap();
         assert_eq!(back, msg);
     }
 
-    #[tokio::test]
-    async fn multiple_messages_in_sequence() {
-        let (mut a, mut b) = tokio::io::duplex(4096);
+    #[test]
+    fn multiple_messages_in_sequence() {
+        let mut buf = Vec::new();
         for seq in 0..10u64 {
-            write_message(&mut a, &Response::FrameResult { seq, processing_us: 1 })
-                .await
-                .unwrap();
+            write_message(
+                &mut buf,
+                &Response::FrameResult {
+                    seq,
+                    processing_us: 1,
+                },
+            )
+            .unwrap();
         }
+        let mut cursor = Cursor::new(buf);
         for seq in 0..10u64 {
-            let r: Response = read_message(&mut b).await.unwrap();
-            assert_eq!(r, Response::FrameResult { seq, processing_us: 1 });
+            let r: Response = read_message(&mut cursor).unwrap();
+            assert_eq!(
+                r,
+                Response::FrameResult {
+                    seq,
+                    processing_us: 1
+                }
+            );
         }
     }
 
-    #[tokio::test]
-    async fn oversized_frame_rejected() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        use tokio::io::AsyncWriteExt;
-        a.write_all(&u32::MAX.to_be_bytes()).await.unwrap();
-        let err = read_message::<_, Request>(&mut b).await.unwrap_err();
+    #[test]
+    fn oversized_frame_rejected() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_message::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
-    #[tokio::test]
-    async fn garbage_json_rejected() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        use tokio::io::AsyncWriteExt;
-        a.write_all(&4u32.to_be_bytes()).await.unwrap();
-        a.write_all(b"!!!!").await.unwrap();
-        let err = read_message::<_, Request>(&mut b).await.unwrap_err();
+    #[test]
+    fn garbage_json_rejected() {
+        let mut buf = 4u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"!!!!");
+        let err = read_message::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        let status = WireNodeStatus {
+            id: 3,
+            class: NodeClass::Volunteer,
+            location: GeoPoint::new(44.9, -93.2),
+            attached_users: 1,
+            load_score: 0.5,
+        };
+        let requests = vec![
+            Request::Register {
+                status: status.clone(),
+                listen_addr: "127.0.0.1:9000".into(),
+            },
+            Request::Heartbeat { status },
+            Request::Discover {
+                user: 1,
+                lat: 44.9,
+                lon: -93.2,
+                top_n: 3,
+            },
+            Request::RttProbe,
+            Request::ProcessProbe,
+            Request::Join { user: 2, seq: 11 },
+            Request::UnexpectedJoin { user: 2 },
+            Request::Leave { user: 2 },
+            Request::Frame {
+                user: 2,
+                seq: 5,
+                payload_len: 20_000,
+            },
+        ];
+        for msg in requests {
+            let text = armada_json::to_string(&msg);
+            let back: Request = armada_json::from_str(&text).unwrap();
+            assert_eq!(back, msg, "{text}");
+        }
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips() {
+        let responses = vec![
+            Response::Registered,
+            Response::HeartbeatAck,
+            Response::Candidates {
+                nodes: vec![(1, "127.0.0.1:9001".into()), (2, "127.0.0.1:9002".into())],
+            },
+            Response::RttPong,
+            Response::ProbeReply {
+                whatif_us: 42_000,
+                current_us: 31_000,
+                attached: 2,
+                seq: 9,
+            },
+            Response::JoinResult { accepted: true },
+            Response::Ack,
+            Response::FrameResult {
+                seq: 3,
+                processing_us: 27_500,
+            },
+            Response::Error {
+                message: "node shutting down".into(),
+            },
+        ];
+        for msg in responses {
+            let text = armada_json::to_string(&msg);
+            let back: Response = armada_json::from_str(&text).unwrap();
+            assert_eq!(back, msg, "{text}");
+        }
     }
 
     #[test]
@@ -229,8 +553,8 @@ mod tests {
             attached_users: 1,
             load_score: 0.5,
         };
-        let json = serde_json::to_string(&s).unwrap();
-        let back: WireNodeStatus = serde_json::from_str(&json).unwrap();
+        let json = armada_json::to_string(&s);
+        let back: WireNodeStatus = armada_json::from_str(&json).unwrap();
         assert_eq!(back, s);
     }
 }

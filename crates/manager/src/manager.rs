@@ -171,7 +171,10 @@ mod tests {
         let mut mgr =
             CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
         for i in 0..n {
-            mgr.register(status(i, home().offset_km(i as f64 * 4.0, 0.0), 0.0), SimTime::ZERO);
+            mgr.register(
+                status(i, home().offset_km(i as f64 * 4.0, 0.0), 0.0),
+                SimTime::ZERO,
+            );
         }
         mgr
     }
@@ -232,7 +235,11 @@ mod tests {
         mgr.register(status(0, home().offset_km(1.0, 0.0), 3.0), SimTime::ZERO);
         mgr.register(status(1, home().offset_km(6.0, 0.0), 0.0), SimTime::ZERO);
         let got = mgr.discover(home(), &[], 2, SimTime::ZERO);
-        assert_eq!(got[0], NodeId::new(1), "idle node outranks the loaded closer one");
+        assert_eq!(
+            got[0],
+            NodeId::new(1),
+            "idle node outranks the loaded closer one"
+        );
     }
 
     #[test]
@@ -265,7 +272,10 @@ mod tests {
     fn moving_node_updates_index_via_heartbeat() {
         let mut mgr = manager_with_nodes(2);
         // Node 1 moves far away; node 0 stays. Rediscover: node 0 first.
-        mgr.heartbeat(status(1, home().offset_km(500.0, 0.0), 0.0), SimTime::from_secs(1));
+        mgr.heartbeat(
+            status(1, home().offset_km(500.0, 0.0), 0.0),
+            SimTime::from_secs(1),
+        );
         mgr.heartbeat(status(0, home(), 0.0), SimTime::from_secs(1));
         let ranked = mgr.ranked_candidates(home(), &[], 2, SimTime::from_secs(1));
         assert_eq!(ranked[0].node, NodeId::new(0));

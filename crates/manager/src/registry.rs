@@ -37,8 +37,15 @@ impl NodeRegistry {
     /// Panics if `miss_limit` is zero or the heartbeat period is zero.
     pub fn new(heartbeat_period: SimDuration, miss_limit: u32) -> Self {
         assert!(miss_limit > 0, "miss limit must be at least 1");
-        assert!(!heartbeat_period.is_zero(), "heartbeat period must be positive");
-        NodeRegistry { nodes: HashMap::new(), heartbeat_period, miss_limit }
+        assert!(
+            !heartbeat_period.is_zero(),
+            "heartbeat period must be positive"
+        );
+        NodeRegistry {
+            nodes: HashMap::new(),
+            heartbeat_period,
+            miss_limit,
+        }
     }
 
     /// Registers a node or refreshes an existing registration.
@@ -49,7 +56,11 @@ impl NodeRegistry {
                 r.status = status;
                 r.last_heartbeat = now;
             })
-            .or_insert(NodeRecord { status, registered_at: now, last_heartbeat: now });
+            .or_insert(NodeRecord {
+                status,
+                registered_at: now,
+                last_heartbeat: now,
+            });
     }
 
     /// Records a heartbeat; returns `false` (and ignores it) if the node
@@ -91,7 +102,9 @@ impl NodeRegistry {
     /// Iterates over records considered alive at `now`.
     pub fn alive(&self, now: SimTime) -> impl Iterator<Item = &NodeRecord> {
         let deadline = self.deadline(now);
-        self.nodes.values().filter(move |r| r.last_heartbeat >= deadline)
+        self.nodes
+            .values()
+            .filter(move |r| r.last_heartbeat >= deadline)
     }
 
     /// Number of alive nodes at `now`.
@@ -188,7 +201,11 @@ mod tests {
         r.heartbeat(s, SimTime::from_secs(1));
         let rec = r.record(NodeId::new(1)).unwrap();
         assert_eq!(rec.status.attached_users, 4);
-        assert_eq!(rec.registered_at, SimTime::ZERO, "registration time preserved");
+        assert_eq!(
+            rec.registered_at,
+            SimTime::ZERO,
+            "registration time preserved"
+        );
     }
 
     #[test]
@@ -215,8 +232,10 @@ mod tests {
         let mut r = registry();
         r.register(status(1), SimTime::ZERO);
         r.register(status(2), SimTime::from_secs(8));
-        let alive: Vec<NodeId> =
-            r.alive(SimTime::from_secs(9)).map(|rec| rec.status.node).collect();
+        let alive: Vec<NodeId> = r
+            .alive(SimTime::from_secs(9))
+            .map(|rec| rec.status.node)
+            .collect();
         assert_eq!(alive, vec![NodeId::new(2)]);
     }
 

@@ -1,7 +1,5 @@
 //! Global edge selection: ranking alive candidates for one user.
 
-use serde::{Deserialize, Serialize};
-
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId};
 
@@ -19,7 +17,7 @@ use armada_types::{GeoPoint, NodeId};
 ///
 /// The ranking is intentionally coarse — clients re-evaluate candidates
 /// by probing — so weights only need to produce a sensible shortlist.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalSelectionPolicy {
     /// Weight on the node's offered-load score.
     pub load_weight: f64,
@@ -53,14 +51,23 @@ pub struct ScoredCandidate {
 
 impl GlobalSelectionPolicy {
     /// Scores one candidate for a user at `user_loc`.
-    pub fn score(&self, user_loc: GeoPoint, status: &NodeStatus, affiliated: bool) -> ScoredCandidate {
+    pub fn score(
+        &self,
+        user_loc: GeoPoint,
+        status: &NodeStatus,
+        affiliated: bool,
+    ) -> ScoredCandidate {
         let distance_km = user_loc.distance_km(status.location);
-        let mut score = self.load_weight * status.load_score
-            + self.distance_weight_per_km * distance_km;
+        let mut score =
+            self.load_weight * status.load_score + self.distance_weight_per_km * distance_km;
         if affiliated {
             score -= self.affinity_bonus;
         }
-        ScoredCandidate { node: status.node, score, distance_km }
+        ScoredCandidate {
+            node: status.node,
+            score,
+            distance_km,
+        }
     }
 
     /// Ranks `candidates` for the user, best first, breaking ties by
@@ -112,7 +119,11 @@ mod tests {
         let p = GlobalSelectionPolicy::default();
         let ranked = p.rank(
             user(),
-            vec![status(1, 30.0, 0.0), status(2, 2.0, 0.0), status(3, 10.0, 0.0)],
+            vec![
+                status(1, 30.0, 0.0),
+                status(2, 2.0, 0.0),
+                status(3, 10.0, 0.0),
+            ],
             &[],
         );
         assert_eq!(ranked[0].node, NodeId::new(2));

@@ -39,17 +39,30 @@ impl Cdf {
         self.sorted.is_empty()
     }
 
-    /// The `q`-quantile by nearest rank; `None` if empty.
+    /// The `q`-quantile by nearest rank (the smallest sample with at
+    /// least a `q` fraction of the data at or below it); `None` if
+    /// empty. `q = 0.0` is the minimum, `q = 1.0` the maximum.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
-        assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.sorted.is_empty() {
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1]"
+        );
+        let n = self.sorted.len();
+        if n == 0 {
             return None;
         }
-        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        // Nearest rank is ⌈q·n⌉ (1-based); rounding (n-1)·q instead
+        // systematically over-picks, e.g. the median of two samples
+        // would come out as the larger one.
+        let idx = if q == 0.0 {
+            0
+        } else {
+            ((q * n as f64).ceil() as usize - 1).min(n - 1)
+        };
         Some(self.sorted[idx])
     }
 
@@ -111,6 +124,48 @@ mod tests {
         assert_eq!(c.quantile(0.0), Some(SimDuration::from_millis(10)));
         assert_eq!(c.quantile(0.5), Some(SimDuration::from_millis(30)));
         assert_eq!(c.quantile(1.0), Some(SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let c = cdf(&[42]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(c.quantile(q), Some(SimDuration::from_millis(42)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn median_of_two_is_the_lower_sample() {
+        // Nearest rank for n=2, q=0.5 is ⌈0.5·2⌉ = 1st element. The old
+        // round((n-1)·q) formula picked the 2nd.
+        let c = cdf(&[10, 20]);
+        assert_eq!(c.quantile(0.5), Some(SimDuration::from_millis(10)));
+        assert_eq!(c.quantile(0.0), Some(SimDuration::from_millis(10)));
+        assert_eq!(c.quantile(1.0), Some(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    fn nearest_rank_on_fifty_samples() {
+        // 1..=50 ms: the q-quantile must be the ⌈50q⌉-th smallest.
+        let ms: Vec<u64> = (1..=50).collect();
+        let c = cdf(&ms);
+        assert_eq!(c.quantile(0.1), Some(SimDuration::from_millis(5)));
+        assert_eq!(c.quantile(0.5), Some(SimDuration::from_millis(25)));
+        assert_eq!(c.quantile(0.9), Some(SimDuration::from_millis(45)));
+        assert_eq!(c.quantile(1.0), Some(SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn nearest_rank_on_hundred_samples() {
+        // 1..=100 ms: p50 is the 50th element, not the 51st the old
+        // rounding produced; p25 the 25th; p99 the 99th.
+        let ms: Vec<u64> = (1..=100).collect();
+        let c = cdf(&ms);
+        assert_eq!(c.quantile(0.25), Some(SimDuration::from_millis(25)));
+        assert_eq!(c.quantile(0.5), Some(SimDuration::from_millis(50)));
+        assert_eq!(c.quantile(0.99), Some(SimDuration::from_millis(99)));
+        assert_eq!(c.quantile(0.0), Some(SimDuration::from_millis(1)));
+        assert_eq!(c.quantile(1.0), Some(SimDuration::from_millis(100)));
     }
 
     #[test]

@@ -39,10 +39,16 @@ impl Histogram {
         assert!(!edges_ms.is_empty(), "histogram needs at least one edge");
         let mut prev = 0.0;
         for &e in edges_ms {
-            assert!(e.is_finite() && e > prev, "edges must be positive and increasing");
+            assert!(
+                e.is_finite() && e > prev,
+                "edges must be positive and increasing"
+            );
             prev = e;
         }
-        Histogram { edges_ms: edges_ms.to_vec(), counts: vec![0; edges_ms.len() + 1] }
+        Histogram {
+            edges_ms: edges_ms.to_vec(),
+            counts: vec![0; edges_ms.len() + 1],
+        }
     }
 
     /// Records one observation.
@@ -79,7 +85,10 @@ impl Histogram {
                 format!("[{low:>6.1},    inf)")
             };
             let bar_len = (count as usize * width) / max as usize;
-            out.push_str(&format!("{label} |{:<width$}| {count}\n", "#".repeat(bar_len)));
+            out.push_str(&format!(
+                "{label} |{:<width$}| {count}\n",
+                "#".repeat(bar_len)
+            ));
             if i < self.edges_ms.len() {
                 low = self.edges_ms[i];
             }
@@ -129,7 +138,10 @@ mod tests {
         assert_eq!(out.lines().count(), 4);
         assert!(out.contains("| 4"), "largest bucket count shown:\n{out}");
         let first_line = out.lines().next().unwrap();
-        assert!(first_line.contains(&"#".repeat(20)), "largest bar is full width");
+        assert!(
+            first_line.contains(&"#".repeat(20)),
+            "largest bar is full width"
+        );
     }
 
     #[test]

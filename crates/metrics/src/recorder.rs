@@ -55,7 +55,11 @@ impl LatencyRecorder {
 
     /// Overall mean latency; `None` when empty.
     pub fn mean(&self) -> Option<SimDuration> {
-        let values: Vec<f64> = self.samples.iter().map(|s| s.latency.as_millis_f64()).collect();
+        let values: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| s.latency.as_millis_f64())
+            .collect();
         stats::mean(&values).map(SimDuration::from_millis_f64)
     }
 
@@ -75,7 +79,10 @@ impl LatencyRecorder {
     pub fn per_user_mean(&self) -> BTreeMap<UserId, SimDuration> {
         let mut grouped: BTreeMap<UserId, Vec<f64>> = BTreeMap::new();
         for s in &self.samples {
-            grouped.entry(s.user).or_default().push(s.latency.as_millis_f64());
+            grouped
+                .entry(s.user)
+                .or_default()
+                .push(s.latency.as_millis_f64());
         }
         grouped
             .into_iter()
@@ -91,7 +98,10 @@ impl LatencyRecorder {
         let mut grouped: BTreeMap<UserId, Vec<f64>> = BTreeMap::new();
         for s in &self.samples {
             if s.at >= from && s.at < to {
-                grouped.entry(s.user).or_default().push(s.latency.as_millis_f64());
+                grouped
+                    .entry(s.user)
+                    .or_default()
+                    .push(s.latency.as_millis_f64());
             }
         }
         let per_user: Vec<f64> = grouped.values().filter_map(|v| stats::mean(v)).collect();
@@ -115,8 +125,7 @@ impl LatencyRecorder {
         grouped
             .into_iter()
             .filter_map(|(idx, users)| {
-                let per_user: Vec<f64> =
-                    users.values().filter_map(|v| stats::mean(v)).collect();
+                let per_user: Vec<f64> = users.values().filter_map(|v| stats::mean(v)).collect();
                 stats::mean(&per_user).map(|m| {
                     (
                         SimTime::from_micros(idx * bin.as_micros()),
@@ -138,10 +147,12 @@ impl LatencyRecorder {
                     continue;
                 }
             }
-            grouped.entry(s.user).or_default().push(s.latency.as_millis_f64());
+            grouped
+                .entry(s.user)
+                .or_default()
+                .push(s.latency.as_millis_f64());
         }
-        let per_user: Vec<f64> =
-            grouped.values().filter_map(|v| stats::mean(v)).collect();
+        let per_user: Vec<f64> = grouped.values().filter_map(|v| stats::mean(v)).collect();
         stats::stddev(&per_user).map(SimDuration::from_millis_f64)
     }
 
@@ -152,7 +163,10 @@ impl LatencyRecorder {
         let mut grouped: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
         for s in &self.samples {
             let idx = s.at.as_micros() / bin.as_micros();
-            grouped.entry(idx).or_default().push(s.latency.as_millis_f64());
+            grouped
+                .entry(idx)
+                .or_default()
+                .push(s.latency.as_millis_f64());
         }
         grouped
             .into_iter()
@@ -176,7 +190,9 @@ impl LatencyRecorder {
         for s in &self.samples {
             out.entry(s.user).or_default().samples.push(*s);
         }
-        out.into_iter().map(|(u, rec)| (u, rec.binned_mean(bin))).collect()
+        out.into_iter()
+            .map(|(u, rec)| (u, rec.binned_mean(bin)))
+            .collect()
     }
 
     /// CDF over all samples (optionally one user's).
@@ -201,10 +217,26 @@ mod tests {
     fn rec() -> LatencyRecorder {
         let mut r = LatencyRecorder::new();
         // user 1: 40, 60 (mean 50); user 2: 100, 100 (mean 100).
-        r.record(UserId::new(1), SimTime::from_secs(1), SimDuration::from_millis(40));
-        r.record(UserId::new(1), SimTime::from_secs(70), SimDuration::from_millis(60));
-        r.record(UserId::new(2), SimTime::from_secs(2), SimDuration::from_millis(100));
-        r.record(UserId::new(2), SimTime::from_secs(80), SimDuration::from_millis(100));
+        r.record(
+            UserId::new(1),
+            SimTime::from_secs(1),
+            SimDuration::from_millis(40),
+        );
+        r.record(
+            UserId::new(1),
+            SimTime::from_secs(70),
+            SimDuration::from_millis(60),
+        );
+        r.record(
+            UserId::new(2),
+            SimTime::from_secs(2),
+            SimDuration::from_millis(100),
+        );
+        r.record(
+            UserId::new(2),
+            SimTime::from_secs(80),
+            SimDuration::from_millis(100),
+        );
         r
     }
 
@@ -216,9 +248,13 @@ mod tests {
     #[test]
     fn windowed_mean_filters_by_time() {
         let r = rec();
-        let m = r.mean_in_window(SimTime::from_secs(60), SimTime::from_secs(120)).unwrap();
+        let m = r
+            .mean_in_window(SimTime::from_secs(60), SimTime::from_secs(120))
+            .unwrap();
         assert_eq!(m, SimDuration::from_millis(80)); // (60 + 100) / 2
-        assert!(r.mean_in_window(SimTime::from_secs(200), SimTime::from_secs(300)).is_none());
+        assert!(r
+            .mean_in_window(SimTime::from_secs(200), SimTime::from_secs(300))
+            .is_none());
     }
 
     #[test]
@@ -250,22 +286,46 @@ mod tests {
         // User 1 streams fast (many cheap samples), user 2 is throttled
         // (few expensive samples).
         for i in 0..20 {
-            r.record(UserId::new(1), SimTime::from_millis(i * 10), SimDuration::from_millis(40));
+            r.record(
+                UserId::new(1),
+                SimTime::from_millis(i * 10),
+                SimDuration::from_millis(40),
+            );
         }
-        r.record(UserId::new(2), SimTime::from_millis(50), SimDuration::from_millis(200));
-        let frame_weighted = r.mean_in_window(SimTime::ZERO, SimTime::from_secs(1)).unwrap();
-        let user_weighted = r.user_mean_in_window(SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        r.record(
+            UserId::new(2),
+            SimTime::from_millis(50),
+            SimDuration::from_millis(200),
+        );
+        let frame_weighted = r
+            .mean_in_window(SimTime::ZERO, SimTime::from_secs(1))
+            .unwrap();
+        let user_weighted = r
+            .user_mean_in_window(SimTime::ZERO, SimTime::from_secs(1))
+            .unwrap();
         assert!(frame_weighted < SimDuration::from_millis(60));
-        assert_eq!(user_weighted, SimDuration::from_millis(120), "(40 + 200) / 2");
+        assert_eq!(
+            user_weighted,
+            SimDuration::from_millis(120),
+            "(40 + 200) / 2"
+        );
     }
 
     #[test]
     fn binned_user_mean_weighs_users_not_frames() {
         let mut r = LatencyRecorder::new();
         for _ in 0..9 {
-            r.record(UserId::new(1), SimTime::from_millis(10), SimDuration::from_millis(10));
+            r.record(
+                UserId::new(1),
+                SimTime::from_millis(10),
+                SimDuration::from_millis(10),
+            );
         }
-        r.record(UserId::new(2), SimTime::from_millis(20), SimDuration::from_millis(110));
+        r.record(
+            UserId::new(2),
+            SimTime::from_millis(20),
+            SimDuration::from_millis(110),
+        );
         let bins = r.binned_user_mean(SimDuration::from_secs(1));
         assert_eq!(bins.len(), 1);
         assert_eq!(bins[0].1, SimDuration::from_millis(60));
@@ -277,7 +337,10 @@ mod tests {
         let bins = r.binned_mean(SimDuration::from_secs(60));
         assert_eq!(bins.len(), 2);
         assert_eq!(bins[0], (SimTime::ZERO, SimDuration::from_millis(70)));
-        assert_eq!(bins[1], (SimTime::from_secs(60), SimDuration::from_millis(80)));
+        assert_eq!(
+            bins[1],
+            (SimTime::from_secs(60), SimDuration::from_millis(80))
+        );
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every experiment binary writes a `BENCH_<name>.json` file next to its
+//! human-readable output so run duration and per-run throughput can be
+//! tracked across revisions without scraping stdout.
+//!
+//! Schema (all fields always present):
+//!
+//! ```json
+//! {
+//!   "name": "fig5_elasticity",
+//!   "threads": 4,
+//!   "wall_ms": 1234.5,
+//!   "run_count": 40,
+//!   "runs": [
+//!     {
+//!       "label": "users=15/client-centric",
+//!       "virtual_secs": 40.0,
+//!       "samples": 9120,
+//!       "throughput_per_vsec": 228.0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `virtual_secs` is the *simulated* duration of the run;
+//! `throughput_per_vsec` is `samples / virtual_secs` (0 for units with
+//! no virtual timeline, e.g. pure measurement sweeps).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use armada_json::Json;
+
+/// One unit of work executed by a benchmark binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Human-readable identifier of the run (strategy, seed, …).
+    pub label: String,
+    /// Virtual (simulated) seconds covered; 0 when not applicable.
+    pub virtual_secs: f64,
+    /// Measurement samples the run produced.
+    pub samples: u64,
+}
+
+impl BenchRun {
+    /// Samples per virtual second; 0 when the run has no virtual
+    /// timeline.
+    pub fn throughput_per_vsec(&self) -> f64 {
+        if self.virtual_secs > 0.0 {
+            self.samples as f64 / self.virtual_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wall-clock + per-run accounting for one benchmark binary, written to
+/// `BENCH_<name>.json` on [`BenchReport::write`].
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    threads: usize,
+    started: Instant,
+    runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Starts the wall clock for the binary `name`, executed with
+    /// `threads` workers.
+    pub fn start(name: impl Into<String>, threads: usize) -> Self {
+        BenchReport {
+            name: name.into(),
+            threads,
+            started: Instant::now(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Records one completed unit of work.
+    pub fn record(&mut self, label: impl Into<String>, virtual_secs: f64, samples: u64) {
+        self.runs.push(BenchRun {
+            label: label.into(),
+            virtual_secs,
+            samples,
+        });
+    }
+
+    /// Number of recorded runs so far.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Wall time elapsed since [`BenchReport::start`], in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1_000.0
+    }
+
+    /// The report as a JSON value (see the module docs for the schema).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("threads", Json::Int(self.threads as i64)),
+            ("wall_ms", Json::Float(self.wall_ms())),
+            ("run_count", Json::Int(self.runs.len() as i64)),
+            (
+                "runs",
+                Json::Array(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            Json::object(vec![
+                                ("label", Json::Str(r.label.clone())),
+                                ("virtual_secs", Json::Float(r.virtual_secs)),
+                                ("samples", Json::Int(r.samples as i64)),
+                                ("throughput_per_vsec", Json::Float(r.throughput_per_vsec())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` into `ARMADA_BENCH_DIR` (created if
+    /// missing; default the current directory) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("ARMADA_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, armada_json::to_string(&self.to_json()))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serialises_with_all_fields() {
+        let mut report = BenchReport::start("unit_test", 3);
+        report.record("a", 40.0, 80);
+        report.record("b", 0.0, 7);
+        let json = report.to_json();
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("unit_test"));
+        assert_eq!(json.get("threads").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("run_count").and_then(Json::as_u64), Some(2));
+        assert!(json.get("wall_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        let runs = json.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0].get("throughput_per_vsec").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            runs[1].get("throughput_per_vsec").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        // Round-trips through the parser.
+        let parsed = Json::parse(&armada_json::to_string(&json)).unwrap();
+        assert_eq!(parsed.get("run_count").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn write_emits_bench_prefixed_file() {
+        let dir = std::env::temp_dir().join("armada_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("ARMADA_BENCH_DIR", &dir);
+        let mut report = BenchReport::start("write_test", 1);
+        report.record("only", 1.0, 10);
+        let path = report.write().unwrap();
+        std::env::remove_var("ARMADA_BENCH_DIR");
+        assert_eq!(path.file_name().unwrap(), "BENCH_write_test.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = Json::parse(&text).unwrap();
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("write_test"));
+        assert_eq!(json.get("run_count").and_then(Json::as_u64), Some(1));
+        std::fs::remove_file(path).unwrap();
+    }
+}

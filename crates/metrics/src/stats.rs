@@ -36,7 +36,10 @@ pub fn stddev(values: &[f64]) -> Option<f64> {
 ///
 /// Panics if `q` is outside `[0, 1]` or not finite.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
-    assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    assert!(
+        q.is_finite() && (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1]"
+    );
     if values.is_empty() {
         return None;
     }

@@ -66,7 +66,13 @@ pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

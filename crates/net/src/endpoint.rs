@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use armada_types::{AccessNetwork, Bandwidth, GeoPoint, NodeId, UserId};
 
 /// The address of an entity attached to the network.
 ///
 /// Users, edge nodes and the Central Manager all communicate over the same
 /// substrate, so the network keys endpoints by this sum type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Addr {
     /// A client device.
     User(UserId),
@@ -55,7 +53,7 @@ impl From<NodeId> for Addr {
 ///     .with_extra_one_way_ms(2.0);
 /// assert_eq!(ep.uplink().as_megabits_per_sec(), 15.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Endpoint {
     point: GeoPoint,
     access: AccessNetwork,

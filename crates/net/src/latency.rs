@@ -1,7 +1,6 @@
 //! The parametric propagation-delay model.
 
 use rand_distr::{Distribution, LogNormal};
-use serde::{Deserialize, Serialize};
 
 use armada_sim::SimRng;
 use armada_types::SimDuration;
@@ -26,7 +25,7 @@ use crate::endpoint::Endpoint;
 /// single-digit-to-low-teens ms RTT, AWS Local Zone in the high teens
 /// to twenties (ISP peering penalty), and the closest cloud region at
 /// 70–90 ms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModelParams {
     /// Fixed per-hop routing cost applied to every one-way trip, ms.
     pub base_routing_ms: f64,
@@ -62,7 +61,10 @@ impl Default for LatencyModelParams {
 impl LatencyModelParams {
     /// A deterministic variant with jitter disabled.
     pub fn deterministic() -> Self {
-        LatencyModelParams { jitter_gain: 0.0, ..Default::default() }
+        LatencyModelParams {
+            jitter_gain: 0.0,
+            ..Default::default()
+        }
     }
 
     /// Computes the expected (jitter-free) one-way delay between two
@@ -90,11 +92,14 @@ impl LatencyModelParams {
         if self.jitter_gain <= 0.0 {
             return 0.0;
         }
-        let scale = a.access().jitter_scale_ms().max(b.access().jitter_scale_ms());
+        let scale = a
+            .access()
+            .jitter_scale_ms()
+            .max(b.access().jitter_scale_ms());
         // LogNormal(0, sigma) has median 1; the median jitter is therefore
         // `scale × gain` milliseconds with a heavy right tail.
-        let dist = LogNormal::new(0.0, self.jitter_sigma.max(1e-6))
-            .expect("sigma is positive and finite");
+        let dist =
+            LogNormal::new(0.0, self.jitter_sigma.max(1e-6)).expect("sigma is positive and finite");
         dist.sample(rng) * scale * self.jitter_gain
     }
 }
@@ -132,8 +137,7 @@ mod tests {
         let p = LatencyModelParams::deterministic();
         let user = ep(0.0, AccessNetwork::HomeWifi);
         let volunteer = ep(4.0, AccessNetwork::HomeWifi);
-        let local_zone =
-            ep(15.0, AccessNetwork::DataCenter).with_extra_one_way_ms(5.0);
+        let local_zone = ep(15.0, AccessNetwork::DataCenter).with_extra_one_way_ms(5.0);
         let cloud = Endpoint::new(
             // Roughly AWS us-east-2 (Ohio) from Minneapolis.
             GeoPoint::new(40.0, -83.0),

@@ -73,8 +73,15 @@ impl MeasurementCampaign {
     ///
     /// Panics if `probes_per_pair` is zero.
     pub fn new(sources: Vec<Addr>, targets: Vec<Addr>, probes_per_pair: usize) -> Self {
-        assert!(probes_per_pair > 0, "campaign needs at least one probe per pair");
-        MeasurementCampaign { sources, targets, probes_per_pair }
+        assert!(
+            probes_per_pair > 0,
+            "campaign needs at least one probe per pair"
+        );
+        MeasurementCampaign {
+            sources,
+            targets,
+            probes_per_pair,
+        }
     }
 
     /// Runs the campaign, returning one summary per target aggregated
@@ -179,7 +186,10 @@ mod tests {
         targets.push(lz);
         // Closest cloud: us-east-2.
         let cloud = Addr::Node(NodeId::new(101));
-        net.add_endpoint(cloud, Endpoint::new(GeoPoint::new(40.0, -83.0), AccessNetwork::DataCenter));
+        net.add_endpoint(
+            cloud,
+            Endpoint::new(GeoPoint::new(40.0, -83.0), AccessNetwork::DataCenter),
+        );
         targets.push(cloud);
         (net, users, targets)
     }
@@ -191,11 +201,7 @@ mod tests {
         let mut rng = SimRng::seed_from(42);
         let summaries = campaign.run(&net, &mut rng);
         assert_eq!(summaries.len(), 7);
-        let volunteer_best = summaries[..5]
-            .iter()
-            .map(|s| s.median)
-            .min()
-            .unwrap();
+        let volunteer_best = summaries[..5].iter().map(|s| s.median).min().unwrap();
         let lz = summaries[5].median;
         let cloud = summaries[6].median;
         assert!(volunteer_best < lz, "volunteer {volunteer_best} vs lz {lz}");

@@ -208,7 +208,11 @@ fn pair_hash(a: Addr, b: Addr) -> u64 {
             self.0
         }
         fn write(&mut self, bytes: &[u8]) {
-            let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+            let mut h = if self.0 == 0 {
+                0xcbf2_9ce4_8422_2325
+            } else {
+                self.0
+            };
             for &byte in bytes {
                 h ^= u64::from(byte);
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -246,7 +250,10 @@ mod tests {
             Addr::Node(NodeId::new(2)),
             Endpoint::new(origin.offset_km(900.0, 0.0), AccessNetwork::DataCenter),
         );
-        net.add_endpoint(Addr::Manager, Endpoint::new(origin, AccessNetwork::DataCenter));
+        net.add_endpoint(
+            Addr::Manager,
+            Endpoint::new(origin, AccessNetwork::DataCenter),
+        );
         net
     }
 
@@ -271,7 +278,9 @@ mod tests {
         net.set_down(N1);
         assert!(net.rtt(U1, N1, &mut rng).is_none());
         assert!(net.one_way(N1, U1, &mut rng).is_none());
-        assert!(net.transfer_delay(U1, N1, DataSize::from_bytes(10)).is_none());
+        assert!(net
+            .transfer_delay(U1, N1, DataSize::from_bytes(10))
+            .is_none());
         net.set_up(N1);
         assert!(net.rtt(U1, N1, &mut rng).is_some());
     }
@@ -289,8 +298,14 @@ mod tests {
         let mut net = small_net(false);
         net.set_pairwise_rtt(U1, N2, SimDuration::from_millis(8));
         let mut rng = SimRng::seed_from(0);
-        assert_eq!(net.rtt(U1, N2, &mut rng).unwrap(), SimDuration::from_millis(8));
-        assert_eq!(net.rtt(N2, U1, &mut rng).unwrap(), SimDuration::from_millis(8));
+        assert_eq!(
+            net.rtt(U1, N2, &mut rng).unwrap(),
+            SimDuration::from_millis(8)
+        );
+        assert_eq!(
+            net.rtt(N2, U1, &mut rng).unwrap(),
+            SimDuration::from_millis(8)
+        );
         assert_eq!(net.mean_rtt(U1, N2).unwrap(), SimDuration::from_millis(8));
         net.clear_pairwise(N2, U1);
         assert!(net.rtt(U1, N2, &mut rng).unwrap() > SimDuration::from_millis(20));
@@ -307,7 +322,9 @@ mod tests {
         );
         net.add_endpoint(N1, Endpoint::new(p, AccessNetwork::DataCenter));
         // 0.02 MB at 8 Mbps = 20 ms uplink-dominated.
-        let d = net.transfer_delay(U1, N1, DataSize::from_megabytes(0.02)).unwrap();
+        let d = net
+            .transfer_delay(U1, N1, DataSize::from_megabytes(0.02))
+            .unwrap();
         assert!((d.as_millis_f64() - 20.0).abs() < 0.01, "{d}");
     }
 

@@ -1,7 +1,5 @@
 //! The what-if cache and the node-side performance monitor.
 
-use serde::{Deserialize, Serialize};
-
 use armada_types::{SimDuration, SimTime};
 
 /// The cached "what-if" processing measurement (paper §IV-C2).
@@ -9,7 +7,7 @@ use armada_types::{SimDuration, SimTime};
 /// `Process_probe()` answers from this cache; the test workload is only
 /// re-run when node state changes, so heavy probing traffic does not
 /// multiply test-workload invocations (the effect measured in Fig. 9a/9b).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WhatIfCache {
     value: Option<SimDuration>,
     /// When the cached value was measured.
@@ -65,7 +63,7 @@ impl WhatIfCache {
 /// monitor in edge nodes reports noticeable change of processing time
 /// under the same number of attached users" — e.g. adaptive request
 /// rates, or host workloads outside the system's control.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfMonitor {
     ewma_ms: f64,
     /// EWMA value when the test workload last ran; drift is measured
@@ -88,7 +86,12 @@ impl PerfMonitor {
             threshold.is_finite() && threshold > 0.0,
             "drift threshold must be positive"
         );
-        PerfMonitor { ewma_ms: 0.0, basis_ms: 0.0, alpha: 0.2, threshold }
+        PerfMonitor {
+            ewma_ms: 0.0,
+            basis_ms: 0.0,
+            alpha: 0.2,
+            threshold,
+        }
     }
 
     /// The smoothed measured processing delay of live frames
@@ -137,7 +140,10 @@ mod tests {
     #[test]
     fn cache_falls_back_before_first_measurement() {
         let cache = WhatIfCache::new();
-        assert_eq!(cache.get(SimDuration::from_millis(24)), SimDuration::from_millis(24));
+        assert_eq!(
+            cache.get(SimDuration::from_millis(24)),
+            SimDuration::from_millis(24)
+        );
         assert_eq!(cache.measured_at(), None);
     }
 
@@ -211,7 +217,10 @@ mod tests {
             m.observe(SimDuration::from_millis(60));
         }
         m.rebase();
-        assert!(!m.observe(SimDuration::from_millis(60)), "fresh basis, no drift");
+        assert!(
+            !m.observe(SimDuration::from_millis(60)),
+            "fresh basis, no drift"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ struct QueuedFrame {
 /// An effect the node asks its runtime to perform.
 ///
 /// The node itself is pure virtual-time logic; the scenario runner (or
-/// the live tokio runtime) interprets these actions.
+/// the live TCP runtime) interprets these actions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeAction {
     /// Run the synthetic test workload `after` this delay (the paper
@@ -259,7 +259,9 @@ impl EdgeNode {
         self.seq_num += 1;
         self.attached.insert(user);
         self.stats.joins_accepted += 1;
-        actions.push(NodeAction::InvokeTestWorkload { after: self.join_refresh_delay });
+        actions.push(NodeAction::InvokeTestWorkload {
+            after: self.join_refresh_delay,
+        });
         (Ok(()), actions)
     }
 
@@ -270,7 +272,9 @@ impl EdgeNode {
         self.seq_num += 1;
         self.attached.insert(user);
         self.stats.unexpected_joins += 1;
-        actions.push(NodeAction::InvokeTestWorkload { after: self.join_refresh_delay });
+        actions.push(NodeAction::InvokeTestWorkload {
+            after: self.join_refresh_delay,
+        });
         actions
     }
 
@@ -281,15 +285,26 @@ impl EdgeNode {
         if self.attached.remove(&user) {
             self.seq_num += 1;
             self.stats.leaves += 1;
-            actions.push(NodeAction::InvokeTestWorkload { after: SimDuration::ZERO });
+            actions.push(NodeAction::InvokeTestWorkload {
+                after: SimDuration::ZERO,
+            });
         }
         actions
     }
 
     /// Accepts a live frame for processing.
     pub fn offload(&mut self, frame: Frame, now: SimTime) -> Vec<NodeAction> {
-        debug_assert!(!frame.is_test(), "test frames enter via invoke_test_workload");
-        let completed = self.executor.admit(QueuedFrame { frame, admitted: now }, now);
+        debug_assert!(
+            !frame.is_test(),
+            "test frames enter via invoke_test_workload"
+        );
+        let completed = self.executor.admit(
+            QueuedFrame {
+                frame,
+                admitted: now,
+            },
+            now,
+        );
         self.handle_completions(completed)
     }
 
@@ -301,8 +316,13 @@ impl EdgeNode {
             return actions;
         }
         self.stats.test_invocations += 1;
-        let completed =
-            self.executor.admit(QueuedFrame { frame: Frame::test(now), admitted: now }, now);
+        let completed = self.executor.admit(
+            QueuedFrame {
+                frame: Frame::test(now),
+                admitted: now,
+            },
+            now,
+        );
         actions.extend(self.handle_completions(completed));
         actions
     }
@@ -328,10 +348,7 @@ impl EdgeNode {
         self.executor.next_completion(now)
     }
 
-    fn handle_completions(
-        &mut self,
-        completed: Vec<(QueuedFrame, SimTime)>,
-    ) -> Vec<NodeAction> {
+    fn handle_completions(&mut self, completed: Vec<(QueuedFrame, SimTime)>) -> Vec<NodeAction> {
         let mut actions = Vec::new();
         for (queued, at) in completed {
             let processing = at.saturating_since(queued.admitted);
@@ -343,11 +360,16 @@ impl EdgeNode {
             } else {
                 self.stats.frames_processed += 1;
                 let drifted = self.monitor.observe(processing);
-                actions.push(NodeAction::Respond(FrameResponse::for_frame(&queued.frame, at)));
+                actions.push(NodeAction::Respond(FrameResponse::for_frame(
+                    &queued.frame,
+                    at,
+                )));
                 if drifted && !self.whatif.refresh_pending() {
                     // Third trigger: noticeable processing-time change.
                     self.seq_num += 1;
-                    actions.push(NodeAction::InvokeTestWorkload { after: SimDuration::ZERO });
+                    actions.push(NodeAction::InvokeTestWorkload {
+                        after: SimDuration::ZERO,
+                    });
                 }
             }
         }
@@ -422,7 +444,9 @@ mod tests {
     fn leave_detaches_and_triggers_refresh() {
         let mut n = node();
         let (reply, _) = n.process_probe(SimTime::ZERO);
-        n.join(UserId::new(1), reply.seq_num, SimTime::ZERO).0.unwrap();
+        n.join(UserId::new(1), reply.seq_num, SimTime::ZERO)
+            .0
+            .unwrap();
         let seq = n.seq_num();
         let actions = n.leave(UserId::new(1), SimTime::from_millis(100));
         assert!(!n.is_attached(UserId::new(1)));
@@ -501,7 +525,10 @@ mod tests {
         let mut n = slow_node();
         // Saturate: 6 frames on a 2-core node.
         for seq in 0..6 {
-            n.offload(Frame::live(UserId::new(1), seq, SimTime::ZERO), SimTime::ZERO);
+            n.offload(
+                Frame::live(UserId::new(1), seq, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         n.invoke_test_workload(SimTime::ZERO);
         // Run everything to completion.
@@ -520,7 +547,10 @@ mod tests {
         n.offload(Frame::live(UserId::new(1), 0, SimTime::ZERO), SimTime::ZERO);
         let (epoch, at) = n.next_wakeup(SimTime::ZERO).unwrap();
         // A second frame invalidates the scheduled wake-up.
-        n.offload(Frame::live(UserId::new(1), 1, SimTime::from_millis(1)), SimTime::from_millis(1));
+        n.offload(
+            Frame::live(UserId::new(1), 1, SimTime::from_millis(1)),
+            SimTime::from_millis(1),
+        );
         let actions = n.on_wakeup(epoch, at);
         assert!(actions.is_empty(), "stale epoch must be dropped");
         // The fresh epoch works.
@@ -555,7 +585,10 @@ mod tests {
                 .iter()
                 .any(|a| matches!(a, NodeAction::InvokeTestWorkload { .. }));
         }
-        assert!(drift_refresh_requested, "drift must request a test-workload re-run");
+        assert!(
+            drift_refresh_requested,
+            "drift must request a test-workload re-run"
+        );
         assert!(n.seq_num() > seq_before, "drift bumps the sequence number");
     }
 
@@ -564,10 +597,16 @@ mod tests {
         let mut n = slow_node().with_admission_limit(SimDuration::from_millis(100));
         // Uncontended: the what-if (49 ms) is under the limit — admit.
         let (reply, _) = n.process_probe(SimTime::ZERO);
-        assert!(n.join(UserId::new(1), reply.seq_num, SimTime::ZERO).0.is_ok());
+        assert!(n
+            .join(UserId::new(1), reply.seq_num, SimTime::ZERO)
+            .0
+            .is_ok());
         // Saturate and refresh the what-if above 100 ms.
         for seq in 0..8 {
-            n.offload(Frame::live(UserId::new(1), seq, SimTime::ZERO), SimTime::ZERO);
+            n.offload(
+                Frame::live(UserId::new(1), seq, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         n.invoke_test_workload(SimTime::ZERO);
         n.advance(SimTime::from_secs(5));
@@ -590,7 +629,9 @@ mod tests {
         assert_eq!(n.status().attached_users, 0);
         assert_eq!(n.status().load_score, 0.0);
         let (reply, _) = n.process_probe(SimTime::ZERO);
-        n.join(UserId::new(1), reply.seq_num, SimTime::ZERO).0.unwrap();
+        n.join(UserId::new(1), reply.seq_num, SimTime::ZERO)
+            .0
+            .unwrap();
         let s = n.status();
         assert_eq!(s.attached_users, 1);
         assert!(s.load_score > 0.0);

@@ -179,7 +179,11 @@ impl<W> Simulation<W> {
         };
         debug_assert!(time >= self.clock, "event queue went backwards");
         self.clock = time;
-        let mut ctx = Context { now: time, rng: &mut self.rng, pending: Vec::new() };
+        let mut ctx = Context {
+            now: time,
+            rng: &mut self.rng,
+            pending: Vec::new(),
+        };
         thunk(&mut self.world, &mut ctx);
         for (at, t) in ctx.pending {
             self.queue.push(at, t);
@@ -237,9 +241,15 @@ mod tests {
     #[test]
     fn events_run_in_time_order() {
         let mut sim = Simulation::new(Vec::new(), 0);
-        sim.schedule_in(SimDuration::from_millis(30), |w: &mut Vec<u32>, _| w.push(3));
-        sim.schedule_in(SimDuration::from_millis(10), |w: &mut Vec<u32>, _| w.push(1));
-        sim.schedule_in(SimDuration::from_millis(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.schedule_in(SimDuration::from_millis(30), |w: &mut Vec<u32>, _| {
+            w.push(3)
+        });
+        sim.schedule_in(SimDuration::from_millis(10), |w: &mut Vec<u32>, _| {
+            w.push(1)
+        });
+        sim.schedule_in(SimDuration::from_millis(20), |w: &mut Vec<u32>, _| {
+            w.push(2)
+        });
         sim.run();
         assert_eq!(sim.world(), &vec![1, 2, 3]);
         assert_eq!(sim.events_executed(), 3);
@@ -264,7 +274,9 @@ mod tests {
     fn run_until_stops_at_deadline_and_advances_clock() {
         let mut sim = Simulation::new(Vec::new(), 0);
         for ms in [5u64, 15, 25] {
-            sim.schedule_at(SimTime::from_millis(ms), move |w: &mut Vec<u64>, _| w.push(ms));
+            sim.schedule_at(SimTime::from_millis(ms), move |w: &mut Vec<u64>, _| {
+                w.push(ms)
+            });
         }
         sim.run_until(SimTime::from_millis(20));
         assert_eq!(sim.world(), &vec![5, 15]);

@@ -32,7 +32,10 @@ pub struct SimRng {
 impl SimRng {
     /// Creates the root generator for a run.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { seed, inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The seed this generator (or its root) was created from.
@@ -45,14 +48,20 @@ impl SimRng {
     /// how much randomness has been consumed elsewhere.
     pub fn stream(&self, label: &str) -> SimRng {
         let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()));
-        SimRng { seed: derived, inner: StdRng::seed_from_u64(derived) }
+        SimRng {
+            seed: derived,
+            inner: StdRng::seed_from_u64(derived),
+        }
     }
 
     /// Derives an independent sub-stream keyed by label and index (e.g.
     /// per-node or per-user streams).
     pub fn stream_indexed(&self, label: &str, index: u64) -> SimRng {
         let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index));
-        SimRng { seed: derived, inner: StdRng::seed_from_u64(derived) }
+        SimRng {
+            seed: derived,
+            inner: StdRng::seed_from_u64(derived),
+        }
     }
 
     /// Samples a uniform `f64` in `[low, high)`.

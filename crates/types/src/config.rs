@@ -1,12 +1,12 @@
 //! Configuration structures for the manager, clients and experiments.
 
-use serde::{Deserialize, Serialize};
+use armada_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::time::SimDuration;
 
 /// The client-side policy used to rank probed edge candidates
 /// (paper §IV-D).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LocalSelectionPolicy {
     /// Pick the candidate with the smallest local-view overhead
     /// `LO = D_prop + D_proc_whatif`.
@@ -23,7 +23,7 @@ pub enum LocalSelectionPolicy {
 }
 
 /// A client's quality-of-service requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosRequirement {
     /// Maximum acceptable end-to-end latency.
     pub max_latency: SimDuration,
@@ -33,13 +33,15 @@ impl Default for QosRequirement {
     /// A 150 ms bound — a common interactivity threshold for AR-style
     /// cognitive assistance.
     fn default() -> Self {
-        QosRequirement { max_latency: SimDuration::from_millis(150) }
+        QosRequirement {
+            max_latency: SimDuration::from_millis(150),
+        }
     }
 }
 
 /// Client-side configuration: probing cadence, candidate-list size and
 /// selection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientConfig {
     /// Size of the candidate edge list requested from the Central Manager
     /// (`TopN` in the paper). `top_n - 1` backup connections are kept warm.
@@ -113,7 +115,7 @@ impl ClientConfig {
 }
 
 /// Manager-side and environment-wide configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Radius of the initial geo-proximity filter, in kilometres. The
     /// manager widens the GeoHash search beyond this only when too few
@@ -156,6 +158,107 @@ impl SystemConfig {
     }
 }
 
+impl ToJson for LocalSelectionPolicy {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            LocalSelectionPolicy::BestLocal => "BestLocal",
+            LocalSelectionPolicy::GlobalOverhead => "GlobalOverhead",
+            LocalSelectionPolicy::QosFiltered => "QosFiltered",
+        };
+        Json::Str(name.to_owned())
+    }
+}
+
+impl FromJson for LocalSelectionPolicy {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("BestLocal") => Ok(LocalSelectionPolicy::BestLocal),
+            Some("GlobalOverhead") => Ok(LocalSelectionPolicy::GlobalOverhead),
+            Some("QosFiltered") => Ok(LocalSelectionPolicy::QosFiltered),
+            _ => Err(JsonError::new("LocalSelectionPolicy: unknown variant")),
+        }
+    }
+}
+
+impl ToJson for QosRequirement {
+    fn to_json(&self) -> Json {
+        Json::object(vec![("max_latency", self.max_latency.to_json())])
+    }
+}
+
+impl FromJson for QosRequirement {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(QosRequirement {
+            max_latency: SimDuration::from_json(value.require("max_latency")?)?,
+        })
+    }
+}
+
+impl ToJson for ClientConfig {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("top_n", Json::Int(self.top_n as i64)),
+            ("probing_period", self.probing_period.to_json()),
+            ("policy", self.policy.to_json()),
+            ("qos", self.qos.to_json()),
+            ("max_fps", Json::Float(self.max_fps)),
+            ("target_latency", self.target_latency.to_json()),
+            ("max_inflight", Json::Int(self.max_inflight as i64)),
+            ("switch_margin", Json::Float(self.switch_margin)),
+        ])
+    }
+}
+
+impl FromJson for ClientConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ClientConfig {
+            top_n: usize::from_json(value.require("top_n")?)?,
+            probing_period: SimDuration::from_json(value.require("probing_period")?)?,
+            policy: LocalSelectionPolicy::from_json(value.require("policy")?)?,
+            qos: QosRequirement::from_json(value.require("qos")?)?,
+            max_fps: f64::from_json(value.require("max_fps")?)?,
+            target_latency: SimDuration::from_json(value.require("target_latency")?)?,
+            max_inflight: u32::from_json(value.require("max_inflight")?)?,
+            switch_margin: f64::from_json(value.require("switch_margin")?)?,
+        })
+    }
+}
+
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("proximity_radius_km", Json::Float(self.proximity_radius_km)),
+            ("heartbeat_period", self.heartbeat_period.to_json()),
+            (
+                "heartbeat_miss_limit",
+                Json::Int(self.heartbeat_miss_limit as i64),
+            ),
+            (
+                "join_refresh_rtt_multiple",
+                Json::Float(self.join_refresh_rtt_multiple),
+            ),
+            ("common_rtt", self.common_rtt.to_json()),
+            (
+                "perf_drift_threshold",
+                Json::Float(self.perf_drift_threshold),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SystemConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SystemConfig {
+            proximity_radius_km: f64::from_json(value.require("proximity_radius_km")?)?,
+            heartbeat_period: SimDuration::from_json(value.require("heartbeat_period")?)?,
+            heartbeat_miss_limit: u32::from_json(value.require("heartbeat_miss_limit")?)?,
+            join_refresh_rtt_multiple: f64::from_json(value.require("join_refresh_rtt_multiple")?)?,
+            common_rtt: SimDuration::from_json(value.require("common_rtt")?)?,
+            perf_drift_threshold: f64::from_json(value.require("perf_drift_threshold")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,14 +297,20 @@ mod tests {
 
     #[test]
     fn qos_default_is_150ms() {
-        assert_eq!(QosRequirement::default().max_latency, SimDuration::from_millis(150));
+        assert_eq!(
+            QosRequirement::default().max_latency,
+            SimDuration::from_millis(150)
+        );
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = ClientConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ClientConfig = serde_json::from_str(&json).unwrap();
+        let json = armada_json::to_string(&c);
+        let back: ClientConfig = armada_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+        let s = SystemConfig::default();
+        let back: SystemConfig = armada_json::from_str(&armada_json::to_string(&s)).unwrap();
+        assert_eq!(back, s);
     }
 }

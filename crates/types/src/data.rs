@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, Mul};
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// A quantity of data, stored in bytes.
@@ -17,10 +15,7 @@ use crate::time::SimDuration;
 /// let frame = DataSize::from_megabytes(0.02);
 /// assert_eq!(frame.as_bytes(), 20_000);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DataSize(u64);
 
 impl DataSize {
@@ -99,10 +94,7 @@ impl Mul<u64> for DataSize {
 /// let t = link.transfer_time(DataSize::from_bytes(1_000_000)); // 1 MB
 /// assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -173,7 +165,10 @@ mod tests {
     #[test]
     fn zero_bandwidth_means_instant() {
         let bw = Bandwidth::from_bits_per_sec(0);
-        assert_eq!(bw.transfer_time(DataSize::from_megabytes(5.0)), SimDuration::ZERO);
+        assert_eq!(
+            bw.transfer_time(DataSize::from_megabytes(5.0)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -187,7 +182,10 @@ mod tests {
         assert_eq!(DataSize::from_bytes(12).to_string(), "12B");
         assert_eq!(DataSize::from_kilobytes(20).to_string(), "20.0KB");
         assert_eq!(DataSize::from_megabytes(1.5).to_string(), "1.50MB");
-        assert_eq!(Bandwidth::from_megabits_per_sec(20.0).to_string(), "20.00Mbps");
+        assert_eq!(
+            Bandwidth::from_megabits_per_sec(20.0).to_string(),
+            "20.00Mbps"
+        );
     }
 
     #[test]

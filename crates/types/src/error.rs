@@ -44,7 +44,11 @@ impl fmt::Display for ArmadaError {
         match self {
             ArmadaError::UnknownNode(id) => write!(f, "unknown edge node {id}"),
             ArmadaError::UnknownUser(id) => write!(f, "unknown user {id}"),
-            ArmadaError::JoinRejected { node, presented, current } => write!(
+            ArmadaError::JoinRejected {
+                node,
+                presented,
+                current,
+            } => write!(
                 f,
                 "join rejected by {node}: presented seq {presented}, node is at seq {current}"
             ),

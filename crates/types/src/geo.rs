@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use armada_json::{FromJson, Json, JsonError, ToJson};
 
 /// Mean Earth radius in kilometres (IUGG).
 const EARTH_RADIUS_KM: f64 = 6371.0088;
@@ -22,7 +22,7 @@ const EARTH_RADIUS_KM: f64 = 6371.0088;
 /// let km = minneapolis.distance_km(saint_paul);
 /// assert!(km > 13.0 && km < 15.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GeoPoint {
     lat: f64,
     lon: f64,
@@ -32,7 +32,11 @@ impl GeoPoint {
     /// Creates a point, clamping latitude to `[-90, 90]` and wrapping
     /// longitude into `[-180, 180)`. Non-finite components become `0.0`.
     pub fn new(lat: f64, lon: f64) -> Self {
-        let lat = if lat.is_finite() { lat.clamp(-90.0, 90.0) } else { 0.0 };
+        let lat = if lat.is_finite() {
+            lat.clamp(-90.0, 90.0)
+        } else {
+            0.0
+        };
         let lon = if lon.is_finite() {
             let mut l = (lon + 180.0) % 360.0;
             if l < 0.0 {
@@ -61,8 +65,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 
@@ -85,6 +88,29 @@ impl GeoPoint {
 impl fmt::Display for GeoPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+impl ToJson for GeoPoint {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("lat", Json::Float(self.lat)),
+            ("lon", Json::Float(self.lon)),
+        ])
+    }
+}
+
+impl FromJson for GeoPoint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let lat = value
+            .require("lat")?
+            .as_f64()
+            .ok_or_else(|| JsonError::new("GeoPoint: lat must be a number"))?;
+        let lon = value
+            .require("lon")?
+            .as_f64()
+            .ok_or_else(|| JsonError::new("GeoPoint: lon must be a number"))?;
+        Ok(GeoPoint::new(lat, lon))
     }
 }
 

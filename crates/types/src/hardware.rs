@@ -2,13 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use armada_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::time::SimDuration;
 
 /// The administrative class of an edge node, mirroring the paper's
 /// resource taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeClass {
     /// A capacity-constrained, unreliable volunteer machine (laptop/PC).
     Volunteer,
@@ -52,17 +52,12 @@ impl fmt::Display for NodeClass {
 /// assert_eq!(v1.cores(), 8);
 /// assert_eq!(v1.base_frame_time().as_millis_f64(), 24.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareProfile {
     processor: String,
     cores: u32,
     base_frame_ms: f64,
-    #[serde(default = "default_concurrency")]
     concurrency: u32,
-}
-
-fn default_concurrency() -> u32 {
-    1
 }
 
 impl HardwareProfile {
@@ -139,7 +134,11 @@ impl HardwareProfile {
 
 impl fmt::Display for HardwareProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} cores, {:.0}ms/frame)", self.processor, self.cores, self.base_frame_ms)
+        write!(
+            f,
+            "{} ({} cores, {:.0}ms/frame)",
+            self.processor, self.cores, self.base_frame_ms
+        )
     }
 }
 
@@ -173,7 +172,11 @@ pub fn table2_profiles() -> Vec<(String, NodeClass, HardwareProfile)> {
             Volunteer,
             HardwareProfile::new("Intel Core i5-8250U", 4, 45.0).with_concurrency(2),
         ),
-        ("V5".into(), Volunteer, HardwareProfile::new("Intel Core i5-5250U", 2, 49.0)),
+        (
+            "V5".into(),
+            Volunteer,
+            HardwareProfile::new("Intel Core i5-5250U", 2, 49.0),
+        ),
     ];
     for i in 6..=9 {
         // Burstable t3 instances throttle under sustained load: one
@@ -195,6 +198,62 @@ pub fn table2_profiles() -> Vec<(String, NodeClass, HardwareProfile)> {
     out
 }
 
+impl ToJson for NodeClass {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            NodeClass::Volunteer => "Volunteer",
+            NodeClass::Dedicated => "Dedicated",
+            NodeClass::Cloud => "Cloud",
+        };
+        Json::Str(name.to_owned())
+    }
+}
+
+impl FromJson for NodeClass {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Volunteer") => Ok(NodeClass::Volunteer),
+            Some("Dedicated") => Ok(NodeClass::Dedicated),
+            Some("Cloud") => Ok(NodeClass::Cloud),
+            _ => Err(JsonError::new("NodeClass: unknown variant")),
+        }
+    }
+}
+
+impl ToJson for HardwareProfile {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("processor", Json::Str(self.processor.clone())),
+            ("cores", Json::Int(self.cores as i64)),
+            ("base_frame_ms", Json::Float(self.base_frame_ms)),
+            ("concurrency", Json::Int(self.concurrency as i64)),
+        ])
+    }
+}
+
+impl FromJson for HardwareProfile {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let processor = value
+            .require("processor")?
+            .as_str()
+            .ok_or_else(|| JsonError::new("HardwareProfile: processor must be a string"))?;
+        let cores = u32::from_json(value.require("cores")?)?;
+        let base_frame_ms = value
+            .require("base_frame_ms")?
+            .as_f64()
+            .ok_or_else(|| JsonError::new("HardwareProfile: base_frame_ms must be a number"))?;
+        // `concurrency` was historically optional, defaulting to 1.
+        let concurrency = match value.get("concurrency") {
+            Some(v) => u32::from_json(v)?,
+            None => 1,
+        };
+        if cores == 0 || concurrency == 0 || base_frame_ms <= 0.0 || !base_frame_ms.is_finite() {
+            return Err(JsonError::new("HardwareProfile: invalid parameters"));
+        }
+        Ok(HardwareProfile::new(processor, cores, base_frame_ms).with_concurrency(concurrency))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,8 +267,7 @@ mod tests {
         assert_eq!(*class, NodeClass::Volunteer);
         assert_eq!(v1.cores(), 8);
         assert_eq!(v1.base_frame_ms(), 24.0);
-        let volunteer_count =
-            profiles.iter().filter(|(_, c, _)| c.is_volunteer()).count();
+        let volunteer_count = profiles.iter().filter(|(_, c, _)| c.is_volunteer()).count();
         assert_eq!(volunteer_count, 5);
         let (_, _, cloud) = profiles.last().unwrap();
         assert_eq!(cloud.base_frame_ms(), 30.0);
@@ -258,10 +316,22 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let p = HardwareProfile::new("Test CPU", 4, 30.5);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: HardwareProfile = serde_json::from_str(&json).unwrap();
+        let json = armada_json::to_string(&p);
+        let back: HardwareProfile = armada_json::from_str(&json).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn json_concurrency_defaults_to_one_when_absent() {
+        let back: HardwareProfile =
+            armada_json::from_str(r#"{"processor":"Test CPU","cores":4,"base_frame_ms":30.0}"#)
+                .unwrap();
+        assert_eq!(back.concurrency(), 1);
+        assert!(armada_json::from_str::<HardwareProfile>(
+            r#"{"processor":"x","cores":0,"base_frame_ms":30.0}"#
+        )
+        .is_err());
     }
 }

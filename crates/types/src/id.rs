@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use armada_json::{FromJson, Json, JsonError, ToJson};
 
 /// Identifier of an edge node (volunteer, dedicated or cloud).
 ///
@@ -18,10 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(id.as_u64(), 3);
 /// assert_eq!(id.to_string(), "node-3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u64);
 
 impl NodeId {
@@ -58,10 +55,7 @@ impl From<u64> for NodeId {
 /// let id = UserId::new(12);
 /// assert_eq!(id.to_string(), "user-12");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct UserId(u64);
 
 impl UserId {
@@ -85,6 +79,36 @@ impl fmt::Display for UserId {
 impl From<u64> for UserId {
     fn from(raw: u64) -> Self {
         UserId(raw)
+    }
+}
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        Json::Int(self.0 as i64)
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .map(NodeId::new)
+            .ok_or_else(|| JsonError::new("NodeId: expected non-negative integer"))
+    }
+}
+
+impl ToJson for UserId {
+    fn to_json(&self) -> Json {
+        Json::Int(self.0 as i64)
+    }
+}
+
+impl FromJson for UserId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .map(UserId::new)
+            .ok_or_else(|| JsonError::new("UserId: expected non-negative integer"))
     }
 }
 
@@ -112,11 +136,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
-        let json = serde_json::to_string(&NodeId::new(5)).unwrap();
+    fn json_is_transparent() {
+        let json = armada_json::to_string(&NodeId::new(5));
         assert_eq!(json, "5");
-        let back: NodeId = serde_json::from_str(&json).unwrap();
+        let back: NodeId = armada_json::from_str(&json).unwrap();
         assert_eq!(back, NodeId::new(5));
+        assert!(armada_json::from_str::<NodeId>("-5").is_err());
     }
 
     #[test]

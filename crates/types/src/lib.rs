@@ -5,7 +5,7 @@
 //! edge-selection system — the reproduction of *"Towards Elasticity in
 //! Heterogeneous Edge-dense Environments"* (ICDCS 2022).
 //!
-//! Everything here is plain data: `Copy`/`Clone`, `serde`-serialisable, and
+//! Everything here is plain data: `Copy`/`Clone`, JSON-serialisable via `armada-json`, and
 //! free of behaviour beyond unit conversions and small invariant-preserving
 //! constructors.
 //!

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use armada_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::data::Bandwidth;
 
@@ -16,7 +16,7 @@ use crate::data::Bandwidth;
 /// Each variant carries calibrated defaults for first-hop latency overhead,
 /// jitter scale and uplink bandwidth, matching the ranges observed in the
 /// paper's Minneapolis–St. Paul measurement campaign (Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessNetwork {
     /// Residential Wi-Fi behind a cable/DSL ISP: moderate overhead,
     /// noticeable jitter.
@@ -93,6 +93,32 @@ impl fmt::Display for AccessNetwork {
     }
 }
 
+impl ToJson for AccessNetwork {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            AccessNetwork::HomeWifi => "HomeWifi",
+            AccessNetwork::Fiber => "Fiber",
+            AccessNetwork::Campus => "Campus",
+            AccessNetwork::Lte => "Lte",
+            AccessNetwork::DataCenter => "DataCenter",
+        };
+        Json::Str(name.to_owned())
+    }
+}
+
+impl FromJson for AccessNetwork {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("HomeWifi") => Ok(AccessNetwork::HomeWifi),
+            Some("Fiber") => Ok(AccessNetwork::Fiber),
+            Some("Campus") => Ok(AccessNetwork::Campus),
+            Some("Lte") => Ok(AccessNetwork::Lte),
+            Some("DataCenter") => Ok(AccessNetwork::DataCenter),
+            _ => Err(JsonError::new("AccessNetwork: unknown variant")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,11 +155,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         for net in ALL {
-            let json = serde_json::to_string(&net).unwrap();
-            let back: AccessNetwork = serde_json::from_str(&json).unwrap();
+            let json = armada_json::to_string(&net);
+            let back: AccessNetwork = armada_json::from_str(&json).unwrap();
             assert_eq!(back, net);
         }
+        assert!(armada_json::from_str::<AccessNetwork>("\"Dialup\"").is_err());
     }
 }

@@ -5,10 +5,10 @@
 //! ordering total and deterministic ([`SimTime`] is `Ord`). Reporting code
 //! converts to floating-point milliseconds at the edges.
 
+use armada_json::{FromJson, Json, JsonError, ToJson};
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
-
-use serde::{Deserialize, Serialize};
 
 /// A point on the simulation's virtual timeline, in integer microseconds
 /// since the start of the run.
@@ -22,10 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 3_000);
 /// assert_eq!((t - SimTime::ZERO).as_millis_f64(), 3.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -88,10 +85,7 @@ impl fmt::Display for SimTime {
 /// let d = SimDuration::from_millis_f64(1.5) * 2;
 /// assert_eq!(d.as_millis_f64(), 3.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -251,6 +245,36 @@ impl std::iter::Sum for SimDuration {
     }
 }
 
+impl ToJson for SimTime {
+    fn to_json(&self) -> Json {
+        Json::Int(self.0 as i64)
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .map(SimTime::from_micros)
+            .ok_or_else(|| JsonError::new("SimTime: expected microseconds integer"))
+    }
+}
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> Json {
+        Json::Int(self.0 as i64)
+    }
+}
+
+impl FromJson for SimDuration {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .map(SimDuration::from_micros)
+            .ok_or_else(|| JsonError::new("SimDuration: expected microseconds integer"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,7 +284,10 @@ mod tests {
     fn construction_units_agree() {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(2_000_000)
+        );
     }
 
     #[test]
@@ -284,7 +311,10 @@ mod tests {
     fn negative_and_nan_clamp_to_zero() {
         assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -297,8 +327,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_millis).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(10));
     }
 

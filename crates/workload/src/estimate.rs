@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn zero_users_means_base_time() {
         let h = hw(4, 30.0);
-        assert_eq!(estimate_response_time(&h, 0, 20.0), SimDuration::from_millis(30));
+        assert_eq!(
+            estimate_response_time(&h, 0, 20.0),
+            SimDuration::from_millis(30)
+        );
         assert_eq!(offered_load(&h, 0, 20.0), 0.0);
     }
 
@@ -70,8 +73,7 @@ mod tests {
     #[test]
     fn more_concurrency_reduces_response_under_load() {
         let slow = estimate_response_time(&hw(2, 30.0), 1, 20.0);
-        let fast =
-            estimate_response_time(&hw(8, 30.0).with_concurrency(4), 1, 20.0);
+        let fast = estimate_response_time(&hw(8, 30.0).with_concurrency(4), 1, 20.0);
         assert!(fast < slow);
     }
 

@@ -89,7 +89,10 @@ impl<T> PsExecutor<T> {
     /// update (time must be monotone).
     pub fn admit(&mut self, tag: T, now: SimTime) -> Vec<(T, SimTime)> {
         let done = self.advance(now);
-        self.jobs.push(Job { tag, remaining_us: self.base_work_us });
+        self.jobs.push(Job {
+            tag,
+            remaining_us: self.base_work_us,
+        });
         self.epoch += 1;
         done
     }
@@ -108,14 +111,16 @@ impl<T> PsExecutor<T> {
         let mut cursor = self.last_update;
         while cursor < now && !self.jobs.is_empty() {
             let rate = self.speed_factor();
-            let min_remaining =
-                self.jobs.iter().map(|j| j.remaining_us).fold(f64::INFINITY, f64::min);
+            let min_remaining = self
+                .jobs
+                .iter()
+                .map(|j| j.remaining_us)
+                .fold(f64::INFINITY, f64::min);
             let to_boundary_us = min_remaining / rate;
             let available_us = (now - cursor).as_micros() as f64;
             if to_boundary_us <= available_us + EPS_US {
                 // Run to the completion boundary, harvest finished jobs.
-                let boundary =
-                    cursor + SimDuration::from_micros(to_boundary_us.round() as u64);
+                let boundary = cursor + SimDuration::from_micros(to_boundary_us.round() as u64);
                 let boundary = boundary.min(now);
                 for job in &mut self.jobs {
                     job.remaining_us -= to_boundary_us * rate;
@@ -163,7 +168,10 @@ impl<T> PsExecutor<T> {
         }
         let wait_us = min_remaining / self.speed_factor();
         let base = now.max(self.last_update);
-        Some((self.epoch, base + SimDuration::from_micros(wait_us.ceil() as u64)))
+        Some((
+            self.epoch,
+            base + SimDuration::from_micros(wait_us.ceil() as u64),
+        ))
     }
 
     /// Predicted wall-clock time for a *new* job admitted now to finish,
@@ -350,8 +358,7 @@ mod tests {
         for step in 1..=200 {
             done_small.extend(small.advance(SimTime::from_millis(step)));
         }
-        let times =
-            |v: &[(i32, SimTime)]| v.iter().map(|&(g, t)| (g, t)).collect::<Vec<_>>();
+        let times = |v: &[(i32, SimTime)]| v.iter().map(|&(g, t)| (g, t)).collect::<Vec<_>>();
         assert_eq!(times(&done_big), times(&done_small));
     }
 

@@ -6,8 +6,6 @@
 //! multiplicative decrease when observed end-to-end latency exceeds the
 //! target, additive recovery toward the cap otherwise.
 
-use serde::{Deserialize, Serialize};
-
 use armada_types::{SimDuration, SimTime};
 
 /// An additive-increase / multiplicative-decrease frame-rate controller.
@@ -27,7 +25,7 @@ use armada_types::{SimDuration, SimTime};
 /// for _ in 0..100 { ctl.on_latency(SimDuration::from_millis(40)); }
 /// assert_eq!(ctl.fps(), 20.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AimdController {
     fps: f64,
     max_fps: f64,
@@ -48,7 +46,10 @@ impl AimdController {
     ///
     /// Panics if `max_fps` is not strictly positive and finite.
     pub fn new(max_fps: f64, target: SimDuration) -> Self {
-        assert!(max_fps.is_finite() && max_fps > 0.0, "max_fps must be positive");
+        assert!(
+            max_fps.is_finite() && max_fps > 0.0,
+            "max_fps must be positive"
+        );
         AimdController {
             fps: max_fps,
             max_fps,

@@ -1,7 +1,5 @@
 //! The offloaded request/response pair.
 
-use serde::{Deserialize, Serialize};
-
 use armada_types::{DataSize, SimTime, UserId};
 
 /// Size of one encoded video frame (paper §V-A: "standard size of
@@ -25,7 +23,7 @@ pub const RESPONSE_SIZE: DataSize = DataSize::from_bytes(200);
 /// let t = Frame::test(SimTime::ZERO);
 /// assert!(t.is_test());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Frame {
     /// Originating user; `None` for the node-initiated synthetic test
     /// workload.
@@ -42,14 +40,24 @@ pub struct Frame {
 impl Frame {
     /// A live application frame from `user`.
     pub fn live(user: UserId, seq: u64, created_at: SimTime) -> Self {
-        Frame { user: Some(user), seq, created_at, size: FRAME_SIZE }
+        Frame {
+            user: Some(user),
+            seq,
+            created_at,
+            size: FRAME_SIZE,
+        }
     }
 
     /// The synthetic test frame used by the what-if probing mechanism.
     /// Same compute requirements as a live frame, but never leaves the
     /// node.
     pub fn test(created_at: SimTime) -> Self {
-        Frame { user: None, seq: 0, created_at, size: FRAME_SIZE }
+        Frame {
+            user: None,
+            seq: 0,
+            created_at,
+            size: FRAME_SIZE,
+        }
     }
 
     /// `true` if this is the synthetic test workload.
@@ -59,7 +67,7 @@ impl Frame {
 }
 
 /// The reply returned to the client after processing a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameResponse {
     /// The frame being acknowledged.
     pub user: UserId,

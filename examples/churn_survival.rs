@@ -18,7 +18,10 @@ fn main() {
         "churn trace: {} volunteer nodes over {:.0}s (min alive {})",
         trace.total_nodes(),
         trace.duration().as_secs_f64(),
-        (0..=180).map(|s| trace.alive_at(SimTime::from_secs(s))).min().unwrap(),
+        (0..=180)
+            .map(|s| trace.alive_at(SimTime::from_secs(s)))
+            .min()
+            .unwrap(),
     );
 
     let mut env = EnvSpec::emulation(10, 8);
@@ -33,7 +36,10 @@ fn main() {
 
     println!("\n time | alive | mean latency");
     println!("------+-------+-------------");
-    for (t, latency) in result.recorder().binned_user_mean(SimDuration::from_secs(10)) {
+    for (t, latency) in result
+        .recorder()
+        .binned_user_mean(SimDuration::from_secs(10))
+    {
         let alive = trace.alive_at(t);
         println!(
             " {:>3.0}s | {:>5} | {:>7.1} ms  {}",
@@ -59,6 +65,10 @@ fn main() {
     );
     println!(
         "  voluntary switches (better node found): {}",
-        result.world().clients().map(|c| c.stats().switches).sum::<u64>()
+        result
+            .world()
+            .clients()
+            .map(|c| c.stats().switches)
+            .sum::<u64>()
     );
 }

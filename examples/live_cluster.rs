@@ -12,16 +12,15 @@ use std::time::Duration;
 use armada::live::{LiveClient, LiveManager, LiveNode, NodeConfig};
 use armada::types::{ClientConfig, GeoPoint, HardwareProfile, NodeClass};
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
-    let (manager, manager_addr) = LiveManager::bind().await?;
+fn main() -> std::io::Result<()> {
+    let (manager, manager_addr) = LiveManager::bind()?;
     println!("manager listening on {manager_addr}");
 
     // Four nodes with different hardware and injected one-way delays
     // standing in for geographic distance.
     let roster = [
         ("fast-near", 4u32, 12.0f64, 2u64),
-        ("fast-far", 4, 12.0, 35.0 as u64),
+        ("fast-far", 4, 12.0, 35),
         ("slow-near", 1, 60.0, 2),
         ("medium", 2, 30.0, 8),
     ];
@@ -34,7 +33,7 @@ async fn main() -> std::io::Result<()> {
             location: GeoPoint::new(44.98, -93.26),
             one_way_delay: Duration::from_millis(delay_ms),
         };
-        let (node, addr) = LiveNode::bind(cfg, Some(manager_addr)).await?;
+        let (node, addr) = LiveNode::bind(cfg, Some(manager_addr))?;
         println!("node {name} (id {}) on {addr}, {delay_ms}ms one-way", i + 1);
         nodes.push((name, node));
     }
@@ -45,26 +44,33 @@ async fn main() -> std::io::Result<()> {
 
     // Kill the likely winner mid-session to demonstrate failover.
     let (name, doomed) = nodes.remove(0);
-    let killer = tokio::spawn(async move {
-        tokio::time::sleep(Duration::from_millis(1200)).await;
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(1200));
         println!(">>> killing {name} mid-session");
         doomed.shutdown();
         doomed
     });
 
-    let (ra, rb) = tokio::join!(
-        client_a.run_session(manager_addr, 40),
-        client_b.run_session(manager_addr, 40),
-    );
-    let _doomed = killer.await.expect("killer task");
+    let (ra, rb) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| client_a.run_session(manager_addr, 40));
+        let hb = scope.spawn(|| client_b.run_session(manager_addr, 40));
+        (
+            ha.join().expect("client A thread"),
+            hb.join().expect("client B thread"),
+        )
+    });
+    let _doomed = killer.join().expect("killer thread");
 
     for (label, report) in [("client A", ra?), ("client B", rb?)] {
         println!("\n{label}:");
-        println!("  probed: {:?}", report
-            .probed
-            .iter()
-            .map(|(id, rtt, whatif)| format!("node {id}: rtt {rtt:?}, what-if {whatif}µs"))
-            .collect::<Vec<_>>());
+        println!(
+            "  probed: {:?}",
+            report
+                .probed
+                .iter()
+                .map(|(id, rtt, whatif)| format!("node {id}: rtt {rtt:?}, what-if {whatif}µs"))
+                .collect::<Vec<_>>()
+        );
         println!(
             "  initial node {}, final node {}, failovers {}, voluntary switches {}",
             report.initial_node, report.final_node, report.failovers, report.switches
@@ -75,6 +81,9 @@ async fn main() -> std::io::Result<()> {
             report.mean_latency().expect("frames served"),
         );
     }
-    println!("\ndiscoveries served by manager: {}", manager.discoveries_served().await);
+    println!(
+        "\ndiscoveries served by manager: {}",
+        manager.discoveries_served()
+    );
     Ok(())
 }

@@ -54,6 +54,10 @@ fn main() {
     println!("\nend-to-end latency CDF (all users):");
     let cdf = result.recorder().cdf(None);
     for q in [0.1, 0.5, 0.9, 0.99] {
-        println!("  p{:>2.0}: {}", q * 100.0, cdf.quantile(q).expect("samples"));
+        println!(
+            "  p{:>2.0}: {}",
+            q * 100.0,
+            cdf.quantile(q).expect("samples")
+        );
     }
 }

@@ -34,7 +34,11 @@ fn service_survives_the_paper_churn_trace() {
                 .samples()
                 .iter()
                 .any(|s| s.user == user && s.at >= from && s.at < to);
-            assert!(served, "{user} starved in window {window_start}-{}s", window_start + 20);
+            assert!(
+                served,
+                "{user} starved in window {window_start}-{}s",
+                window_start + 20
+            );
         }
     }
 }
@@ -101,9 +105,7 @@ fn fresh_nodes_attract_load_within_seconds() {
             result
                 .world()
                 .node(armada::types::NodeId::new(1_000 + e.index as u64))
-                .map(|n| {
-                    n.stats().joins_accepted + n.stats().unexpected_joins > 0
-                })
+                .map(|n| n.stats().joins_accepted + n.stats().unexpected_joins > 0)
                 .unwrap_or(false)
         })
         .count();
@@ -128,6 +130,10 @@ fn custom_traces_drive_scenarios() {
         .seed(1)
         .run();
     assert!(result.recorder().len() > 50);
-    let churned = result.world().nodes().filter(|n| n.id().as_u64() >= 1_000).count();
+    let churned = result
+        .world()
+        .nodes()
+        .filter(|n| n.id().as_u64() >= 1_000)
+        .count();
     assert_eq!(churned, trace.total_nodes());
 }

@@ -4,9 +4,7 @@
 
 use armada::baselines;
 use armada::core::{to_assignment_problem, EnvSpec, Scenario, Strategy};
-use armada::types::{
-    ClientConfig, LocalSelectionPolicy, NodeClass, SimDuration, SimTime, UserId,
-};
+use armada::types::{ClientConfig, LocalSelectionPolicy, NodeClass, SimDuration, SimTime, UserId};
 
 fn steady_ms(strategy: Strategy, users: usize, seed: u64) -> f64 {
     Scenario::new(EnvSpec::realworld(users), strategy)
@@ -63,7 +61,12 @@ fn every_client_converges_to_a_local_edge_node() {
     for client in result.world().clients() {
         let node = client.current_node().expect("attached");
         let class = result.world().node(node).expect("exists").class();
-        assert_ne!(class, NodeClass::Cloud, "{}: no one should need the cloud", client.id());
+        assert_ne!(
+            class,
+            NodeClass::Cloud,
+            "{}: no one should need the cloud",
+            client.id()
+        );
         // Paper: TopN − 1 backups are kept warm.
         assert!(client.backups().len() <= 2);
     }
@@ -91,11 +94,20 @@ fn failover_keeps_service_continuous() {
 
     let client = result.world().client(UserId::new(0)).unwrap();
     assert_ne!(client.current_node(), Some(victim));
-    assert_eq!(client.stats().hard_failures, 0, "backups must absorb the failure");
+    assert_eq!(
+        client.stats().hard_failures,
+        0,
+        "backups must absorb the failure"
+    );
     // No response gap longer than a second for user 0 around the kill.
     let mut gaps_ms: Vec<f64> = Vec::new();
     let mut last: Option<SimTime> = None;
-    for s in result.recorder().samples().iter().filter(|s| s.user == UserId::new(0)) {
+    for s in result
+        .recorder()
+        .samples()
+        .iter()
+        .filter(|s| s.user == UserId::new(0))
+    {
         if s.at >= SimTime::from_secs(8) && s.at <= SimTime::from_secs(14) {
             if let Some(prev) = last {
                 gaps_ms.push(s.at.saturating_since(prev).as_millis_f64());
@@ -131,7 +143,12 @@ fn snapshot_problem_agrees_with_simulated_latencies() {
         .run();
     let measured = result.recorder().mean().unwrap().as_millis_f64();
     let (problem, node_ids) = to_assignment_problem(result.world(), 20.0);
-    let serving = result.world().client(UserId::new(0)).unwrap().current_node().unwrap();
+    let serving = result
+        .world()
+        .client(UserId::new(0))
+        .unwrap()
+        .current_node()
+        .unwrap();
     let node_index = node_ids.iter().position(|&n| n == serving).unwrap();
     let analytic = problem.latency_with_load_ms(0, node_index, 1);
     let diff = (measured - analytic).abs();
@@ -183,7 +200,12 @@ fn reactive_failover_is_slower_than_proactive() {
     let gap_after_kill = |result: &armada::core::RunResult| {
         let mut last = SimTime::ZERO;
         let mut worst = 0.0f64;
-        for s in result.recorder().samples().iter().filter(|s| s.user == UserId::new(0)) {
+        for s in result
+            .recorder()
+            .samples()
+            .iter()
+            .filter(|s| s.user == UserId::new(0))
+        {
             if s.at > SimTime::from_secs(6) && last > SimTime::ZERO {
                 worst = worst.max(s.at.saturating_since(last).as_millis_f64());
             }
@@ -198,7 +220,10 @@ fn reactive_failover_is_slower_than_proactive() {
         r > p,
         "reactive recovery gap ({r:.0}ms) must exceed proactive ({p:.0}ms)"
     );
-    assert!(r > 1_000.0, "reactive pays the reconnect timeout, got {r:.0}ms");
+    assert!(
+        r > 1_000.0,
+        "reactive pays the reconnect timeout, got {r:.0}ms"
+    );
 }
 
 #[test]

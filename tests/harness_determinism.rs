@@ -1,0 +1,76 @@
+//! The parallel experiment harness must be a pure speedup: running the
+//! same spec list at any thread count yields byte-identical results, in
+//! the order the specs were submitted.
+
+use armada_bench::{Harness, RunSpec};
+use armada_core::{EnvSpec, Strategy};
+use armada_types::SimDuration;
+
+fn spec_list() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for seed in [5u64, 6, 7] {
+        for strategy in [
+            Strategy::client_centric(),
+            Strategy::GeoProximity,
+            Strategy::ResourceAwareWrr,
+        ] {
+            specs.push(RunSpec {
+                env: EnvSpec::realworld(6),
+                strategy,
+                seed,
+                duration: SimDuration::from_secs(12),
+            });
+        }
+    }
+    specs
+}
+
+#[test]
+fn parallel_results_match_serial_in_spec_order() {
+    let serial = Harness::new(1).run_specs(spec_list());
+    let parallel = Harness::new(4).run_specs(spec_list());
+    assert_eq!(serial.len(), parallel.len());
+
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        // Same sample count, same mean latency, same protocol traffic:
+        // the simulation is deterministic per spec, so any divergence
+        // here means the harness reordered or cross-contaminated runs.
+        assert_eq!(
+            s.recorder().len(),
+            p.recorder().len(),
+            "spec {i}: sample counts diverge across thread counts"
+        );
+        assert_eq!(
+            s.recorder().mean(),
+            p.recorder().mean(),
+            "spec {i}: mean latency diverges across thread counts"
+        );
+        let probes = |r: &armada_core::RunResult| -> u64 {
+            r.world().clients().map(|c| c.stats().probes_sent).sum()
+        };
+        assert_eq!(
+            probes(s),
+            probes(p),
+            "spec {i}: probe traffic diverges across thread counts"
+        );
+        assert!(
+            !s.recorder().is_empty(),
+            "spec {i}: run produced no samples"
+        );
+    }
+}
+
+#[test]
+fn results_come_back_in_submission_order() {
+    // Seeds produce different sample counts; verify slot i of the output
+    // corresponds to spec i by rerunning each spec alone.
+    let batch = Harness::new(4).run_specs(spec_list());
+    for (i, spec) in spec_list().into_iter().enumerate() {
+        let alone = Harness::new(1).run_specs(vec![spec]);
+        assert_eq!(
+            alone[0].recorder().mean(),
+            batch[i].recorder().mean(),
+            "slot {i} does not hold spec {i}'s result"
+        );
+    }
+}

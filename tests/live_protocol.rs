@@ -1,5 +1,6 @@
-//! Integration tests for the live tokio runtime through the facade:
-//! the same selection behaviour the simulator shows, over real TCP.
+//! Integration tests for the live `std::net` runtime through the
+//! facade: the same selection behaviour the simulator shows, over real
+//! TCP.
 
 use std::time::Duration;
 
@@ -10,92 +11,102 @@ fn node(id: u64, concurrency: u32, frame_ms: f64, delay_ms: u64) -> NodeConfig {
     NodeConfig {
         id,
         class: NodeClass::Volunteer,
-        hw: HardwareProfile::new(format!("node-{id}"), 4, frame_ms)
-            .with_concurrency(concurrency),
+        hw: HardwareProfile::new(format!("node-{id}"), 4, frame_ms).with_concurrency(concurrency),
         location: GeoPoint::new(44.98, -93.26),
         one_way_delay: Duration::from_millis(delay_ms),
     }
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn live_selection_matches_simulated_intuition() {
-    let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
+#[test]
+fn live_selection_matches_simulated_intuition() {
+    let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
     // Fast-near must win over fast-far (network) and slow-near (compute).
-    let (_n1, _) = LiveNode::bind(node(1, 4, 10.0, 2), Some(mgr_addr)).await.unwrap();
-    let (_n2, _) = LiveNode::bind(node(2, 4, 10.0, 45), Some(mgr_addr)).await.unwrap();
-    let (_n3, _) = LiveNode::bind(node(3, 1, 90.0, 2), Some(mgr_addr)).await.unwrap();
+    let (_n1, _) = LiveNode::bind(node(1, 4, 10.0, 2), Some(mgr_addr)).unwrap();
+    let (_n2, _) = LiveNode::bind(node(2, 4, 10.0, 45), Some(mgr_addr)).unwrap();
+    let (_n3, _) = LiveNode::bind(node(3, 1, 90.0, 2), Some(mgr_addr)).unwrap();
 
     let client = LiveClient::new(
         1,
         GeoPoint::new(44.98, -93.26),
         ClientConfig::default().with_top_n(3),
     );
-    let report = client.run_session(mgr_addr, 12).await.unwrap();
+    let report = client.run_session(mgr_addr, 12).unwrap();
     assert_eq!(report.initial_node, 1);
     assert_eq!(report.final_node, 1);
     assert_eq!(report.latencies.len(), 12);
-    assert_eq!(report.probed.len(), 3, "every candidate is probed concurrently");
+    assert_eq!(
+        report.probed.len(),
+        3,
+        "every candidate is probed concurrently"
+    );
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn live_failover_is_absorbed_by_warm_backup() {
-    let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
-    let (primary, _) = LiveNode::bind(node(1, 4, 5.0, 1), Some(mgr_addr)).await.unwrap();
-    let (backup, _) = LiveNode::bind(node(2, 4, 5.0, 12), Some(mgr_addr)).await.unwrap();
+#[test]
+fn live_failover_is_absorbed_by_warm_backup() {
+    let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+    let (primary, _) = LiveNode::bind(node(1, 4, 5.0, 1), Some(mgr_addr)).unwrap();
+    let (backup, _) = LiveNode::bind(node(2, 4, 5.0, 12), Some(mgr_addr)).unwrap();
 
     let client = LiveClient::new(
         7,
         GeoPoint::new(44.98, -93.26),
         ClientConfig::default().with_top_n(2),
     );
-    let killer = tokio::spawn(async move {
-        tokio::time::sleep(Duration::from_millis(900)).await;
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(900));
         primary.shutdown();
         primary
     });
-    let report = client.run_session(mgr_addr, 25).await.unwrap();
-    let _primary = killer.await.unwrap();
+    let report = client.run_session(mgr_addr, 25).unwrap();
+    let _primary = killer.join().unwrap();
     assert_eq!(report.final_node, 2);
     assert_eq!(report.failovers, 1);
-    assert_eq!(report.latencies.len(), 25, "every frame was eventually served");
+    assert_eq!(
+        report.latencies.len(),
+        25,
+        "every frame was eventually served"
+    );
     assert!(backup.frames_processed() > 0);
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn live_leave_detaches_user_and_refreshes_whatif() {
-    let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
-    let (n1, _) = LiveNode::bind(node(1, 2, 5.0, 1), Some(mgr_addr)).await.unwrap();
+#[test]
+fn live_leave_detaches_user_and_refreshes_whatif() {
+    let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+    let (n1, _) = LiveNode::bind(node(1, 2, 5.0, 1), Some(mgr_addr)).unwrap();
     let client = LiveClient::new(3, GeoPoint::new(44.98, -93.26), ClientConfig::default());
-    let report = client.run_session(mgr_addr, 5).await.unwrap();
+    let report = client.run_session(mgr_addr, 5).unwrap();
     assert_eq!(report.latencies.len(), 5);
     // The session ends with Leave(): the node must be empty again, and
     // join/leave must each have triggered a test workload.
-    tokio::time::sleep(Duration::from_millis(300)).await;
-    assert_eq!(n1.attached_count().await, 0);
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(n1.attached_count(), 0);
     assert!(n1.test_invocations() >= 2);
 }
 
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn live_cluster_balances_many_clients() {
-    let (_mgr, mgr_addr) = LiveManager::bind().await.unwrap();
-    let (n1, _) = LiveNode::bind(node(1, 1, 25.0, 1), Some(mgr_addr)).await.unwrap();
-    let (n2, _) = LiveNode::bind(node(2, 1, 25.0, 1), Some(mgr_addr)).await.unwrap();
+#[test]
+fn live_cluster_balances_many_clients() {
+    let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+    let (n1, _) = LiveNode::bind(node(1, 1, 25.0, 1), Some(mgr_addr)).unwrap();
+    let (n2, _) = LiveNode::bind(node(2, 1, 25.0, 1), Some(mgr_addr)).unwrap();
 
-    let mut sessions = Vec::new();
-    for id in 0..4u64 {
-        let client = LiveClient::new(
-            id,
-            GeoPoint::new(44.98, -93.26),
-            ClientConfig::default().with_top_n(2),
-        );
-        sessions.push(tokio::spawn(async move {
-            client.run_session(mgr_addr, 6).await
-        }));
-    }
-    let mut total = 0;
-    for s in sessions {
-        total += s.await.unwrap().unwrap().latencies.len();
-    }
+    let total: usize = std::thread::scope(|scope| {
+        let sessions: Vec<_> = (0..4u64)
+            .map(|id| {
+                scope.spawn(move || {
+                    let client = LiveClient::new(
+                        id,
+                        GeoPoint::new(44.98, -93.26),
+                        ClientConfig::default().with_top_n(2),
+                    );
+                    client.run_session(mgr_addr, 6)
+                })
+            })
+            .collect();
+        sessions
+            .into_iter()
+            .map(|s| s.join().unwrap().unwrap().latencies.len())
+            .sum()
+    });
     assert_eq!(total, 24);
     // The GO policy (interference-aware) should not pile everyone onto
     // one single-slot node.

@@ -29,7 +29,10 @@ fn fig1_rtt_ordering() {
     let volunteer = class_median(NodeClass::Volunteer);
     let dedicated = class_median(NodeClass::Dedicated);
     let cloud = class_median(NodeClass::Cloud);
-    assert!(volunteer < dedicated, "volunteer {volunteer} vs local zone {dedicated}");
+    assert!(
+        volunteer < dedicated,
+        "volunteer {volunteer} vs local zone {dedicated}"
+    );
     assert!(dedicated < cloud, "local zone {dedicated} vs cloud {cloud}");
     assert!(cloud > SimDuration::from_millis(60), "cloud pays WAN RTT");
 }
@@ -90,7 +93,10 @@ fn fig9_probe_vs_test_workload_scaling() {
         .duration(SimDuration::from_secs(40))
         .seed(6)
         .run();
-        (result.world().total_probes_sent(), result.world().total_test_invocations())
+        (
+            result.world().total_probes_sent(),
+            result.world().total_test_invocations(),
+        )
     };
     let (probes_1, tests_1) = run(1);
     let (probes_5, tests_5) = run(5);
@@ -127,6 +133,9 @@ fn join_synchronisation_resolves_selection_conflicts() {
     let (first, _) = node.join(UserId::new(1), reply_a.seq_num, SimTime::ZERO);
     let (second, _) = node.join(UserId::new(2), reply_b.seq_num, SimTime::ZERO);
     assert!(first.is_ok());
-    assert!(second.is_err(), "the conflicting join must be rejected (Algorithm 1)");
+    assert!(
+        second.is_err(),
+        "the conflicting join must be rejected (Algorithm 1)"
+    );
     assert_eq!(node.attached_count(), 1);
 }

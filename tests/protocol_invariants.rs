@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use armada::core::{EnvSpec, Scenario, Strategy};
-use armada::types::{
-    ClientConfig, QosRequirement, SimDuration, SimTime, UserId,
-};
+use armada::types::{ClientConfig, QosRequirement, SimDuration, SimTime, UserId};
 
 fn strategy_from_index(i: usize, top_n: usize) -> Strategy {
     match i {
@@ -49,6 +47,11 @@ proptest! {
 
         // Static environment without kills: no hard failures possible.
         prop_assert_eq!(result.world().total_hard_failures(), 0);
+
+        // At quiesce no probe round is in flight (the periodic rounds
+        // fire ~10 s apart and conclude within a second), so a concluded
+        // round must leave no bookkeeping behind.
+        prop_assert_eq!(result.world().open_probe_rounds(), 0);
 
         // Per-client accounting is consistent.
         for client in result.world().clients() {
@@ -110,26 +113,51 @@ proptest! {
 }
 
 #[test]
+fn probe_bookkeeping_is_empty_at_quiesce() {
+    // Regression for the PendingProbe leak: concluded rounds used to be
+    // marked finished but never removed, so every user permanently
+    // carried one stale entry. After a run that has long quiesced (all
+    // users placed, no round in flight), the map must be empty.
+    let result = Scenario::new(EnvSpec::realworld(4), Strategy::client_centric())
+        .duration(SimDuration::from_secs(15))
+        .seed(7)
+        .run();
+    assert!(result.recorder().len() > 100, "the run must have streamed");
+    assert_eq!(
+        result.world().open_probe_rounds(),
+        0,
+        "concluded probe rounds leaked bookkeeping entries"
+    );
+}
+
+#[test]
 fn unsatisfiable_qos_leaves_users_unplaced_but_stable() {
     // With a 1 ms latency bound nothing qualifies: QoS-filtered clients
     // must keep re-discovering without attaching, panicking or looping
     // the simulator into the ground.
     let config = ClientConfig {
         policy: armada::types::LocalSelectionPolicy::QosFiltered,
-        qos: QosRequirement { max_latency: SimDuration::from_millis(1) },
+        qos: QosRequirement {
+            max_latency: SimDuration::from_millis(1),
+        },
         ..ClientConfig::default()
     };
-    let result = Scenario::new(
-        EnvSpec::realworld(3),
-        Strategy::client_centric_with(config),
-    )
-    .duration(SimDuration::from_secs(10))
-    .seed(1)
-    .run();
+    let result = Scenario::new(EnvSpec::realworld(3), Strategy::client_centric_with(config))
+        .duration(SimDuration::from_secs(10))
+        .seed(1)
+        .run();
     for client in result.world().clients() {
-        assert_eq!(client.current_node(), None, "{} must stay unplaced", client.id());
+        assert_eq!(
+            client.current_node(),
+            None,
+            "{} must stay unplaced",
+            client.id()
+        );
     }
-    assert!(result.recorder().is_empty(), "no frames can satisfy a 1 ms bound");
+    assert!(
+        result.recorder().is_empty(),
+        "no frames can satisfy a 1 ms bound"
+    );
     assert_eq!(result.end_time(), SimTime::from_secs(10));
 }
 

@@ -1,0 +1,291 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the features it actually uses: the [`proptest!`] test macro
+//! (with optional `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! range and tuple strategies, [`collection::vec`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - no shrinking — on failure the generated inputs are printed verbatim;
+//! - deterministic seeding derived from the test's module path and name,
+//!   so failures reproduce exactly across runs and machines;
+//! - `prop_assert*` panic immediately instead of returning `Result`.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is supported.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the simulation-heavy
+            // property blocks fast while still exploring the space.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A source of generated values. Upstream strategies carry value
+    /// trees for shrinking; here a strategy just samples.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A fixed value, generated as-is every case.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (S0 0)
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    pub fn vec<S, Z>(element: S, size: Z) -> VecStrategy<S, Z>
+    where
+        S: Strategy,
+        Z: Strategy<Value = usize>,
+    {
+        VecStrategy { element, size }
+    }
+
+    impl<S, Z> Strategy for VecStrategy<S, Z>
+    where
+        S: Strategy,
+        Z: Strategy<Value = usize>,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// FNV-1a over the fully-qualified test name: a stable per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` iterations of a property, printing the generated inputs
+/// if a case panics so failures are diagnosable without shrinking. The
+/// case callback records its inputs into the provided buffer *before*
+/// running the property body, so they survive a panic.
+pub fn run_cases<F>(name: &str, config: &test_runner::Config, mut case: F)
+where
+    F: FnMut(&mut StdRng, &mut Vec<String>),
+{
+    let base = seed_for(name);
+    for i in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut inputs = Vec::new();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest case {i}/{} of `{name}` failed with inputs: [{}]",
+                config.cases,
+                inputs.join(", ")
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// The `proptest!` macro: wraps each property in a deterministic
+/// multi-case `#[test]` function.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (
+        @cfg ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $config;
+            let full_name = concat!(module_path!(), "::", stringify!($name));
+            $crate::run_cases(full_name, &config, |rng, inputs| {
+                $(let $arg = ($strat).generate(rng);)+
+                $(inputs.push(format!(concat!(stringify!($arg), " = {:?}"), &$arg));)+
+                $body
+            });
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Panicking stand-in for proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Panicking stand-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Panicking stand-in for proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 1usize..6,
+            b in 0u64..1_000,
+            c in -5.0f64..5.0,
+            d in 1u32..=4,
+        ) {
+            prop_assert!((1..6).contains(&a));
+            prop_assert!(b < 1_000);
+            prop_assert!((-5.0..5.0).contains(&c));
+            prop_assert!((1..=4).contains(&d));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size_and_element_ranges(
+            xs in collection::vec(0u64..100, 1..20),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuple_strategies_compose(
+            pts in collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..10),
+        ) {
+            for (x, y) in pts {
+                prop_assert!((-50.0..50.0).contains(&x));
+                prop_assert!((-50.0..50.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy as _;
+        use rand::SeedableRng;
+        let mut a = rand::rngs::StdRng::seed_from_u64(crate::seed_for("x"));
+        let mut b = rand::rngs::StdRng::seed_from_u64(crate::seed_for("x"));
+        let s = 0u64..1_000_000;
+        let xs: Vec<u64> = (0..50).map(|_| s.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..50).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

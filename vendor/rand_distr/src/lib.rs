@@ -1,0 +1,182 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Implements only the distributions the workspace uses — [`LogNormal`],
+//! [`Weibull`] and [`Poisson`] — on top of the vendored `rand`.
+//! Sampling algorithms are textbook (Box–Muller, inverse CDF, Knuth):
+//! statistically sound, deterministic, and simple to audit; they do not
+//! reproduce upstream `rand_distr`'s exact bit streams.
+
+use std::fmt;
+
+use rand::RngCore;
+
+/// Parameter-validation error returned by distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can generate samples of `T`.
+pub trait Distribution<T> {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform in `[0, 1)` with 53-bit precision, usable through `?Sized`
+/// trait-object-style borrows.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A standard normal variate via the Box–Muller transform (the second
+/// variate of each pair is discarded for simplicity).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by flipping the first uniform into (0, 1].
+    let u1 = 1.0 - unit_f64(rng);
+    let u2 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(mu + sigma·N(0,1))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma < 0.0 || !mu.is_finite() || !sigma.is_finite() {
+            return Err(Error {
+                msg: "LogNormal requires finite mu and sigma >= 0",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Weibull distribution sampled by inverse CDF:
+/// `scale · (−ln(1−U))^(1/shape)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale <= 0.0 || shape <= 0.0 || !scale.is_finite() || !shape.is_finite() {
+            return Err(Error {
+                msg: "Weibull requires positive finite scale and shape",
+            });
+        }
+        Ok(Weibull { scale, shape })
+    }
+}
+
+impl Distribution<f64> for Weibull {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit_f64(rng); // in [0, 1), so 1 - u is in (0, 1]
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Poisson distribution sampled with Knuth's product-of-uniforms
+/// algorithm (O(λ) per sample — fine for the small rates used here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(Error {
+                msg: "Poisson requires a positive finite rate",
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // For large λ, exp(-λ) underflows; fall back to a rounded normal
+        // approximation N(λ, λ) long before that point.
+        if self.lambda > 200.0 {
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            return x.max(0.0).round();
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= unit_f64(rng);
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weibull_mean_matches_closed_form() {
+        // shape=1 degenerates to Exponential(1/scale): mean == scale.
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Weibull::new(40.0, 1.0).unwrap();
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 40.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Poisson::new(4.0).unwrap();
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        // Large-λ path.
+        let d = Poisson::new(500.0).unwrap();
+        let mean: f64 = (0..5_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 5_000.0;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+}
