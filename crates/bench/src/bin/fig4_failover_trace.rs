@@ -6,7 +6,7 @@
 //! failure while the client re-discovers; the proactive line continues
 //! with at most a small blip.
 
-use armada_bench::{dur_ms, print_csv, print_table, Harness};
+use armada_bench::{dur_ms, print_csv, print_table, tracer_for, Harness};
 use armada_core::{EnvSpec, RunResult, Scenario, Strategy};
 use armada_metrics::BenchReport;
 use armada_types::{SimDuration, SimTime, UserId};
@@ -14,7 +14,7 @@ use armada_types::{SimDuration, SimTime, UserId};
 const KILL_AT_S: u64 = 10;
 const DURATION_S: u64 = 20;
 
-fn run(strategy: Strategy) -> RunResult {
+fn run(name: &str, strategy: Strategy) -> RunResult {
     let mut env = EnvSpec::realworld(15);
     env.users.truncate(1);
     // Find the serving node first, then rerun with that node killed.
@@ -27,11 +27,15 @@ fn run(strategy: Strategy) -> RunResult {
         .client(UserId::new(0))
         .and_then(|c| c.current_node())
         .expect("pilot run attaches the user");
-    Scenario::new(env, strategy)
+    let tracer = tracer_for("fig4_failover_trace", name);
+    let result = Scenario::new(env, strategy)
         .duration(SimDuration::from_secs(DURATION_S))
         .seed(11)
         .kill_node(serving.as_u64() as usize, SimTime::from_secs(KILL_AT_S))
-        .run()
+        .with_tracer(tracer.clone())
+        .run();
+    tracer.flush();
+    result
 }
 
 /// The largest gap between consecutive responses around the failure,
@@ -60,9 +64,12 @@ fn main() {
         ("proactive", Strategy::client_centric()),
         ("reactive", Strategy::client_centric_reactive()),
     ];
-    let runs = harness.run(modes, |(name, strategy)| (name, run(strategy)));
+    let runs = harness.run(modes, |(name, strategy)| (name, run(name, strategy)));
     for (name, result) in &runs {
         report.record(*name, DURATION_S as f64, result.recorder().len() as u64);
+        if let Some(path) = armada_bench::trace_path("fig4_failover_trace", name) {
+            report.record_trace(path.display().to_string());
+        }
     }
     let (proactive, reactive) = (&runs[0].1, &runs[1].1);
 

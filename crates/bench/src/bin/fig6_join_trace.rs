@@ -7,7 +7,7 @@
 //! picks needlessly slow network paths; (c) client-centric keeps every
 //! user low, with visible dynamic switches as load grows.
 
-use armada_bench::{dur_ms, print_csv, print_table, Harness};
+use armada_bench::{dur_ms, print_csv, print_table, trace_path, tracer_for, Harness};
 use armada_core::{EnvSpec, RunResult, Scenario, Strategy};
 use armada_metrics::BenchReport;
 use armada_types::{SimDuration, SimTime};
@@ -17,11 +17,14 @@ const SEED: u64 = 21;
 const DURATION_S: u64 = 180;
 
 fn run((name, strategy): (&'static str, Strategy)) -> (&'static str, RunResult) {
+    let tracer = tracer_for("fig6_join_trace", name);
     let result = Scenario::new(EnvSpec::emulation(USERS, SEED), strategy)
         .users_joining_every(SimDuration::from_secs(10))
         .duration(SimDuration::from_secs(DURATION_S))
         .seed(SEED)
+        .with_tracer(tracer.clone())
         .run();
+    tracer.flush();
     (name, result)
 }
 
@@ -39,6 +42,9 @@ fn main() {
     let mut summary = Vec::new();
     for (name, result) in &runs {
         report.record(*name, DURATION_S as f64, result.recorder().len() as u64);
+        if let Some(path) = trace_path("fig6_join_trace", name) {
+            report.record_trace(path.display().to_string());
+        }
         let mut csv = Vec::new();
         for (user, series) in result
             .recorder()

@@ -6,7 +6,7 @@
 //! leave — but service never stops, because backup connections take
 //! over instantly.
 
-use armada_bench::{print_csv, print_table, Harness};
+use armada_bench::{print_csv, print_table, trace_path, tracer_for, Harness};
 use armada_churn::ChurnTrace;
 use armada_core::{EnvSpec, Scenario, Strategy};
 use armada_metrics::BenchReport;
@@ -35,11 +35,15 @@ fn main() {
     let run_trace = trace.clone();
     let result = harness
         .run(vec![(env, run_trace)], |(env, trace)| {
-            Scenario::new(env, Strategy::client_centric())
+            let tracer = tracer_for("fig8_churn_trace", "churn/top_n=3");
+            let result = Scenario::new(env, Strategy::client_centric())
                 .with_churn(trace)
                 .duration(SimDuration::from_secs(DURATION_S))
                 .seed(8)
-                .run()
+                .with_tracer(tracer.clone())
+                .run();
+            tracer.flush();
+            result
         })
         .pop()
         .expect("one run");
@@ -48,6 +52,9 @@ fn main() {
         DURATION_S as f64,
         result.recorder().len() as u64,
     );
+    if let Some(path) = trace_path("fig8_churn_trace", "churn/top_n=3") {
+        report.record_trace(path.display().to_string());
+    }
 
     let bins = result
         .recorder()

@@ -23,7 +23,41 @@ mod harness;
 
 pub use harness::{Harness, RunSpec};
 
+use std::path::PathBuf;
+
 use armada_metrics::render_table;
+use armada_trace::{Severity, Tracer};
+
+/// Where the trace for one experiment unit goes, honouring
+/// `ARMADA_TRACE` (a directory; created on demand). `None` when tracing
+/// is off. The file is `TRACE_<bin>_<label>.jsonl` with `/` in labels
+/// flattened to `_` so labels like `users=15/client-centric` stay one
+/// path component.
+pub fn trace_path(bin: &str, label: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("ARMADA_TRACE")?);
+    let label = label.replace('/', "_");
+    Some(dir.join(format!("TRACE_{bin}_{label}.jsonl")))
+}
+
+/// Builds the tracer for one experiment unit: a JSONL sink under
+/// `ARMADA_TRACE` filtered at `ARMADA_TRACE_LEVEL` (default `debug`),
+/// or a disabled tracer when `ARMADA_TRACE` is unset or the sink cannot
+/// be created.
+pub fn tracer_for(bin: &str, label: &str) -> Tracer {
+    let Some(path) = trace_path(bin, label) else {
+        return Tracer::disabled();
+    };
+    if let Some(dir) = path.parent() {
+        if std::fs::create_dir_all(dir).is_err() {
+            return Tracer::disabled();
+        }
+    }
+    let min = std::env::var("ARMADA_TRACE_LEVEL")
+        .ok()
+        .and_then(|level| Severity::parse(&level))
+        .unwrap_or(Severity::Debug);
+    Tracer::jsonl(&path, min).unwrap_or_else(|_| Tracer::disabled())
+}
 
 /// Prints a titled, aligned table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

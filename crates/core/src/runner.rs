@@ -13,6 +13,7 @@ use armada_client::{ClientDecision, FailoverDecision, JoinFollowup, ProbeResult}
 use armada_net::Addr;
 use armada_node::{NodeAction, ProbeReply};
 use armada_sim::Context;
+use armada_trace::{s, u, Severity};
 use armada_types::{NodeClass, NodeId, SimDuration, UserId};
 use armada_workload::{Frame, FrameResponse, FRAME_SIZE};
 
@@ -33,6 +34,14 @@ const IDLE_RETRY: SimDuration = SimDuration::from_millis(100);
 /// is gone takes a transport-level timeout before re-discovery can even
 /// begin — the dominant cost of the reactive (re-connect) approach.
 const RECONNECT_TIMEOUT: SimDuration = SimDuration::from_millis(1_000);
+
+/// Emits one structured event stamped with the current virtual time.
+macro_rules! trace_event {
+    ($w:expr, $ctx:expr, $sev:expr, $kind:expr, $($key:literal => $value:expr),* $(,)?) => {
+        $w.tracer
+            .emit_at($ctx.now().as_micros(), $sev, $kind, || vec![$(($key, $value)),*])
+    };
+}
 
 /// Entry point: a user joins the system.
 pub(crate) fn user_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
@@ -58,6 +67,8 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
         let now = ctx.now();
         let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
         let mut candidates = w.manager.discover(loc, &affiliations, top_n, now);
+        trace_event!(w, ctx, Severity::Debug, "mgr.discover",
+            "user" => u(user.as_u64()), "returned" => u(candidates.len() as u64));
         if candidates.is_empty() {
             ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
                 start_probe_round(w, ctx, user)
@@ -76,6 +87,9 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
             client.note_probes_sent(candidates.len());
         }
         let round = w.fresh_round();
+        trace_event!(w, ctx, Severity::Debug, "probe.round.start",
+            "user" => u(user.as_u64()), "round" => u(round),
+            "candidates" => u(candidates.len() as u64));
         w.pending_probes.insert(
             user,
             PendingProbe {
@@ -175,16 +189,24 @@ fn conclude_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u
     // outlive the round, or each round leaks one entry forever. Late
     // stragglers are rejected by the entry's absence (or, once the next
     // round starts, its round mismatch).
-    let results = w
-        .pending_probes
-        .remove(&user)
-        .expect("checked above")
-        .results;
+    let pending = w.pending_probes.remove(&user).expect("checked above");
+    let (replies, failed) = (pending.results.len(), pending.failed);
+    let results = pending.results;
     let now = ctx.now();
     let Some(client) = w.clients.get_mut(&user) else {
         return;
     };
-    match client.on_probe_round(results, now) {
+    let decision = client.on_probe_round(results, now);
+    let decision_name = match decision {
+        ClientDecision::Stay => "stay",
+        ClientDecision::AttemptJoin { .. } => "join",
+        ClientDecision::Rediscover => "rediscover",
+    };
+    trace_event!(w, ctx, Severity::Debug, "probe.round.done",
+        "user" => u(user.as_u64()), "round" => u(round),
+        "replies" => u(replies as u64), "failed" => u(failed as u64),
+        "decision" => s(decision_name));
+    match decision {
         ClientDecision::Stay => {
             ensure_streaming(w, ctx, user);
         }
@@ -248,13 +270,24 @@ fn join_reply(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, ac
     };
     match client.on_join_result(target, accepted, now) {
         JoinFollowup::SwitchComplete { leave } => {
-            if let Some(previous) = leave {
-                send_leave(w, ctx, user, previous);
+            match leave {
+                Some(previous) => {
+                    trace_event!(w, ctx, Severity::Info, "client.switch",
+                        "user" => u(user.as_u64()), "from" => u(previous.as_u64()),
+                        "to" => u(target.as_u64()));
+                    send_leave(w, ctx, user, previous);
+                }
+                None => {
+                    trace_event!(w, ctx, Severity::Info, "client.join",
+                        "user" => u(user.as_u64()), "node" => u(target.as_u64()));
+                }
             }
             ensure_streaming(w, ctx, user);
             ensure_periodic_probing(w, ctx, user);
         }
         JoinFollowup::Rediscover => {
+            trace_event!(w, ctx, Severity::Debug, "client.join.rejected",
+                "user" => u(user.as_u64()), "node" => u(target.as_u64()));
             // Algorithm 2, line 14: repeat from the edge-discovery step.
             ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
                 start_probe_round(w, ctx, user)
@@ -374,6 +407,8 @@ fn receive_response(w: &mut World, ctx: &mut Ctx<'_>, response: FrameResponse) {
     if let Some(client) = w.clients.get_mut(&response.user) {
         client.on_frame_latency(latency);
     }
+    trace_event!(w, ctx, Severity::Debug, "frame.done",
+        "user" => u(response.user.as_u64()), "latency_us" => u(latency.as_micros()));
     w.recorder.record(response.user, now, latency);
 }
 
@@ -387,6 +422,8 @@ pub(crate) fn handle_node_actions(
     for action in actions {
         match action {
             NodeAction::InvokeTestWorkload { after } => {
+                trace_event!(w, ctx, Severity::Debug, "node.whatif.refresh",
+                    "node" => u(node.as_u64()), "after_us" => u(after.as_micros()));
                 ctx.schedule_in(after, move |w, ctx| {
                     if !w.node_is_up(node) {
                         return;
@@ -450,6 +487,17 @@ pub(crate) fn schedule_node_wakeup(w: &mut World, ctx: &mut Ctx<'_>, node: NodeI
 fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
     let now = ctx.now();
     w.failure_events.push((user, now));
+    let mode = if !w.strategy.is_client_centric() {
+        "baseline"
+    } else if w.strategy.is_proactive() {
+        "proactive"
+    } else {
+        "reactive"
+    };
+    let failed_node = w.clients.get(&user).and_then(|c| c.current_node());
+    trace_event!(w, ctx, Severity::Warn, "client.failure",
+        "user" => u(user.as_u64()), "mode" => s(mode),
+        "node" => u(failed_node.map_or(u64::MAX, |n| n.as_u64())));
     if w.strategy.is_client_centric() && w.strategy.is_proactive() {
         let Some(client) = w.clients.get(&user) else {
             return;
@@ -465,6 +513,10 @@ fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
         };
         match client.on_node_failure(now, |n| alive.contains(&n)) {
             FailoverDecision::SwitchToBackup { target } => {
+                trace_event!(w, ctx, Severity::Warn, "client.failover",
+                    "user" => u(user.as_u64()), "action" => s("backup"),
+                    "from" => u(failed_node.map_or(u64::MAX, |n| n.as_u64())),
+                    "target" => u(target.as_u64()));
                 // The connection is pre-established; Unexpected_join
                 // cannot be rejected (Table I). Frames resume on the next
                 // tick of the send loop.
@@ -489,6 +541,8 @@ fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
                 start_probe_round(w, ctx, user);
             }
             FailoverDecision::Rediscover => {
+                trace_event!(w, ctx, Severity::Warn, "client.failover",
+                    "user" => u(user.as_u64()), "action" => s("rediscover"));
                 start_probe_round(w, ctx, user);
             }
         }
@@ -528,6 +582,8 @@ pub(crate) fn baseline_assign(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
         if let Some(client) = w.clients.get_mut(&user) {
             client.force_attach(node, Vec::new());
         }
+        trace_event!(w, ctx, Severity::Info, "client.assign",
+            "user" => u(user.as_u64()), "node" => u(node.as_u64()));
         if let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) {
             ctx.schedule_in(d, move |w, ctx| {
                 if !w.node_is_up(node) {
@@ -639,6 +695,8 @@ pub(crate) fn start_node_lifecycle(w: &mut World, ctx: &mut Ctx<'_>, node: NodeI
     let now = ctx.now();
     if let Some(n) = w.nodes.get(&node) {
         w.manager.register(n.status(), now);
+        trace_event!(w, ctx, Severity::Info, "node.register",
+            "node" => u(node.as_u64()));
     }
     let period = w.system.heartbeat_period;
     ctx.schedule_periodic(period, period, move |w: &mut World, ctx: &mut Ctx<'_>| {
@@ -654,7 +712,9 @@ pub(crate) fn start_node_lifecycle(w: &mut World, ctx: &mut Ctx<'_>, node: NodeI
 
 /// A churned node leaves abruptly: the network drops its links; the
 /// manager only learns via missed heartbeats.
-pub(crate) fn node_leave(w: &mut World, _ctx: &mut Ctx<'_>, node: NodeId) {
+pub(crate) fn node_leave(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId) {
+    trace_event!(w, ctx, Severity::Info, "node.leave",
+        "node" => u(node.as_u64()));
     w.net.set_down(Addr::Node(node));
     w.dead_nodes.insert(node);
 }
@@ -726,6 +786,7 @@ mod tests {
             end_time: SimTime::from_secs(60),
             failure_events: Vec::new(),
             affiliations: HashMap::new(),
+            tracer: Default::default(),
         }
     }
 

@@ -9,6 +9,7 @@ use armada_metrics::LatencyRecorder;
 use armada_net::{Addr, Endpoint};
 use armada_node::EdgeNode;
 use armada_sim::{SimRng, Simulation};
+use armada_trace::{u, Severity, Tracer};
 use armada_types::{
     AccessNetwork, HardwareProfile, NodeClass, NodeId, SimDuration, SimTime, UserId,
 };
@@ -43,6 +44,7 @@ pub struct Scenario {
     arrivals: Arrivals,
     churn: Option<ChurnTrace>,
     node_kills: Vec<(usize, SimTime)>,
+    tracer: Tracer,
 }
 
 impl Scenario {
@@ -57,7 +59,16 @@ impl Scenario {
             arrivals: Arrivals::AllAtStart,
             churn: None,
             node_kills: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a structured-event tracer. Events are stamped with
+    /// virtual time, so a traced run emits a byte-identical stream for
+    /// a given configuration and seed.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Sets the virtual run length.
@@ -116,6 +127,7 @@ impl Scenario {
             arrivals,
             churn,
             node_kills,
+            tracer,
         } = self;
         let client_config = strategy.client_config();
         let n_users = env.users.len();
@@ -175,6 +187,7 @@ impl Scenario {
                     (UserId::new(i as u64), nodes)
                 })
                 .collect(),
+            tracer,
         };
 
         // --- Timeline -------------------------------------------------
@@ -187,7 +200,13 @@ impl Scenario {
             SimDuration::from_secs(30),
             move |w: &mut World, ctx| {
                 let grace = SimDuration::from_secs(30);
-                let _ = w.manager.prune_dead(ctx.now(), grace);
+                let pruned = w.manager.prune_dead(ctx.now(), grace);
+                if !pruned.is_empty() {
+                    w.tracer
+                        .emit_at(ctx.now().as_micros(), Severity::Info, "mgr.prune", || {
+                            vec![("pruned", u(pruned.len() as u64))]
+                        });
+                }
                 ctx.now() < w.end_time
             },
         );
@@ -273,6 +292,10 @@ fn churn_node_join(
         Addr::Node(id),
         Endpoint::new(location, AccessNetwork::DataCenter),
     );
+    w.tracer
+        .emit_at(ctx.now().as_micros(), Severity::Info, "churn.join", || {
+            vec![("node", u(id.as_u64()))]
+        });
     w.dead_nodes.remove(&id);
     let node = EdgeNode::new(
         id,

@@ -7,6 +7,7 @@ use armada_manager::CentralManager;
 use armada_metrics::LatencyRecorder;
 use armada_net::Network;
 use armada_node::EdgeNode;
+use armada_trace::Tracer;
 use armada_types::{ClientConfig, NodeId, SimTime, SystemConfig, UserId};
 
 use crate::strategy::Strategy;
@@ -57,6 +58,9 @@ pub struct World {
     pub(crate) failure_events: Vec<(UserId, SimTime)>,
     /// Declared network affiliations per user, passed to discovery.
     pub(crate) affiliations: HashMap<UserId, Vec<NodeId>>,
+    /// Structured event sink (disabled by default; events are stamped
+    /// with virtual time, so traced runs stay deterministic).
+    pub(crate) tracer: Tracer,
 }
 
 impl World {
@@ -139,6 +143,11 @@ impl World {
     /// outlive the round.
     pub fn open_probe_rounds(&self) -> usize {
         self.pending_probes.len()
+    }
+
+    /// The tracer events of this run are emitted through.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// `true` while the node is present and reachable.

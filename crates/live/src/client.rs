@@ -2,17 +2,20 @@
 //! frame streaming with failover.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use armada_client::{rank_candidates, ProbeResult};
+use armada_trace::{s, u, Severity, Tracer};
 use armada_types::{ClientConfig, GeoPoint, NodeId, SimDuration};
 use armada_workload::AimdController;
 
 use crate::proto::{read_message, write_message, Request, Response};
 
 /// All protocol exchanges time out after this long; a silent peer is a
-/// dead peer. Applied as the socket read timeout on every connection.
+/// dead peer. Applied both as the connect timeout and as the socket
+/// read timeout on every connection — a plain `TcpStream::connect` to
+/// an unroutable address can block far longer than any RPC budget.
 const RPC_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// What a [`LiveClient`] session measured.
@@ -53,6 +56,7 @@ pub struct LiveClient {
     id: u64,
     location: GeoPoint,
     config: ClientConfig,
+    tracer: Tracer,
 }
 
 struct Candidate {
@@ -66,7 +70,15 @@ impl LiveClient {
             id,
             location,
             config,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a structured-event tracer; events are stamped with
+    /// wall-clock microseconds since the tracer was created.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// This client's identity.
@@ -94,7 +106,7 @@ impl LiveClient {
             if attempt > 0 {
                 std::thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
             }
-            match self.try_session(manager, frames) {
+            match self.try_session(manager, frames, u64::from(attempt)) {
                 Ok(report) => return Ok(report),
                 Err(e) => last_err = Some(e),
             }
@@ -103,7 +115,12 @@ impl LiveClient {
     }
 
     /// One discovery → probe → join → stream attempt.
-    fn try_session(&self, manager: SocketAddr, frames: usize) -> std::io::Result<SessionReport> {
+    fn try_session(
+        &self,
+        manager: SocketAddr,
+        frames: usize,
+        round: u64,
+    ) -> std::io::Result<SessionReport> {
         // --- Edge discovery ------------------------------------------
         let mut mgr = connect(manager)?;
         let request = Request::Discover {
@@ -116,6 +133,12 @@ impl LiveClient {
             Response::Candidates { nodes } => nodes,
             other => return Err(protocol_error(format!("discovery got {other:?}"))),
         };
+        self.tracer.emit(Severity::Debug, "mgr.discover", || {
+            vec![
+                ("user", u(self.id)),
+                ("returned", u(candidates.len() as u64)),
+            ]
+        });
         if candidates.is_empty() {
             return Err(protocol_error("manager returned no candidates".into()));
         }
@@ -123,6 +146,13 @@ impl LiveClient {
         // --- Concurrent probing ---------------------------------------
         // One scoped thread per candidate: all RTT/process probes are in
         // flight simultaneously, exactly like the async version.
+        self.tracer.emit(Severity::Debug, "probe.round.start", || {
+            vec![
+                ("user", u(self.id)),
+                ("round", u(round)),
+                ("candidates", u(candidates.len() as u64)),
+            ]
+        });
         let outcomes: Vec<Option<(ProbeResult, Candidate)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .iter()
@@ -139,6 +169,22 @@ impl LiveClient {
             connections.insert(result.node.as_u64(), candidate);
             results.push(result);
         }
+        self.tracer.emit(Severity::Debug, "probe.round.done", || {
+            vec![
+                ("user", u(self.id)),
+                ("round", u(round)),
+                ("replies", u(results.len() as u64)),
+                ("failed", u((candidates.len() - results.len()) as u64)),
+                (
+                    "decision",
+                    s(if results.is_empty() {
+                        "rediscover"
+                    } else {
+                        "join"
+                    }),
+                ),
+            ]
+        });
         if results.is_empty() {
             return Err(protocol_error("every candidate failed probing".into()));
         }
@@ -179,6 +225,9 @@ impl LiveClient {
         let Some(mut serving) = serving else {
             return Err(protocol_error("no candidate accepted the join".into()));
         };
+        self.tracer.emit(Severity::Info, "client.join", || {
+            vec![("user", u(self.id)), ("node", u(serving))]
+        });
         let mut backups: Vec<u64> = ranked
             .iter()
             .map(|r| r.node.as_u64())
@@ -206,6 +255,13 @@ impl LiveClient {
                     serving = better;
                     switches += 1;
                     rate.reset();
+                    self.tracer.emit(Severity::Info, "client.switch", || {
+                        vec![
+                            ("user", u(self.id)),
+                            ("from", u(previous)),
+                            ("to", u(serving)),
+                        ]
+                    });
                     if let Some(old) = connections.get_mut(&previous) {
                         let _ = rpc(&mut old.stream, &Request::Leave { user: self.id });
                     }
@@ -229,6 +285,12 @@ impl LiveClient {
                 Ok(Response::FrameResult { .. }) => {
                     let latency = started.elapsed();
                     latencies.push(latency);
+                    self.tracer.emit(Severity::Debug, "frame.done", || {
+                        vec![
+                            ("user", u(self.id)),
+                            ("latency_us", u(latency.as_micros() as u64)),
+                        ]
+                    });
                     rate.on_latency(SimDuration::from_micros(latency.as_micros() as u64));
                     seq += 1;
                     std::thread::sleep(Duration::from_micros(rate.frame_interval().as_micros()));
@@ -236,6 +298,14 @@ impl LiveClient {
                 _ => {
                     // Serving node failed: immediate switch to the best
                     // warm backup (Unexpected_join cannot be rejected).
+                    let failed_node = serving;
+                    self.tracer.emit(Severity::Warn, "client.failure", || {
+                        vec![
+                            ("user", u(self.id)),
+                            ("mode", s("live")),
+                            ("node", u(failed_node)),
+                        ]
+                    });
                     connections.remove(&serving);
                     let mut switched = false;
                     while let Some(backup) = pop_front(&mut backups) {
@@ -248,6 +318,14 @@ impl LiveClient {
                                 failovers += 1;
                                 rate.reset();
                                 switched = true;
+                                self.tracer.emit(Severity::Warn, "client.failover", || {
+                                    vec![
+                                        ("user", u(self.id)),
+                                        ("action", s("backup")),
+                                        ("from", u(failed_node)),
+                                        ("target", u(backup)),
+                                    ]
+                                });
                                 break;
                             }
                             connections.remove(&backup);
@@ -285,35 +363,40 @@ impl LiveClient {
         serving: u64,
         backups: &mut Vec<u64>,
     ) -> Option<u64> {
+        // Concurrent re-probing, one scoped thread per open connection,
+        // mirroring the initial probe fan-out. Probing sequentially
+        // would stack the full read timeout of every dead candidate
+        // onto a single round, stalling frame streaming for its
+        // duration.
+        let mut entries: Vec<(u64, Candidate)> = connections.drain().collect();
+        entries.sort_by_key(|&(id, _)| id);
+        let probed: Vec<(u64, Candidate, Option<ProbeResult>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = entries
+                .into_iter()
+                .map(|(id, mut candidate)| {
+                    scope.spawn(move || {
+                        let result = reprobe_connection(id, &mut candidate.stream);
+                        (id, candidate, result)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("re-probe thread panicked"))
+                .collect()
+        });
         let mut results = Vec::new();
-        let ids: Vec<u64> = connections.keys().copied().collect();
-        for id in ids {
-            let candidate = connections.get_mut(&id)?;
-            let started = Instant::now();
-            let pong = rpc(&mut candidate.stream, &Request::RttProbe);
-            if !matches!(pong, Ok(Response::RttPong)) {
-                // Dead connection discovered during probing: drop it so
-                // failover never tries it.
-                connections.remove(&id);
-                backups.retain(|&n| n != id);
-                continue;
-            }
-            let rtt = started.elapsed();
-            if let Ok(Response::ProbeReply {
-                whatif_us,
-                current_us,
-                attached,
-                seq,
-            }) = rpc(&mut candidate.stream, &Request::ProcessProbe)
-            {
-                results.push(ProbeResult {
-                    node: NodeId::new(id),
-                    rtt: SimDuration::from_micros(rtt.as_micros() as u64),
-                    whatif_proc: SimDuration::from_micros(whatif_us),
-                    current_proc: SimDuration::from_micros(current_us),
-                    attached_users: attached,
-                    seq_num: seq,
-                });
+        for (id, candidate, result) in probed {
+            match result {
+                Some(r) => {
+                    connections.insert(id, candidate);
+                    results.push(r);
+                }
+                None => {
+                    // Dead connection discovered during probing: drop it
+                    // so failover never tries it.
+                    backups.retain(|&n| n != id);
+                }
             }
         }
         let ranked = rank_candidates(results, self.config.policy, self.config.qos);
@@ -344,43 +427,62 @@ impl LiveClient {
     }
 }
 
-/// Connects with the RPC timeout installed as the socket read timeout.
+/// Connects with the RPC timeout bounding the handshake and all reads.
 fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(RPC_TIMEOUT))?;
+    connect_with(addr, RPC_TIMEOUT)
+}
+
+/// Connects with `timeout` bounding both the TCP handshake and every
+/// subsequent read. A plain `TcpStream::connect` is at the mercy of the
+/// OS connect timeout — minutes against a black-holed address — which
+/// would stall a session far beyond the RPC budget.
+fn connect_with(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
     Ok(stream)
 }
 
 /// Probes one discovered candidate: connect, RTT probe, process probe.
 fn probe_candidate(id: u64, addr: &str) -> Option<(ProbeResult, Candidate)> {
-    let stream = TcpStream::connect(addr).ok()?;
-    stream.set_read_timeout(Some(RPC_TIMEOUT)).ok()?;
-    stream.set_nodelay(true).ok()?;
+    probe_candidate_with(id, addr, RPC_TIMEOUT)
+}
+
+/// [`probe_candidate`] with an explicit timeout (tests shrink it).
+fn probe_candidate_with(
+    id: u64,
+    addr: &str,
+    timeout: Duration,
+) -> Option<(ProbeResult, Candidate)> {
+    let addr = addr.to_socket_addrs().ok()?.next()?;
+    let stream = connect_with(addr, timeout).ok()?;
     let mut candidate = Candidate { stream };
+    let result = reprobe_connection(id, &mut candidate.stream)?;
+    Some((result, candidate))
+}
+
+/// Issues the RTT + process probes over an already-open connection.
+fn reprobe_connection(id: u64, stream: &mut TcpStream) -> Option<ProbeResult> {
     let started = Instant::now();
-    let pong = rpc(&mut candidate.stream, &Request::RttProbe).ok()?;
+    let pong = rpc(stream, &Request::RttProbe).ok()?;
     let rtt = started.elapsed();
     if pong != Response::RttPong {
         return None;
     }
-    match rpc(&mut candidate.stream, &Request::ProcessProbe).ok()? {
+    match rpc(stream, &Request::ProcessProbe).ok()? {
         Response::ProbeReply {
             whatif_us,
             current_us,
             attached,
             seq,
-        } => Some((
-            ProbeResult {
-                node: NodeId::new(id),
-                rtt: SimDuration::from_micros(rtt.as_micros() as u64),
-                whatif_proc: SimDuration::from_micros(whatif_us),
-                current_proc: SimDuration::from_micros(current_us),
-                attached_users: attached,
-                seq_num: seq,
-            },
-            candidate,
-        )),
+        } => Some(ProbeResult {
+            node: NodeId::new(id),
+            rtt: SimDuration::from_micros(rtt.as_micros() as u64),
+            whatif_proc: SimDuration::from_micros(whatif_us),
+            current_proc: SimDuration::from_micros(current_us),
+            attached_users: attached,
+            seq_num: seq,
+        }),
         _ => None,
     }
 }
@@ -555,6 +657,87 @@ mod tests {
         assert_eq!(
             report.failovers, 0,
             "this is a voluntary switch, not a failure"
+        );
+    }
+
+    /// Regression: re-probing used to walk the open connections one by
+    /// one, so each dead candidate stalled the round for a full read
+    /// timeout before the next was even tried.
+    #[test]
+    fn reprobing_dead_candidates_runs_concurrently() {
+        // Listeners that never accept: probes against them burn the
+        // whole read timeout in the blocking read.
+        let deads: Vec<std::net::TcpListener> = (0..3)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let timeout = Duration::from_millis(300);
+        let mut connections = HashMap::new();
+        for (i, listener) in deads.iter().enumerate() {
+            let stream = connect_with(listener.local_addr().unwrap(), timeout).unwrap();
+            connections.insert(10 + i as u64, Candidate { stream });
+        }
+        let mut backups: Vec<u64> = vec![11, 12];
+        let client = LiveClient::new(1, GeoPoint::new(44.98, -93.26), ClientConfig::default());
+        let started = Instant::now();
+        let better = client.find_better_candidate(&mut connections, 10, &mut backups);
+        let elapsed = started.elapsed();
+        assert_eq!(better, None);
+        assert!(connections.is_empty(), "dead connections must be dropped");
+        assert!(backups.is_empty(), "dead nodes must leave the backup list");
+        // Sequentially the three read timeouts would stack (≥ 900 ms);
+        // concurrently the round pays roughly one.
+        assert!(
+            elapsed < Duration::from_millis(750),
+            "re-probe round took {elapsed:?}, expected ~one timeout"
+        );
+    }
+
+    /// Regression: `connect` used a plain `TcpStream::connect`, whose
+    /// timeout is the OS default (minutes against a black-holed peer).
+    #[test]
+    fn connect_is_bounded_against_unroutable_address() {
+        // TEST-NET-1 (RFC 5737) is reserved, never assigned, and either
+        // rejected immediately or black-holed — both must stay within
+        // the requested bound.
+        // Some sandboxed environments transparently intercept outbound
+        // connects, so the portable property is the time bound itself —
+        // `connect_timeout` guarantees it whether the SYN is answered,
+        // refused, or dropped.
+        let addr: SocketAddr = "192.0.2.1:9".parse().unwrap();
+        let started = Instant::now();
+        let _ = connect_with(addr, Duration::from_millis(400));
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "connect took {elapsed:?}, expected ≤ the 400 ms bound"
+        );
+    }
+
+    #[test]
+    fn probe_candidate_fails_fast_on_closed_port() {
+        // Bind-then-drop frees a port nothing listens on.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let started = Instant::now();
+        assert!(probe_candidate_with(7, &addr, Duration::from_millis(400)).is_none());
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn probe_candidate_times_out_on_unresponsive_listener() {
+        // Accepts nothing: the probe's read must hit the timeout, not
+        // hang forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let started = Instant::now();
+        assert!(probe_candidate_with(8, &addr, Duration::from_millis(300)).is_none());
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "probe took {elapsed:?}, expected ~one 300 ms timeout"
         );
     }
 

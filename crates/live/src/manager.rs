@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use armada_trace::{u, Severity, Tracer};
 use armada_types::GeoPoint;
 
 use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus};
@@ -25,6 +26,7 @@ struct Registration {
 struct ManagerState {
     nodes: HashMap<u64, Registration>,
     discoveries: u64,
+    tracer: Tracer,
 }
 
 /// A running Central Manager: accepts node registrations/heartbeats and
@@ -53,9 +55,22 @@ impl LiveManager {
     ///
     /// Propagates socket errors.
     pub fn bind() -> std::io::Result<(LiveManager, SocketAddr)> {
+        LiveManager::bind_traced(Tracer::disabled())
+    }
+
+    /// [`LiveManager::bind`] with a structured-event tracer attached;
+    /// registry decisions are emitted with wall-clock timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_traced(tracer: Tracer) -> std::io::Result<(LiveManager, SocketAddr)> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(Mutex::new(ManagerState::default()));
+        let state = Arc::new(Mutex::new(ManagerState {
+            tracer,
+            ..ManagerState::default()
+        }));
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -136,14 +151,17 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
             listen_addr,
         } => {
             let mut s = state.lock().expect("not poisoned");
+            let id = status.id;
             s.nodes.insert(
-                status.id,
+                id,
                 Registration {
                     status,
                     listen_addr,
                     last_seen: Instant::now(),
                 },
             );
+            s.tracer
+                .emit(Severity::Info, "node.register", || vec![("node", u(id))]);
             Response::Registered
         }
         Request::Heartbeat { status } => {
@@ -160,7 +178,7 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
             }
         }
         Request::Discover {
-            user: _,
+            user,
             lat,
             lon,
             top_n,
@@ -185,13 +203,15 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.status.id.cmp(&b.status.id))
             });
-            Response::Candidates {
-                nodes: alive
-                    .into_iter()
-                    .take(top_n)
-                    .map(|r| (r.status.id, r.listen_addr.clone()))
-                    .collect(),
-            }
+            let nodes: Vec<(u64, String)> = alive
+                .into_iter()
+                .take(top_n)
+                .map(|r| (r.status.id, r.listen_addr.clone()))
+                .collect();
+            s.tracer.emit(Severity::Debug, "mgr.discover", || {
+                vec![("user", u(user)), ("returned", u(nodes.len() as u64))]
+            });
+            Response::Candidates { nodes }
         }
         other => Response::Error {
             message: format!("manager cannot serve {other:?}"),

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use armada_trace::{u, Severity, Tracer};
 use armada_types::{GeoPoint, HardwareProfile, NodeClass};
 use armada_workload::offered_load;
 
@@ -79,6 +80,7 @@ struct NodeState {
     refresh_pending: AtomicBool,
     test_invocations: AtomicU64,
     frames_processed: AtomicU64,
+    tracer: Tracer,
 }
 
 /// A running live edge node.
@@ -106,6 +108,20 @@ impl LiveNode {
         cfg: NodeConfig,
         manager_addr: Option<SocketAddr>,
     ) -> std::io::Result<(LiveNode, SocketAddr)> {
+        LiveNode::bind_traced(cfg, manager_addr, Tracer::disabled())
+    }
+
+    /// [`LiveNode::bind`] with a structured-event tracer attached;
+    /// what-if cache refreshes are emitted with wall-clock timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and registration I/O failures.
+    pub fn bind_traced(
+        cfg: NodeConfig,
+        manager_addr: Option<SocketAddr>,
+        tracer: Tracer,
+    ) -> std::io::Result<(LiveNode, SocketAddr)> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let state = Arc::new(NodeState {
@@ -117,6 +133,7 @@ impl LiveNode {
             refresh_pending: AtomicBool::new(false),
             test_invocations: AtomicU64::new(0),
             frames_processed: AtomicU64::new(0),
+            tracer,
             cfg,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -260,6 +277,14 @@ fn run_test_workload(state: Arc<NodeState>) {
         .whatif_us
         .store(elapsed.as_micros() as u64, Ordering::Relaxed);
     state.refresh_pending.store(false, Ordering::Release);
+    state
+        .tracer
+        .emit(Severity::Debug, "node.whatif.refresh", || {
+            vec![
+                ("node", u(state.cfg.id)),
+                ("after_us", u(elapsed.as_micros() as u64)),
+            ]
+        });
 }
 
 fn serve_connection(mut stream: TcpStream, state: Arc<NodeState>) -> std::io::Result<()> {

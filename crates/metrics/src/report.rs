@@ -26,6 +26,10 @@
 //! `virtual_secs` is the *simulated* duration of the run;
 //! `throughput_per_vsec` is `samples / virtual_secs` (0 for units with
 //! no virtual timeline, e.g. pure measurement sweeps).
+//!
+//! When a binary captured structured-event traces (`ARMADA_TRACE`), the
+//! report additionally lists their paths under a `"traces"` array (the
+//! field is always present, empty when tracing was off).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -63,6 +67,7 @@ pub struct BenchReport {
     threads: usize,
     started: Instant,
     runs: Vec<BenchRun>,
+    traces: Vec<String>,
 }
 
 impl BenchReport {
@@ -74,6 +79,7 @@ impl BenchReport {
             threads,
             started: Instant::now(),
             runs: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -84,6 +90,12 @@ impl BenchReport {
             virtual_secs,
             samples,
         });
+    }
+
+    /// Records the path of a structured-event trace captured during the
+    /// run (see `ARMADA_TRACE` in `EXPERIMENTS.md`).
+    pub fn record_trace(&mut self, path: impl Into<String>) {
+        self.traces.push(path.into());
     }
 
     /// Number of recorded runs so far.
@@ -119,6 +131,10 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
+            (
+                "traces",
+                Json::Array(self.traces.iter().cloned().map(Json::Str).collect()),
+            ),
         ])
     }
 
@@ -144,7 +160,11 @@ mod tests {
         let mut report = BenchReport::start("unit_test", 3);
         report.record("a", 40.0, 80);
         report.record("b", 0.0, 7);
+        report.record_trace("TRACE_unit_test_a.jsonl");
         let json = report.to_json();
+        let traces = json.get("traces").and_then(Json::as_array).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].as_str(), Some("TRACE_unit_test_a.jsonl"));
         assert_eq!(json.get("name").and_then(Json::as_str), Some("unit_test"));
         assert_eq!(json.get("threads").and_then(Json::as_u64), Some(3));
         assert_eq!(json.get("run_count").and_then(Json::as_u64), Some(2));

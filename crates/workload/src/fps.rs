@@ -35,6 +35,10 @@ pub struct AimdController {
     decrease_factor: f64,
     /// EWMA of observed latency in ms (for inspection/metrics).
     ewma_ms: f64,
+    /// Whether `ewma_ms` holds a real observation yet. A sentinel value
+    /// cannot stand in for this: a genuine 0 ms observation must seed
+    /// the EWMA once and then be smoothed over, not re-seed it forever.
+    ewma_seeded: bool,
     ewma_alpha: f64,
 }
 
@@ -58,6 +62,7 @@ impl AimdController {
             additive_step: 0.5,
             decrease_factor: 0.7,
             ewma_ms: 0.0,
+            ewma_seeded: false,
             ewma_alpha: 0.3,
         }
     }
@@ -85,10 +90,11 @@ impl AimdController {
     /// Feeds one end-to-end latency observation, adapting the rate.
     pub fn on_latency(&mut self, latency: SimDuration) {
         let ms = latency.as_millis_f64();
-        self.ewma_ms = if self.ewma_ms == 0.0 {
-            ms
-        } else {
+        self.ewma_ms = if self.ewma_seeded {
             self.ewma_alpha * ms + (1.0 - self.ewma_alpha) * self.ewma_ms
+        } else {
+            self.ewma_seeded = true;
+            ms
         };
         if SimDuration::from_millis_f64(self.ewma_ms) > self.target {
             self.fps = (self.fps * self.decrease_factor).max(self.min_fps);
@@ -103,6 +109,7 @@ impl AimdController {
     pub fn reset(&mut self) {
         self.fps = self.max_fps;
         self.ewma_ms = 0.0;
+        self.ewma_seeded = false;
     }
 
     /// When the next frame should be sent, given the previous send time.
@@ -173,6 +180,40 @@ mod tests {
         c.reset();
         assert_eq!(c.fps(), 20.0);
         assert_eq!(c.smoothed_latency(), SimDuration::ZERO);
+    }
+
+    /// Regression: `ewma_ms == 0.0` used to double as the "unseeded"
+    /// sentinel, so a genuine 0 ms observation silently re-seeded the
+    /// EWMA on every subsequent sample instead of being smoothed over.
+    #[test]
+    fn zero_latency_seeds_once_then_smooths() {
+        let mut c = ctl();
+        c.on_latency(SimDuration::ZERO);
+        assert_eq!(c.smoothed_latency(), SimDuration::ZERO);
+        // The next observation must be smoothed against the seeded 0 ms
+        // estimate (0.3 · 100 + 0.7 · 0 = 30 ms), not replace it.
+        c.on_latency(SimDuration::from_millis(100));
+        assert_eq!(c.smoothed_latency(), SimDuration::from_millis(30));
+    }
+
+    /// After `reset()` the estimate is deliberately cleared: the first
+    /// observation on the new node re-seeds, the second smooths.
+    #[test]
+    fn reset_then_observe_reseeds_then_smooths() {
+        let mut c = ctl();
+        for _ in 0..50 {
+            c.on_latency(SimDuration::from_millis(300));
+        }
+        c.reset();
+        c.on_latency(SimDuration::from_millis(40));
+        assert_eq!(
+            c.smoothed_latency(),
+            SimDuration::from_millis(40),
+            "first post-reset sample seeds the estimate outright"
+        );
+        c.on_latency(SimDuration::from_millis(140));
+        // 0.3 · 140 + 0.7 · 40 = 70 ms.
+        assert_eq!(c.smoothed_latency(), SimDuration::from_millis(70));
     }
 
     #[test]

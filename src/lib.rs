@@ -44,5 +44,6 @@ pub use armada_metrics as metrics;
 pub use armada_net as net;
 pub use armada_node as node;
 pub use armada_sim as sim;
+pub use armada_trace as trace;
 pub use armada_types as types;
 pub use armada_workload as workload;
