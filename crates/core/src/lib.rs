@@ -44,6 +44,6 @@ mod world;
 
 pub use scenario::{RunResult, Scenario};
 pub use snapshot::to_assignment_problem;
-pub use spec::{EnvSpec, NodeSpec, UserSpec};
+pub use spec::{EnvSpec, FederationSpec, NodeSpec, UserSpec};
 pub use strategy::Strategy;
 pub use world::World;

@@ -64,47 +64,107 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
         return;
     };
     ctx.schedule_in(rtt_m, move |w, ctx| {
-        let now = ctx.now();
-        let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
-        let mut candidates = w.manager.discover(loc, &affiliations, top_n, now);
-        trace_event!(w, ctx, Severity::Debug, "mgr.discover",
-            "user" => u(user.as_u64()), "returned" => u(candidates.len() as u64));
-        if candidates.is_empty() {
+        if w.federation.is_some() {
+            federated_discover(w, ctx, user, loc, top_n, true);
+        } else {
+            let now = ctx.now();
+            let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
+            let candidates = w.manager.discover(loc, &affiliations, top_n, now);
+            trace_event!(w, ctx, Severity::Debug, "mgr.discover",
+                "user" => u(user.as_u64()), "returned" => u(candidates.len() as u64));
+            probe_candidates(w, ctx, user, candidates);
+        }
+    });
+}
+
+/// Discovery against the sharded manager tier: home shard first; if it
+/// is down the client burns one routing retry (connect timeout + retry,
+/// [`crate::spec::FederationSpec::route_retry`]) before the next-nearest
+/// up shard serves from synced summaries.
+fn federated_discover(
+    w: &mut World,
+    ctx: &mut Ctx<'_>,
+    user: UserId,
+    loc: armada_types::GeoPoint,
+    top_n: usize,
+    first_attempt: bool,
+) {
+    let now = ctx.now();
+    let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
+    let Some(fed) = w.federation.as_mut() else {
+        return;
+    };
+    let home = fed.cluster.home(loc);
+    if first_attempt && !fed.cluster.is_up(home) {
+        let retry = fed.spec.route_retry;
+        trace_event!(w, ctx, Severity::Warn, "fed.failover",
+            "user" => u(user.as_u64()), "home" => u(home.as_u64()));
+        ctx.schedule_in(retry, move |w, ctx| {
+            federated_discover(w, ctx, user, loc, top_n, false);
+        });
+        return;
+    }
+    match fed.cluster.discover(loc, &affiliations, top_n, now) {
+        Some(routed) => {
+            let (served_by, failover) = (routed.served_by, routed.failed_over());
+            let candidates = routed.candidates;
+            trace_event!(w, ctx, Severity::Debug, "fed.route",
+                "user" => u(user.as_u64()), "home" => u(home.as_u64()),
+                "served_by" => u(served_by.as_u64()),
+                "failover" => u(u64::from(failover)),
+                "returned" => u(candidates.len() as u64));
+            probe_candidates(w, ctx, user, candidates);
+        }
+        None => {
+            // Every shard down: back off and retry discovery whole.
+            trace_event!(w, ctx, Severity::Warn, "fed.route",
+                "user" => u(user.as_u64()), "home" => u(home.as_u64()),
+                "served_by" => u(u64::MAX), "failover" => u(1), "returned" => u(0));
             ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
                 start_probe_round(w, ctx, user)
             });
-            return;
         }
-        // Always re-probe the currently serving node as well, so the
-        // stay-or-switch comparison is made on fresh measurements even
-        // when the manager's shortlist has moved on.
-        if let Some(current) = w.clients.get(&user).and_then(|c| c.current_node()) {
-            if !candidates.contains(&current) && w.node_is_up(current) {
-                candidates.push(current);
-            }
-        }
-        if let Some(client) = w.clients.get_mut(&user) {
-            client.note_probes_sent(candidates.len());
-        }
-        let round = w.fresh_round();
-        trace_event!(w, ctx, Severity::Debug, "probe.round.start",
-            "user" => u(user.as_u64()), "round" => u(round),
-            "candidates" => u(candidates.len() as u64));
-        w.pending_probes.insert(
-            user,
-            PendingProbe {
-                round,
-                expected: candidates.len(),
-                results: Vec::new(),
-                failed: 0,
-            },
-        );
-        for node in candidates {
-            send_probe(w, ctx, user, node, round);
-        }
-        ctx.schedule_in(PROBE_TIMEOUT, move |w, ctx| {
-            conclude_probe_round(w, ctx, user, round);
+    }
+}
+
+/// The probe fan-out over a discovery shortlist — shared by the central
+/// and federated discovery paths (Algorithm 2, lines 4–10).
+fn probe_candidates(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, mut candidates: Vec<NodeId>) {
+    if candidates.is_empty() {
+        ctx.schedule_in(REDISCOVER_BACKOFF, move |w, ctx| {
+            start_probe_round(w, ctx, user)
         });
+        return;
+    }
+    // Always re-probe the currently serving node as well, so the
+    // stay-or-switch comparison is made on fresh measurements even
+    // when the manager's shortlist has moved on.
+    if let Some(current) = w.clients.get(&user).and_then(|c| c.current_node()) {
+        if !candidates.contains(&current) && w.node_is_up(current) {
+            candidates.push(current);
+        }
+    }
+    if let Some(client) = w.clients.get_mut(&user) {
+        client.note_probes_sent(candidates.len());
+    }
+    let round = w.fresh_round();
+    trace_event!(w, ctx, Severity::Debug, "probe.round.start",
+        "user" => u(user.as_u64()), "round" => u(round),
+        "candidates" => u(candidates.len() as u64));
+    w.pending_probes.insert(
+        user,
+        PendingProbe {
+            round,
+            expected: candidates.len(),
+            results: Vec::new(),
+            failed: 0,
+        },
+    );
+    for node in candidates {
+        send_probe(w, ctx, user, node, round);
+    }
+    ctx.schedule_in(PROBE_TIMEOUT, move |w, ctx| {
+        conclude_probe_round(w, ctx, user, round);
     });
 }
 
@@ -690,13 +750,25 @@ fn pick_baseline_node(w: &World, user: UserId) -> Option<NodeId> {
     }
 }
 
-/// Registers a node with the manager and starts its heartbeat loop.
+/// Registers a node with the manager tier (its home shard when
+/// federated) and starts its heartbeat loop.
 pub(crate) fn start_node_lifecycle(w: &mut World, ctx: &mut Ctx<'_>, node: NodeId) {
     let now = ctx.now();
     if let Some(n) = w.nodes.get(&node) {
-        w.manager.register(n.status(), now);
-        trace_event!(w, ctx, Severity::Info, "node.register",
-            "node" => u(node.as_u64()));
+        let status = n.status();
+        match w.federation.as_mut() {
+            Some(fed) => {
+                let shard = fed.cluster.register(status, now);
+                trace_event!(w, ctx, Severity::Info, "node.register",
+                    "node" => u(node.as_u64()),
+                    "shard" => u(shard.map_or(u64::MAX, |s| s.as_u64())));
+            }
+            None => {
+                w.manager.register(status, now);
+                trace_event!(w, ctx, Severity::Info, "node.register",
+                    "node" => u(node.as_u64()));
+            }
+        }
     }
     let period = w.system.heartbeat_period;
     ctx.schedule_periodic(period, period, move |w: &mut World, ctx: &mut Ctx<'_>| {
@@ -704,7 +776,13 @@ pub(crate) fn start_node_lifecycle(w: &mut World, ctx: &mut Ctx<'_>, node: NodeI
             return false;
         }
         if let Some(n) = w.nodes.get(&node) {
-            w.manager.heartbeat(n.status(), ctx.now());
+            let status = n.status();
+            match w.federation.as_mut() {
+                Some(fed) => {
+                    fed.cluster.heartbeat(status, ctx.now());
+                }
+                None => w.manager.heartbeat(status, ctx.now()),
+            }
         }
         true
     });
@@ -772,6 +850,7 @@ mod tests {
         World {
             net,
             manager: CentralManager::new(system, GlobalSelectionPolicy::default()),
+            federation: None,
             nodes,
             clients,
             recorder: LatencyRecorder::new(),

@@ -4,6 +4,7 @@ use std::collections::{HashMap, HashSet};
 
 use armada_churn::ChurnTrace;
 use armada_client::EdgeClient;
+use armada_federation::{FederatedCluster, ShardMap};
 use armada_manager::{CentralManager, GlobalSelectionPolicy};
 use armada_metrics::LatencyRecorder;
 use armada_net::{Addr, Endpoint};
@@ -11,14 +12,15 @@ use armada_node::EdgeNode;
 use armada_sim::{SimRng, Simulation};
 use armada_trace::{u, Severity, Tracer};
 use armada_types::{
-    AccessNetwork, HardwareProfile, NodeClass, NodeId, SimDuration, SimTime, UserId,
+    AccessNetwork, GeoPoint, HardwareProfile, NodeClass, NodeId, ShardId, SimDuration, SimTime,
+    UserId,
 };
 use rand::Rng;
 
 use crate::runner;
 use crate::spec::{msp, EnvSpec};
 use crate::strategy::Strategy;
-use crate::world::World;
+use crate::world::{FederationRuntime, World};
 
 /// When users enter the system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +46,8 @@ pub struct Scenario {
     arrivals: Arrivals,
     churn: Option<ChurnTrace>,
     node_kills: Vec<(usize, SimTime)>,
+    shard_kills: Vec<(usize, SimTime)>,
+    shard_revivals: Vec<(usize, SimTime)>,
     tracer: Tracer,
 }
 
@@ -59,6 +63,8 @@ impl Scenario {
             arrivals: Arrivals::AllAtStart,
             churn: None,
             node_kills: Vec::new(),
+            shard_kills: Vec::new(),
+            shard_revivals: Vec::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -116,6 +122,26 @@ impl Scenario {
         self
     }
 
+    /// Takes manager shard `shard_index` down at `at`. Requires a
+    /// federated environment ([`EnvSpec::with_federation`]); users homed
+    /// on the dead shard fail over to the next-nearest one.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the index is out of range or the environment is
+    /// not federated.
+    pub fn kill_shard(mut self, shard_index: usize, at: SimTime) -> Self {
+        self.shard_kills.push((shard_index, at));
+        self
+    }
+
+    /// Brings manager shard `shard_index` back up at `at`; the next
+    /// sync round replays everything it missed.
+    pub fn revive_shard(mut self, shard_index: usize, at: SimTime) -> Self {
+        self.shard_revivals.push((shard_index, at));
+        self
+    }
+
     /// Builds the world and runs the full event timeline. Deterministic
     /// for a given configuration and seed.
     pub fn run(self) -> RunResult {
@@ -127,6 +153,8 @@ impl Scenario {
             arrivals,
             churn,
             node_kills,
+            shard_kills,
+            shard_revivals,
             tracer,
         } = self;
         let client_config = strategy.client_config();
@@ -137,6 +165,22 @@ impl Scenario {
 
         // --- Components ----------------------------------------------
         let manager = CentralManager::new(env.system, GlobalSelectionPolicy::default());
+        // The shard map partitions over every static placement (nodes
+        // *and* users): churn-only environments have no static nodes,
+        // yet their users still need geo-spread home shards.
+        let federation = env.federation.map(|spec| {
+            let mut points: Vec<GeoPoint> = env.nodes.iter().map(|n| n.location).collect();
+            points.extend(env.users.iter().map(|u| u.location));
+            let map = ShardMap::partition(&points, spec.shards);
+            FederationRuntime {
+                cluster: FederatedCluster::new(map, env.system, GlobalSelectionPolicy::default()),
+                spec,
+            }
+        });
+        assert!(
+            federation.is_some() || (shard_kills.is_empty() && shard_revivals.is_empty()),
+            "kill_shard/revive_shard require a federated environment"
+        );
         let mut nodes = HashMap::new();
         for (i, spec) in env.nodes.iter().enumerate() {
             let id = NodeId::new(i as u64);
@@ -161,6 +205,7 @@ impl Scenario {
         let world = World {
             net,
             manager,
+            federation,
             nodes,
             clients,
             recorder: LatencyRecorder::new(),
@@ -200,7 +245,10 @@ impl Scenario {
             SimDuration::from_secs(30),
             move |w: &mut World, ctx| {
                 let grace = SimDuration::from_secs(30);
-                let pruned = w.manager.prune_dead(ctx.now(), grace);
+                let pruned = match w.federation.as_mut() {
+                    Some(fed) => fed.cluster.prune(ctx.now(), grace),
+                    None => w.manager.prune_dead(ctx.now(), grace),
+                };
                 if !pruned.is_empty() {
                     w.tracer
                         .emit_at(ctx.now().as_micros(), Severity::Info, "mgr.prune", || {
@@ -210,6 +258,71 @@ impl Scenario {
                 ctx.now() < w.end_time
             },
         );
+        // Federated housekeeping: periodic summary-sync rounds and any
+        // scheduled shard failures/recoveries. Sync consumes no
+        // randomness and its instants are offset from the heartbeat
+        // grid, so federated runs stay deterministic and sync never ties
+        // with a registry write.
+        if let Some(fed_spec) = env.federation {
+            sim.schedule_periodic(
+                fed_spec.sync_offset,
+                fed_spec.sync_period,
+                move |w: &mut World, ctx| {
+                    let Some(fed) = w.federation.as_mut() else {
+                        return false;
+                    };
+                    let stats = fed.cluster.sync_round(ctx.now());
+                    w.tracer
+                        .emit_at(ctx.now().as_micros(), Severity::Debug, "fed.sync", || {
+                            vec![
+                                ("round", u(stats.round)),
+                                ("participants", u(stats.participants as u64)),
+                                ("summaries", u(stats.summaries)),
+                                ("removals", u(stats.removals)),
+                            ]
+                        });
+                    ctx.now() < w.end_time
+                },
+            );
+            for (index, at) in shard_kills {
+                sim.schedule_at(at, move |w: &mut World, ctx| {
+                    let Some(fed) = w.federation.as_mut() else {
+                        return;
+                    };
+                    assert!(
+                        index < fed.cluster.shard_count(),
+                        "kill_shard index out of range"
+                    );
+                    let id = ShardId::new(index as u64);
+                    if fed.cluster.kill(id) {
+                        w.tracer.emit_at(
+                            ctx.now().as_micros(),
+                            Severity::Warn,
+                            "shard.down",
+                            || vec![("shard", u(id.as_u64()))],
+                        );
+                    }
+                });
+            }
+            for (index, at) in shard_revivals {
+                sim.schedule_at(at, move |w: &mut World, ctx| {
+                    let Some(fed) = w.federation.as_mut() else {
+                        return;
+                    };
+                    assert!(
+                        index < fed.cluster.shard_count(),
+                        "revive_shard index out of range"
+                    );
+                    let id = ShardId::new(index as u64);
+                    if fed.cluster.revive(id) {
+                        w.tracer
+                            .emit_at(ctx.now().as_micros(), Severity::Info, "shard.up", || {
+                                vec![("shard", u(id.as_u64()))]
+                            });
+                    }
+                });
+            }
+        }
         let static_node_count = env.nodes.len();
         for i in 0..static_node_count {
             let id = NodeId::new(i as u64);

@@ -3,7 +3,9 @@
 
 use armada_net::LatencyModelParams;
 use armada_sim::SimRng;
-use armada_types::{AccessNetwork, GeoPoint, HardwareProfile, NodeClass, SystemConfig};
+use armada_types::{
+    AccessNetwork, GeoPoint, HardwareProfile, NodeClass, SimDuration, SystemConfig,
+};
 
 /// One edge node in an environment description.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +38,40 @@ pub struct UserSpec {
     pub affiliations: Vec<usize>,
 }
 
+/// Configuration of the geo-sharded manager federation
+/// (`armada-federation`): how many shards partition the world and how
+/// the periodic summary sync is timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederationSpec {
+    /// Number of manager shards (clamped to the number of distinct seed
+    /// points at partition time).
+    pub shards: usize,
+    /// Interval between summary-sync rounds.
+    pub sync_period: SimDuration,
+    /// Offset of the first sync round from t = 0. Kept strictly between
+    /// the heartbeat instants (which land on exact period multiples) so
+    /// each round ships the heartbeats that just happened and no sync
+    /// event ever ties with a registry write.
+    pub sync_offset: SimDuration,
+    /// Extra delay a client pays when its home shard is down and the
+    /// discovery request must be re-routed to the next-nearest shard
+    /// (models the connect-timeout + retry of the real runtime).
+    pub route_retry: SimDuration,
+}
+
+impl FederationSpec {
+    /// A `shards`-way federation with the default timings: sync every
+    /// heartbeat period (2 s) offset by 500 µs, 300 ms routing retry.
+    pub fn new(shards: usize) -> Self {
+        FederationSpec {
+            shards,
+            sync_period: SimDuration::from_secs(2),
+            sync_offset: SimDuration::from_micros(500),
+            route_retry: SimDuration::from_millis(300),
+        }
+    }
+}
+
 /// A complete environment description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnvSpec {
@@ -50,6 +86,9 @@ pub struct EnvSpec {
     pub pairwise_rtt_ms: Vec<(usize, usize, f64)>,
     /// Manager/environment configuration.
     pub system: SystemConfig,
+    /// Geo-sharded manager federation; `None` runs the single central
+    /// manager of the baseline.
+    pub federation: Option<FederationSpec>,
 }
 
 /// The Minneapolis–St. Paul anchor point used by the canonical
@@ -148,6 +187,7 @@ impl EnvSpec {
             latency: LatencyModelParams::default(),
             pairwise_rtt_ms: Vec::new(),
             system: SystemConfig::default(),
+            federation: None,
         }
     }
 
@@ -219,7 +259,14 @@ impl EnvSpec {
             },
             pairwise_rtt_ms: pairwise,
             system: SystemConfig::default(),
+            federation: None,
         }
+    }
+
+    /// Shards the manager tier per `spec` (builder style).
+    pub fn with_federation(mut self, spec: FederationSpec) -> Self {
+        self.federation = Some(spec);
+        self
     }
 
     /// The churn experiment's node hardware pool (§V-D2): 8 × t2.medium,

@@ -1,0 +1,29 @@
+//! Geo-sharded manager federation.
+//!
+//! The single central manager of the baseline becomes K *shards*, each
+//! owning registration, heartbeats, and liveness for one geohash region
+//! of the world ([`ShardMap`]). Shards periodically exchange compact
+//! [`NodeSummary`] deltas so a border user's discovery can merge its
+//! home shard's registry with neighbour-shard state, and so a neighbour
+//! can serve a user whose home shard has failed
+//! ([`FederatedCluster::discover`]).
+//!
+//! The design goal is *behavioural equivalence*: with every shard up
+//! and synced, a federated discovery ranks exactly the candidates the
+//! single-manager baseline would — sharding changes where control-plane
+//! load lands, not which node a user selects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod map;
+mod shard;
+mod summary;
+
+pub use cluster::{FederatedCluster, RoutedDiscovery, SyncStats};
+pub use map::{ShardMap, ShardSite};
+pub use shard::{FederatedShard, ShardCounters};
+pub use summary::{NodeSummary, SyncDelta};
+
+pub use armada_types::ShardId;

@@ -1,0 +1,236 @@
+//! The shard map: partitioning the world into K geohash regions.
+
+use armada_geo::GeoHash;
+use armada_types::{GeoPoint, ShardId};
+
+/// Precision at which points are hashed for routing decisions. Eight
+/// characters resolve to ~38 m — far below inter-shard distances, so
+/// prefix comparisons saturate before they run out of characters.
+const ROUTE_PRECISION: usize = 8;
+
+/// One manager shard's anchor: the representative point of its region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSite {
+    /// The shard's identity.
+    pub id: ShardId,
+    /// Centroid of the region the shard anchors.
+    pub anchor: GeoPoint,
+    /// The anchor's geohash (at routing precision).
+    pub hash: GeoHash,
+}
+
+/// A partition of the world into K manager shards, each anchored at the
+/// centroid of one geohash-contiguous group of seed points.
+///
+/// Routing is by geohash: a point's *home shard* is the site whose
+/// anchor hash shares the longest prefix with the point's own hash
+/// (ties broken by great-circle distance, then shard id). The full
+/// nearest-first order doubles as the failover order.
+///
+/// # Examples
+///
+/// ```
+/// use armada_federation::ShardMap;
+/// use armada_types::GeoPoint;
+///
+/// let west = GeoPoint::new(44.98, -93.40);
+/// let east = GeoPoint::new(44.98, -93.10);
+/// let map = ShardMap::partition(&[west, east], 2);
+/// assert_eq!(map.len(), 2);
+/// assert_ne!(map.home(west), map.home(east));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMap {
+    sites: Vec<ShardSite>,
+}
+
+impl ShardMap {
+    /// Partitions `points` into `k` geohash-contiguous groups and
+    /// anchors one shard at each group's centroid.
+    ///
+    /// Sorting by geohash walks the Z-order space-filling curve, so
+    /// each contiguous chunk is a compact region sharing a hash prefix
+    /// — the geo-sharding scheme the federation routes on. `k` is
+    /// clamped to the number of distinct points; with no points at all
+    /// a single shard anchored at the origin is produced so the map is
+    /// always routable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn partition(points: &[GeoPoint], k: usize) -> ShardMap {
+        assert!(k > 0, "a shard map needs at least one shard");
+        if points.is_empty() {
+            let anchor = GeoPoint::new(0.0, 0.0);
+            return ShardMap {
+                sites: vec![ShardSite {
+                    id: ShardId::new(0),
+                    anchor,
+                    hash: GeoHash::encode(anchor, ROUTE_PRECISION),
+                }],
+            };
+        }
+        let mut hashed: Vec<(GeoHash, GeoPoint)> = points
+            .iter()
+            .map(|&p| (GeoHash::encode(p, ROUTE_PRECISION), p))
+            .collect();
+        hashed.sort_by(|a, b| a.0.cmp(&b.0));
+        let k = k.min(hashed.len());
+        // Nearly-equal contiguous chunks: the first `rem` get one extra.
+        let (base, rem) = (hashed.len() / k, hashed.len() % k);
+        let mut sites = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let size = base + usize::from(i < rem);
+            let group = &hashed[start..start + size];
+            start += size;
+            let lat = group.iter().map(|(_, p)| p.lat()).sum::<f64>() / group.len() as f64;
+            let lon = group.iter().map(|(_, p)| p.lon()).sum::<f64>() / group.len() as f64;
+            let anchor = GeoPoint::new(lat, lon);
+            sites.push(ShardSite {
+                id: ShardId::new(i as u64),
+                anchor,
+                hash: GeoHash::encode(anchor, ROUTE_PRECISION),
+            });
+        }
+        ShardMap { sites }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if the map has no shards (never produced by
+    /// [`ShardMap::partition`]).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The shard sites, in id order.
+    pub fn sites(&self) -> &[ShardSite] {
+        &self.sites
+    }
+
+    /// The home shard of `loc`: first in [`ShardMap::route_order`].
+    pub fn home(&self, loc: GeoPoint) -> ShardId {
+        self.route_order(loc)[0]
+    }
+
+    /// Every shard ordered nearest-first for `loc`: by descending
+    /// shared geohash-prefix length, then ascending distance to the
+    /// anchor, then shard id. Index 0 is the home shard; the rest is
+    /// the failover order.
+    pub fn route_order(&self, loc: GeoPoint) -> Vec<ShardId> {
+        let here = GeoHash::encode(loc, ROUTE_PRECISION);
+        let mut order: Vec<(usize, f64, ShardId)> = self
+            .sites
+            .iter()
+            .map(|s| {
+                (
+                    s.hash.common_prefix_len(&here),
+                    loc.distance_km(s.anchor),
+                    s.id,
+                )
+            })
+            .collect();
+        order.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.2.cmp(&b.2))
+        });
+        order.into_iter().map(|(_, _, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msp() -> GeoPoint {
+        GeoPoint::new(44.9778, -93.2650)
+    }
+
+    fn spread(n: usize) -> Vec<GeoPoint> {
+        (0..n)
+            .map(|i| {
+                let angle = i as f64 * 2.399_963;
+                let radius = 5.0 + 40.0 * ((i * 37 % 100) as f64 / 100.0);
+                msp().offset_km(radius * angle.cos(), radius * angle.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_produces_k_sites_with_sequential_ids() {
+        let map = ShardMap::partition(&spread(20), 4);
+        assert_eq!(map.len(), 4);
+        for (i, site) in map.sites().iter().enumerate() {
+            assert_eq!(site.id, ShardId::new(i as u64));
+        }
+    }
+
+    #[test]
+    fn k_clamps_to_point_count_and_empty_input_still_routes() {
+        assert_eq!(ShardMap::partition(&spread(2), 8).len(), 2);
+        let empty = ShardMap::partition(&[], 4);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.home(msp()), ShardId::new(0));
+    }
+
+    #[test]
+    fn route_order_lists_every_shard_home_first() {
+        let map = ShardMap::partition(&spread(20), 4);
+        for &p in &spread(20) {
+            let order = map.route_order(p);
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "route order must be a permutation");
+            assert_eq!(order[0], map.home(p));
+        }
+    }
+
+    #[test]
+    fn home_shard_is_the_nearest_anchor_for_clear_cases() {
+        let west = GeoPoint::new(44.98, -93.80);
+        let east = GeoPoint::new(44.98, -92.60);
+        let map = ShardMap::partition(
+            &[
+                west,
+                west.offset_km(1.0, 0.0),
+                east,
+                east.offset_km(1.0, 0.0),
+            ],
+            2,
+        );
+        let home_w = map.home(west);
+        let home_e = map.home(east);
+        assert_ne!(home_w, home_e);
+        // A user right next to the west group routes west.
+        assert_eq!(map.home(west.offset_km(0.5, 0.5)), home_w);
+    }
+
+    #[test]
+    fn single_shard_map_routes_everything_to_shard_zero() {
+        let map = ShardMap::partition(&spread(10), 1);
+        for &p in &spread(30) {
+            assert_eq!(map.home(p), ShardId::new(0));
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        assert_eq!(
+            ShardMap::partition(&spread(20), 4),
+            ShardMap::partition(&spread(20), 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardMap::partition(&[msp()], 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! One manager shard: an authoritative registry for its own region plus
+//! a synced view of every peer's nodes.
+
+use std::collections::HashMap;
+
+use armada_geo::ProximityIndex;
+use armada_manager::{widen_and_rank, GlobalSelectionPolicy, NodeRegistry, ScoredCandidate};
+use armada_node::NodeStatus;
+use armada_types::{GeoPoint, NodeId, ShardId, SimDuration, SimTime, SystemConfig};
+
+use crate::summary::{NodeSummary, SyncDelta};
+
+/// Per-shard operation counters — the registry-load surface the
+/// `fed_scale` bench reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Registrations accepted (own nodes).
+    pub registrations: u64,
+    /// Heartbeats accepted (own nodes).
+    pub heartbeats: u64,
+    /// Discovery queries served (home or failover traffic).
+    pub discoveries: u64,
+    /// Sync rounds this shard participated in.
+    pub sync_rounds: u64,
+    /// Summaries sent to peers across all rounds.
+    pub summaries_sent: u64,
+    /// Summaries applied from peers across all rounds.
+    pub summaries_applied: u64,
+}
+
+impl ShardCounters {
+    /// Registration-tier operations handled by this shard (everything
+    /// that touches its authoritative registry).
+    pub fn registry_ops(&self) -> u64 {
+        self.registrations + self.heartbeats
+    }
+}
+
+/// One geo-federated manager shard.
+///
+/// The shard owns registration, heartbeats and liveness for the nodes
+/// whose home region it anchors, exactly as the single
+/// [`CentralManager`](armada_manager::CentralManager) does globally.
+/// Peer state arrives as [`NodeSummary`] deltas; discovery merges both
+/// views through the *same* widening + ranking procedure the central
+/// manager uses, so a shard with a fresh view produces the identical
+/// shortlist.
+#[derive(Debug, Clone)]
+pub struct FederatedShard {
+    id: ShardId,
+    config: SystemConfig,
+    policy: GlobalSelectionPolicy,
+    registry: NodeRegistry,
+    /// Spatial index over own *and* remote nodes.
+    index: ProximityIndex,
+    remote: HashMap<NodeId, NodeSummary>,
+    /// Departures since the epoch, for delta extraction.
+    removed_log: Vec<(SimTime, NodeId)>,
+    counters: ShardCounters,
+}
+
+impl FederatedShard {
+    /// Creates an empty shard.
+    pub fn new(id: ShardId, config: SystemConfig, policy: GlobalSelectionPolicy) -> Self {
+        FederatedShard {
+            id,
+            config,
+            policy,
+            registry: NodeRegistry::new(config.heartbeat_period, config.heartbeat_miss_limit),
+            index: ProximityIndex::new(),
+            remote: HashMap::new(),
+            removed_log: Vec::new(),
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// This shard's identity.
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> ShardCounters {
+        self.counters
+    }
+
+    /// Registers one of this shard's own nodes.
+    pub fn register(&mut self, status: NodeStatus, now: SimTime) {
+        self.counters.registrations += 1;
+        // A node can only have one home; a registration here supersedes
+        // any stale peer summary.
+        self.remote.remove(&status.node);
+        self.index.insert(status.node, status.location);
+        self.registry.register(status, now);
+    }
+
+    /// Records a heartbeat from one of this shard's own nodes. Unknown
+    /// senders re-register, mirroring the central manager.
+    pub fn heartbeat(&mut self, status: NodeStatus, now: SimTime) {
+        self.counters.heartbeats += 1;
+        if !self.registry.heartbeat(status, now) {
+            self.remote.remove(&status.node);
+            self.registry.register(status, now);
+        }
+        self.index.insert(status.node, status.location);
+    }
+
+    /// Handles a graceful departure of an own node.
+    pub fn node_left(&mut self, node: NodeId, now: SimTime) {
+        if self.registry.deregister(node).is_some() {
+            self.index.remove(node);
+            self.removed_log.push((now, node));
+        }
+    }
+
+    /// Nodes registered at this shard (its authoritative slice).
+    pub fn own_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Own nodes alive at `now`.
+    pub fn own_alive_count(&self, now: SimTime) -> usize {
+        self.registry.alive_count(now)
+    }
+
+    /// Alive nodes across the merged view (own + synced summaries).
+    pub fn merged_alive_count(&self, now: SimTime) -> usize {
+        self.registry.alive_count(now)
+            + self
+                .remote
+                .values()
+                .filter(|s| self.summary_alive(s, now))
+                .count()
+    }
+
+    /// The liveness rule applied to a synced summary: identical to the
+    /// registry's own heartbeat deadline, evaluated on the heartbeat
+    /// time the home shard advertised.
+    fn summary_alive(&self, summary: &NodeSummary, now: SimTime) -> bool {
+        let budget = self.config.heartbeat_period * u64::from(self.config.heartbeat_miss_limit);
+        summary.last_heartbeat >= now - budget
+    }
+
+    /// Extracts the outbound delta: own-node summaries refreshed at or
+    /// after `since`, plus departures recorded at or after `since`.
+    pub fn delta_since(&mut self, since: SimTime) -> SyncDelta {
+        let updated: Vec<NodeSummary> = {
+            let mut v: Vec<NodeSummary> = self
+                .registry
+                .records()
+                .filter(|r| r.last_heartbeat >= since)
+                .map(|r| NodeSummary {
+                    status: r.status,
+                    home: self.id,
+                    last_heartbeat: r.last_heartbeat,
+                })
+                .collect();
+            v.sort_by_key(|s| s.status.node);
+            v
+        };
+        let removed: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = self
+                .removed_log
+                .iter()
+                .filter(|(t, _)| *t >= since)
+                .map(|(_, n)| *n)
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        self.counters.summaries_sent += updated.len() as u64;
+        SyncDelta {
+            from: self.id,
+            updated,
+            removed,
+        }
+    }
+
+    /// Applies a peer's delta to the remote view. Own nodes are never
+    /// overwritten — the local registry is authoritative for them.
+    pub fn apply_delta(&mut self, delta: &SyncDelta) {
+        for summary in &delta.updated {
+            let node = summary.status.node;
+            if self.registry.record(node).is_some() {
+                continue;
+            }
+            self.index.insert(node, summary.status.location);
+            self.remote.insert(node, *summary);
+            self.counters.summaries_applied += 1;
+        }
+        for node in &delta.removed {
+            if self.remote.remove(node).is_some() {
+                self.index.remove(*node);
+            }
+        }
+    }
+
+    /// Notes participation in one sync round.
+    pub fn note_sync_round(&mut self) {
+        self.counters.sync_rounds += 1;
+    }
+
+    /// Serves a discovery query from the merged view. Same widening +
+    /// ranking as the central manager; remote nodes are as alive as
+    /// their last synced heartbeat says.
+    pub fn discover(
+        &mut self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<NodeId> {
+        self.counters.discoveries += 1;
+        self.ranked_candidates(user_loc, affiliations, top_n, now)
+            .into_iter()
+            .map(|c| c.node)
+            .collect()
+    }
+
+    /// Like [`FederatedShard::discover`] but returns scores, for tests
+    /// and diagnostics.
+    pub fn ranked_candidates(
+        &self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<ScoredCandidate> {
+        widen_and_rank(
+            &self.config,
+            &self.policy,
+            &self.index,
+            self.merged_alive_count(now),
+            |id| {
+                if self.registry.is_alive(id, now) {
+                    return self.registry.record(id).map(|r| r.status);
+                }
+                if self.registry.record(id).is_some() {
+                    return None; // own node, dead: never fall through to a stale summary
+                }
+                self.remote
+                    .get(&id)
+                    .filter(|s| self.summary_alive(s, now))
+                    .map(|s| s.status)
+            },
+            user_loc,
+            affiliations,
+            top_n,
+        )
+    }
+
+    /// Housekeeping: drops own registrations dead longer than `grace`
+    /// (recording their departure for the next delta) and remote
+    /// summaries equally stale.
+    pub fn prune(&mut self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
+        let pruned = self.registry.prune(now, grace);
+        for id in &pruned {
+            self.index.remove(*id);
+            self.removed_log.push((now, *id));
+        }
+        let budget = self.config.heartbeat_period * u64::from(self.config.heartbeat_miss_limit);
+        let cutoff = now - budget - grace;
+        let stale: Vec<NodeId> = self
+            .remote
+            .values()
+            .filter(|s| s.last_heartbeat < cutoff)
+            .map(|s| s.status.node)
+            .collect();
+        for id in stale {
+            self.remote.remove(&id);
+            self.index.remove(id);
+        }
+        pruned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::NodeClass;
+
+    fn home() -> GeoPoint {
+        GeoPoint::new(44.98, -93.26)
+    }
+
+    fn status(id: u64, loc: GeoPoint, load: f64) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: NodeClass::Volunteer,
+            location: loc,
+            attached_users: 0,
+            load_score: load,
+        }
+    }
+
+    fn shard(id: u64) -> FederatedShard {
+        FederatedShard::new(
+            ShardId::new(id),
+            SystemConfig::default(),
+            GlobalSelectionPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn discovery_merges_own_and_synced_nodes() {
+        let mut a = shard(0);
+        let mut b = shard(1);
+        a.register(status(0, home().offset_km(1.0, 0.0), 0.0), SimTime::ZERO);
+        b.register(status(1, home().offset_km(2.0, 0.0), 0.0), SimTime::ZERO);
+        let delta = b.delta_since(SimTime::ZERO);
+        a.apply_delta(&delta);
+        let got = a.discover(home(), &[], 3, SimTime::from_secs(1));
+        assert_eq!(got, vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn stale_summaries_die_by_the_same_deadline_rule() {
+        let mut a = shard(0);
+        let mut b = shard(1);
+        b.register(status(1, home(), 0.0), SimTime::ZERO);
+        a.apply_delta(&b.delta_since(SimTime::ZERO));
+        // Alive exactly at the 6 s budget, dead past it — identical to
+        // the local registry's boundary.
+        assert_eq!(a.discover(home(), &[], 1, SimTime::from_secs(6)).len(), 1);
+        assert!(a.discover(home(), &[], 1, SimTime::from_secs(7)).is_empty());
+    }
+
+    #[test]
+    fn deltas_are_incremental_and_removals_propagate() {
+        let mut a = shard(0);
+        let mut b = shard(1);
+        b.register(status(1, home(), 0.0), SimTime::ZERO);
+        b.register(status(2, home().offset_km(1.0, 0.0), 0.0), SimTime::ZERO);
+        a.apply_delta(&b.delta_since(SimTime::ZERO));
+
+        // Only node 2 heartbeats after the first round: the next delta
+        // carries just it.
+        b.heartbeat(
+            status(2, home().offset_km(1.0, 0.0), 0.1),
+            SimTime::from_secs(2),
+        );
+        let delta = b.delta_since(SimTime::from_secs(1));
+        assert_eq!(delta.updated.len(), 1);
+        assert_eq!(delta.updated[0].status.node, NodeId::new(2));
+
+        // A departure shows up as a removal and disappears remotely.
+        b.node_left(NodeId::new(1), SimTime::from_secs(3));
+        let delta = b.delta_since(SimTime::from_secs(2) + SimDuration::from_micros(1));
+        assert_eq!(delta.removed, vec![NodeId::new(1)]);
+        a.apply_delta(&delta);
+        let got = a.discover(home(), &[], 3, SimTime::from_secs(3));
+        assert_eq!(got, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn own_registration_supersedes_a_peer_summary() {
+        let mut a = shard(0);
+        let mut b = shard(1);
+        // Node 5 first appears via a peer summary with high load…
+        b.register(status(5, home(), 9.0), SimTime::ZERO);
+        a.apply_delta(&b.delta_since(SimTime::ZERO));
+        // …then re-homes onto shard 0 with a fresh, idle status.
+        a.register(status(5, home(), 0.0), SimTime::from_secs(1));
+        let ranked = a.ranked_candidates(home(), &[], 1, SimTime::from_secs(1));
+        assert!(ranked[0].score < 1.0, "authoritative status must win");
+    }
+
+    #[test]
+    fn counters_track_registry_load() {
+        let mut a = shard(0);
+        a.register(status(0, home(), 0.0), SimTime::ZERO);
+        a.heartbeat(status(0, home(), 0.0), SimTime::from_secs(2));
+        a.heartbeat(status(0, home(), 0.0), SimTime::from_secs(4));
+        let _ = a.discover(home(), &[], 1, SimTime::from_secs(4));
+        let c = a.counters();
+        assert_eq!(c.registrations, 1);
+        assert_eq!(c.heartbeats, 2);
+        assert_eq!(c.registry_ops(), 3);
+        assert_eq!(c.discoveries, 1);
+    }
+
+    #[test]
+    fn prune_clears_both_views() {
+        let mut a = shard(0);
+        let mut b = shard(1);
+        a.register(status(0, home(), 0.0), SimTime::ZERO);
+        b.register(status(1, home(), 0.0), SimTime::ZERO);
+        a.apply_delta(&b.delta_since(SimTime::ZERO));
+        let late = SimTime::from_secs(60);
+        let pruned = a.prune(late, SimDuration::from_secs(10));
+        assert_eq!(pruned, vec![NodeId::new(0)]);
+        assert_eq!(a.merged_alive_count(late), 0);
+        assert!(a.discover(home(), &[], 3, late).is_empty());
+        // The pruned own node is advertised as removed.
+        let delta = a.delta_since(late);
+        assert!(delta.removed.contains(&NodeId::new(0)));
+    }
+}

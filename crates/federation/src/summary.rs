@@ -1,0 +1,47 @@
+//! Compact node summaries exchanged between shards.
+
+use armada_node::NodeStatus;
+use armada_types::{NodeId, ShardId, SimTime};
+
+/// One node's state as advertised to peer shards: the latest status
+/// payload plus enough liveness context for a *remote* shard to apply
+/// the same heartbeat-deadline rule the home shard applies locally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSummary {
+    /// The node's most recent heartbeat payload.
+    pub status: NodeStatus,
+    /// The shard that owns this node's registration.
+    pub home: ShardId,
+    /// When the home shard last heard from the node (virtual time).
+    pub last_heartbeat: SimTime,
+}
+
+/// One shard's outbound sync payload: everything that changed since the
+/// previous round.
+///
+/// `updated` carries the summaries of own nodes whose heartbeat arrived
+/// since the cutoff; `removed` carries graceful departures and pruned
+/// registrations. Applying a delta is idempotent, so a summary resent
+/// across rounds is harmless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncDelta {
+    /// The sending shard.
+    pub from: ShardId,
+    /// New or refreshed node summaries.
+    pub updated: Vec<NodeSummary>,
+    /// Nodes that left the sending shard's registry.
+    pub removed: Vec<NodeId>,
+}
+
+impl SyncDelta {
+    /// Total entries carried (updates + removals) — the "bytes on the
+    /// wire" proxy the bench reports.
+    pub fn len(&self) -> usize {
+        self.updated.len() + self.removed.len()
+    }
+
+    /// `true` if the delta carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.updated.is_empty() && self.removed.is_empty()
+    }
+}

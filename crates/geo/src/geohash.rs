@@ -200,6 +200,19 @@ impl GeoHash {
         (lon_deg * 111.32, lat_deg * 111.32)
     }
 
+    /// Number of leading characters this hash shares with `other`.
+    ///
+    /// Shared prefix length is the geohash notion of closeness a
+    /// federated control plane routes on: the shard whose anchor shares
+    /// the longest prefix with a point's hash is its *home* shard.
+    pub fn common_prefix_len(&self, other: &GeoHash) -> usize {
+        self.0
+            .bytes()
+            .zip(other.0.bytes())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
     /// The coarsest precision whose cell is still at least `radius_km`
     /// wide in both dimensions — the starting precision for a proximity
     /// search that must cover that radius.
@@ -236,6 +249,23 @@ mod tests {
     fn known_vector_minneapolis() {
         let h = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 7);
         assert!(h.as_str().starts_with("9zvxv"), "got {h}");
+    }
+
+    #[test]
+    fn common_prefix_len_measures_shared_leading_chars() {
+        let msp = GeoHash::encode(GeoPoint::new(44.9778, -93.2650), 8);
+        let near = GeoHash::encode(GeoPoint::new(44.9800, -93.2600), 8);
+        let far = GeoHash::encode(GeoPoint::new(-33.8688, 151.2093), 8);
+        assert_eq!(msp.common_prefix_len(&msp), 8);
+        assert!(
+            msp.common_prefix_len(&near) >= 5,
+            "nearby points share a deep prefix"
+        );
+        assert_eq!(msp.common_prefix_len(&far), 0);
+        // Symmetric, and bounded by the shorter hash.
+        assert_eq!(msp.common_prefix_len(&near), near.common_prefix_len(&msp));
+        let short = msp.truncate(3);
+        assert_eq!(msp.common_prefix_len(&short), 3);
     }
 
     #[test]

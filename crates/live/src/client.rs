@@ -98,6 +98,22 @@ impl LiveClient {
         manager: SocketAddr,
         frames: usize,
     ) -> std::io::Result<SessionReport> {
+        self.run_session_any(&[manager], frames)
+    }
+
+    /// [`LiveClient::run_session`] against a federated manager tier:
+    /// `managers` is the client's shard route order (home first), and
+    /// discovery falls over to the next manager when one is dead.
+    ///
+    /// # Errors
+    ///
+    /// Fails if every manager is unreachable, no candidate can be
+    /// probed, or every candidate dies mid-session.
+    pub fn run_session_any(
+        &self,
+        managers: &[SocketAddr],
+        frames: usize,
+    ) -> std::io::Result<SessionReport> {
         // A rejected join (sequence conflict with a concurrent user)
         // repeats the probing process from the edge-discovery step
         // (Algorithm 2, line 14).
@@ -106,7 +122,7 @@ impl LiveClient {
             if attempt > 0 {
                 std::thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
             }
-            match self.try_session(manager, frames, u64::from(attempt)) {
+            match self.try_session(managers, frames, u64::from(attempt)) {
                 Ok(report) => return Ok(report),
                 Err(e) => last_err = Some(e),
             }
@@ -117,21 +133,40 @@ impl LiveClient {
     /// One discovery → probe → join → stream attempt.
     fn try_session(
         &self,
-        manager: SocketAddr,
+        managers: &[SocketAddr],
         frames: usize,
         round: u64,
     ) -> std::io::Result<SessionReport> {
         // --- Edge discovery ------------------------------------------
-        let mut mgr = connect(manager)?;
+        // Walk the route order: the home manager first, then its
+        // failover peers, each of which holds synced summaries of the
+        // whole federation.
         let request = Request::Discover {
             user: self.id,
             lat: self.location.lat(),
             lon: self.location.lon(),
             top_n: self.config.top_n,
         };
-        let candidates = match rpc(&mut mgr, &request)? {
-            Response::Candidates { nodes } => nodes,
-            other => return Err(protocol_error(format!("discovery got {other:?}"))),
+        let mut candidates = None;
+        for (rank, &manager) in managers.iter().enumerate() {
+            let outcome = connect(manager).and_then(|mut mgr| rpc(&mut mgr, &request));
+            match outcome {
+                Ok(Response::Candidates { nodes }) => {
+                    if rank > 0 {
+                        self.tracer.emit(Severity::Warn, "fed.failover", || {
+                            vec![("user", u(self.id)), ("served_by", u(rank as u64))]
+                        });
+                    }
+                    candidates = Some(nodes);
+                    break;
+                }
+                Ok(other) => return Err(protocol_error(format!("discovery got {other:?}"))),
+                // Dead or unreachable manager: next in the route order.
+                Err(_) => continue,
+            }
+        }
+        let Some(candidates) = candidates else {
+            return Err(protocol_error("every manager is unreachable".into()));
         };
         self.tracer.emit(Severity::Debug, "mgr.discover", || {
             vec![
@@ -738,6 +773,38 @@ mod tests {
         assert!(
             elapsed < Duration::from_secs(2),
             "probe took {elapsed:?}, expected ~one 300 ms timeout"
+        );
+    }
+
+    #[test]
+    fn discovery_fails_over_to_the_peer_manager() {
+        let disabled = armada_trace::Tracer::disabled;
+        let (mut mgr_a, addr_a) = LiveManager::bind_federated(0, disabled()).unwrap();
+        let (mgr_b, addr_b) = LiveManager::bind_federated(1, disabled()).unwrap();
+        let (_n1, _) = LiveNode::bind(node_config(1, 4, 10.0, 2), Some(addr_a)).unwrap();
+        let (_n2, _) = LiveNode::bind(node_config(2, 4, 10.0, 5), Some(addr_a)).unwrap();
+        mgr_a.start_sync(vec![addr_b], Duration::from_millis(25));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while mgr_b.synced_count() < 2 {
+            assert!(Instant::now() < deadline, "peer sync never arrived");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The home shard dies; its nodes keep serving. The client's
+        // route order still lists it first, so the session must pay one
+        // refused connect and complete through the peer's synced view.
+        drop(mgr_a);
+        let client = LiveClient::new(
+            300,
+            GeoPoint::new(44.98, -93.26),
+            ClientConfig::default().with_top_n(2),
+        );
+        let report = client.run_session_any(&[addr_a, addr_b], 5).unwrap();
+        assert_eq!(report.latencies.len(), 5);
+        assert_eq!(report.probed.len(), 2, "both synced nodes probed");
+        assert!(
+            mgr_b.discoveries_served() > 0,
+            "the peer shard must have served the discovery"
         );
     }
 

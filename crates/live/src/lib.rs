@@ -32,4 +32,4 @@ mod proto;
 pub use client::{LiveClient, SessionReport};
 pub use manager::LiveManager;
 pub use node::{LiveNode, NodeConfig};
-pub use proto::{read_message, write_message, Request, Response};
+pub use proto::{read_message, write_message, Request, Response, WireNodeStatus, WireSummary};

@@ -10,10 +10,14 @@ use std::time::{Duration, Instant};
 use armada_trace::{u, Severity, Tracer};
 use armada_types::GeoPoint;
 
-use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus};
+use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus, WireSummary};
 
 /// Heartbeats older than this mark a node dead.
 const LIVENESS_WINDOW: Duration = Duration::from_secs(6);
+
+/// Bound on each peer-sync RPC (connect + ack read). A dead peer must
+/// cost at most this per round, not an OS connect timeout.
+const SYNC_RPC_TIMEOUT: Duration = Duration::from_secs(1);
 
 #[derive(Debug, Clone)]
 struct Registration {
@@ -24,8 +28,18 @@ struct Registration {
 
 #[derive(Default)]
 struct ManagerState {
+    /// This shard's identity within a federation (0 when standalone).
+    shard: u64,
+    /// Nodes registered directly with this manager (it owns their
+    /// liveness).
     nodes: HashMap<u64, Registration>,
+    /// Nodes owned by peer shards, learned through `SyncSummaries`.
+    /// `last_seen` is reconstructed from the wire age, so the same
+    /// [`LIVENESS_WINDOW`] applies to both maps.
+    remote: HashMap<u64, Registration>,
     discoveries: u64,
+    sync_rounds: u64,
+    syncs_applied: u64,
     tracer: Tracer,
 }
 
@@ -45,6 +59,7 @@ pub struct LiveManager {
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
     accept_handle: Option<JoinHandle<()>>,
+    sync_handle: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<TcpStream>>>,
 }
 
@@ -65,9 +80,29 @@ impl LiveManager {
     ///
     /// Propagates socket errors.
     pub fn bind_traced(tracer: Tracer) -> std::io::Result<(LiveManager, SocketAddr)> {
+        LiveManager::bind_inner(0, tracer)
+    }
+
+    /// Binds one shard of a manager federation.
+    ///
+    /// Peer addresses are only known once every shard has bound, so
+    /// peer sync starts separately via [`LiveManager::start_sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_federated(
+        shard: u64,
+        tracer: Tracer,
+    ) -> std::io::Result<(LiveManager, SocketAddr)> {
+        LiveManager::bind_inner(shard, tracer)
+    }
+
+    fn bind_inner(shard: u64, tracer: Tracer) -> std::io::Result<(LiveManager, SocketAddr)> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let state = Arc::new(Mutex::new(ManagerState {
+            shard,
             tracer,
             ..ManagerState::default()
         }));
@@ -99,20 +134,102 @@ impl LiveManager {
             shutdown,
             addr,
             accept_handle: Some(accept_handle),
+            sync_handle: None,
             connections,
         };
         Ok((manager, addr))
     }
 
-    /// Number of nodes currently considered alive.
+    /// Starts the background peer-sync loop: every `period`, summaries
+    /// of the locally-owned nodes are pushed to each peer manager. A
+    /// dead peer costs at most one [`SYNC_RPC_TIMEOUT`] per round; the
+    /// loop itself never gives up on a peer — a revived manager simply
+    /// receives the next full push, which doubles as its resync.
+    pub fn start_sync(&mut self, peers: Vec<SocketAddr>, period: Duration) {
+        let state = Arc::clone(&self.state);
+        let shutdown = Arc::clone(&self.shutdown);
+        let handle = std::thread::spawn(move || {
+            while !shutdown.load(Ordering::Acquire) {
+                // Sleep in short slices so Drop never waits out a full
+                // period behind this thread.
+                let mut slept = Duration::ZERO;
+                while slept < period && !shutdown.load(Ordering::Acquire) {
+                    let slice = Duration::from_millis(20).min(period - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let (from, summaries) = {
+                    let s = state.lock().expect("not poisoned");
+                    let now = Instant::now();
+                    let summaries: Vec<WireSummary> = s
+                        .nodes
+                        .values()
+                        .map(|r| WireSummary {
+                            status: r.status.clone(),
+                            listen_addr: r.listen_addr.clone(),
+                            age_us: now.duration_since(r.last_seen).as_micros() as u64,
+                        })
+                        .collect();
+                    (s.shard, summaries)
+                };
+                let request = Request::SyncSummaries { from, summaries };
+                for peer in &peers {
+                    let Ok(mut stream) = TcpStream::connect_timeout(peer, SYNC_RPC_TIMEOUT) else {
+                        continue;
+                    };
+                    let _ = stream.set_read_timeout(Some(SYNC_RPC_TIMEOUT));
+                    let _ = stream.set_nodelay(true);
+                    if write_message(&mut stream, &request).is_err() {
+                        continue;
+                    }
+                    let _ = read_message::<_, Response>(&mut stream);
+                }
+                state.lock().expect("not poisoned").sync_rounds += 1;
+            }
+        });
+        self.sync_handle = Some(handle);
+    }
+
+    /// Number of nodes currently considered alive, own and synced.
     pub fn alive_count(&self) -> usize {
         let state = self.state.lock().expect("not poisoned");
         let now = Instant::now();
         state
             .nodes
             .values()
+            .chain(
+                state
+                    .remote
+                    .iter()
+                    .filter(|(id, _)| !state.nodes.contains_key(id))
+                    .map(|(_, r)| r),
+            )
             .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW)
             .count()
+    }
+
+    /// Number of peer-owned nodes currently alive in the synced view.
+    pub fn synced_count(&self) -> usize {
+        let state = self.state.lock().expect("not poisoned");
+        let now = Instant::now();
+        state
+            .remote
+            .values()
+            .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW)
+            .count()
+    }
+
+    /// Completed outbound peer-sync rounds.
+    pub fn sync_rounds(&self) -> u64 {
+        self.state.lock().expect("not poisoned").sync_rounds
+    }
+
+    /// Total summaries applied from inbound peer syncs.
+    pub fn syncs_applied(&self) -> u64 {
+        self.state.lock().expect("not poisoned").syncs_applied
     }
 
     /// Total discovery queries served.
@@ -131,6 +248,10 @@ impl Drop for LiveManager {
             let _ = conn.shutdown(Shutdown::Both);
         }
         if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // The sync loop re-checks the flag at least every 20 ms.
+        if let Some(handle) = self.sync_handle.take() {
             let _ = handle.join();
         }
     }
@@ -187,9 +308,18 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
             s.discoveries += 1;
             let user_loc = GeoPoint::new(lat, lon);
             let now = Instant::now();
+            // Own registrations are authoritative; synced summaries fill
+            // in the rest of the federation (and keep discovery alive
+            // for border users or when this shard serves as a fallback).
             let mut alive: Vec<&Registration> = s
                 .nodes
                 .values()
+                .chain(
+                    s.remote
+                        .iter()
+                        .filter(|(id, _)| !s.nodes.contains_key(id))
+                        .map(|(_, r)| r),
+                )
                 .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW)
                 .collect();
             // Same coarse ranking as the simulated manager: load first,
@@ -212,6 +342,35 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
                 vec![("user", u(user)), ("returned", u(nodes.len() as u64))]
             });
             Response::Candidates { nodes }
+        }
+        Request::SyncSummaries { from, summaries } => {
+            let mut s = state.lock().expect("not poisoned");
+            let now = Instant::now();
+            let mut applied = 0u64;
+            for summary in summaries {
+                // A direct registration outranks a synced summary: the
+                // owner's heartbeat is first-hand.
+                if s.nodes.contains_key(&summary.status.id) {
+                    continue;
+                }
+                let last_seen = now
+                    .checked_sub(Duration::from_micros(summary.age_us))
+                    .unwrap_or(now);
+                s.remote.insert(
+                    summary.status.id,
+                    Registration {
+                        status: summary.status,
+                        listen_addr: summary.listen_addr,
+                        last_seen,
+                    },
+                );
+                applied += 1;
+            }
+            s.syncs_applied += applied;
+            s.tracer.emit(Severity::Debug, "fed.sync", || {
+                vec![("from", u(from)), ("applied", u(applied))]
+            });
+            Response::SyncAck { applied }
         }
         other => Response::Error {
             message: format!("manager cannot serve {other:?}"),
@@ -284,6 +443,152 @@ mod tests {
             },
         );
         assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    /// Polls until `probe` holds, failing the test after two seconds —
+    /// the sync loop runs on wall time, so assertions must wait for it.
+    fn eventually(what: &str, probe: impl Fn() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !probe() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn peer_sync_propagates_registrations() {
+        let (mut a, addr_a) = LiveManager::bind_federated(0, Tracer::disabled()).unwrap();
+        let (b, addr_b) = LiveManager::bind_federated(1, Tracer::disabled()).unwrap();
+        for id in 0..2 {
+            rpc(
+                addr_a,
+                Request::Register {
+                    status: status(id, 0.0),
+                    listen_addr: format!("127.0.0.1:{}", 9000 + id),
+                },
+            );
+        }
+        assert_eq!(b.alive_count(), 0, "nothing synced yet");
+        a.start_sync(vec![addr_b], Duration::from_millis(25));
+        eventually("shard B to learn A's nodes", || b.synced_count() == 2);
+        assert!(a.sync_rounds() > 0);
+        assert_eq!(b.syncs_applied() % 2, 0);
+
+        // B serves A's nodes from the synced view, correct addresses
+        // included.
+        let resp = rpc(
+            addr_b,
+            Request::Discover {
+                user: 7,
+                lat: 44.98,
+                lon: -93.26,
+                top_n: 5,
+            },
+        );
+        match resp {
+            Response::Candidates { nodes } => {
+                assert_eq!(nodes.len(), 2);
+                assert_eq!(nodes[0], (0, "127.0.0.1:9000".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_registration_outranks_a_synced_summary() {
+        let (_b, addr_b) = LiveManager::bind_federated(1, Tracer::disabled()).unwrap();
+        // B owns node 5 directly.
+        rpc(
+            addr_b,
+            Request::Register {
+                status: status(5, 0.0),
+                listen_addr: "127.0.0.1:9105".into(),
+            },
+        );
+        // A peer pushes a conflicting (stale-addressed) summary for the
+        // same node plus a genuinely new one.
+        let resp = rpc(
+            addr_b,
+            Request::SyncSummaries {
+                from: 0,
+                summaries: vec![
+                    WireSummary {
+                        status: status(5, 0.9),
+                        listen_addr: "127.0.0.1:6666".into(),
+                        age_us: 0,
+                    },
+                    WireSummary {
+                        status: status(6, 0.5),
+                        listen_addr: "127.0.0.1:9106".into(),
+                        age_us: 0,
+                    },
+                ],
+            },
+        );
+        assert_eq!(resp, Response::SyncAck { applied: 1 });
+        let resp = rpc(
+            addr_b,
+            Request::Discover {
+                user: 1,
+                lat: 44.98,
+                lon: -93.26,
+                top_n: 5,
+            },
+        );
+        match resp {
+            Response::Candidates { nodes } => {
+                assert_eq!(
+                    nodes,
+                    vec![(5, "127.0.0.1:9105".into()), (6, "127.0.0.1:9106".into())],
+                    "node 5 must keep its first-hand address and load"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_synced_summaries_are_not_served() {
+        let (b, addr_b) = LiveManager::bind_federated(1, Tracer::disabled()).unwrap();
+        // The wire age predates the liveness window: the entry lands in
+        // the remote map but is already dead on arrival.
+        let resp = rpc(
+            addr_b,
+            Request::SyncSummaries {
+                from: 0,
+                summaries: vec![WireSummary {
+                    status: status(9, 0.0),
+                    listen_addr: "127.0.0.1:9109".into(),
+                    age_us: LIVENESS_WINDOW.as_micros() as u64 + 1_000_000,
+                }],
+            },
+        );
+        assert_eq!(resp, Response::SyncAck { applied: 1 });
+        assert_eq!(b.synced_count(), 0);
+        let resp = rpc(
+            addr_b,
+            Request::Discover {
+                user: 1,
+                lat: 44.98,
+                lon: -93.26,
+                top_n: 5,
+            },
+        );
+        assert_eq!(resp, Response::Candidates { nodes: vec![] });
+    }
+
+    #[test]
+    fn sync_survives_a_dead_peer() {
+        let (mut a, _addr_a) = LiveManager::bind_federated(0, Tracer::disabled()).unwrap();
+        // Bind-then-drop frees a port nothing listens on.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        a.start_sync(vec![dead], Duration::from_millis(25));
+        eventually("rounds to keep completing against a dead peer", || {
+            a.sync_rounds() >= 3
+        });
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub enum Request {
         /// Simulated payload size in bytes.
         payload_len: u32,
     },
+    /// Manager → manager: federation peer sync. The sender pushes
+    /// summaries of the nodes it owns so a neighbouring shard can serve
+    /// them to border users (and to everyone, should the sender die).
+    SyncSummaries {
+        /// Sending shard's identity.
+        from: u64,
+        /// One summary per owned node.
+        summaries: Vec<WireSummary>,
+    },
 }
 
 /// Replies to [`Request`]s.
@@ -108,11 +117,52 @@ pub enum Response {
         /// Node-side processing time, µs (queueing + execution).
         processing_us: u64,
     },
+    /// Peer sync accepted.
+    SyncAck {
+        /// Number of summaries applied to the receiver's remote view.
+        applied: u64,
+    },
     /// The request could not be served.
     Error {
         /// Human-readable reason.
         message: String,
     },
+}
+
+/// A compact node summary as exchanged between federated managers.
+///
+/// Heartbeat recency crosses the wire as an *age* — `Instant`s are
+/// process-local and cannot be serialised; the receiver reconstructs
+/// `last_seen = now − age_us` on arrival, so both sides apply the same
+/// liveness window to the same underlying heartbeat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSummary {
+    /// The summarised node's identity and state.
+    pub status: WireNodeStatus,
+    /// Where the node accepts client connections.
+    pub listen_addr: String,
+    /// Microseconds since the owning shard last heard from the node.
+    pub age_us: u64,
+}
+
+impl ToJson for WireSummary {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("status", self.status.to_json()),
+            ("listen_addr", Json::Str(self.listen_addr.clone())),
+            ("age_us", Json::Int(self.age_us as i64)),
+        ])
+    }
+}
+
+impl FromJson for WireSummary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(WireSummary {
+            status: WireNodeStatus::from_json(value.require("status")?)?,
+            listen_addr: String::from_json(value.require("listen_addr")?)?,
+            age_us: u64::from_json(value.require("age_us")?)?,
+        })
+    }
 }
 
 /// Node status as carried on the wire.
@@ -228,6 +278,16 @@ impl ToJson for Request {
                     ("payload_len", Json::Int(*payload_len as i64)),
                 ],
             ),
+            Request::SyncSummaries { from, summaries } => variant(
+                "SyncSummaries",
+                vec![
+                    ("from", Json::Int(*from as i64)),
+                    (
+                        "summaries",
+                        Json::Array(summaries.iter().map(ToJson::to_json).collect()),
+                    ),
+                ],
+            ),
         }
     }
 }
@@ -266,6 +326,20 @@ impl FromJson for Request {
                 seq: u64::from_json(body.require("seq")?)?,
                 payload_len: u32::from_json(body.require("payload_len")?)?,
             }),
+            "SyncSummaries" => {
+                let raw = body
+                    .require("summaries")?
+                    .as_array()
+                    .ok_or_else(|| JsonError::new("SyncSummaries.summaries must be an array"))?;
+                let mut summaries = Vec::with_capacity(raw.len());
+                for item in raw {
+                    summaries.push(WireSummary::from_json(item)?);
+                }
+                Ok(Request::SyncSummaries {
+                    from: u64::from_json(body.require("from")?)?,
+                    summaries,
+                })
+            }
             other => Err(JsonError::new(format!("unknown Request variant `{other}`"))),
         }
     }
@@ -316,6 +390,9 @@ impl ToJson for Response {
                     ("processing_us", Json::Int(*processing_us as i64)),
                 ],
             ),
+            Response::SyncAck { applied } => {
+                variant("SyncAck", vec![("applied", Json::Int(*applied as i64))])
+            }
             Response::Error { message } => {
                 variant("Error", vec![("message", Json::Str(message.clone()))])
             }
@@ -358,6 +435,9 @@ impl FromJson for Response {
             "FrameResult" => Ok(Response::FrameResult {
                 seq: u64::from_json(body.require("seq")?)?,
                 processing_us: u64::from_json(body.require("processing_us")?)?,
+            }),
+            "SyncAck" => Ok(Response::SyncAck {
+                applied: u64::from_json(body.require("applied")?)?,
             }),
             "Error" => Ok(Response::Error {
                 message: String::from_json(body.require("message")?)?,
@@ -504,6 +584,20 @@ mod tests {
                 seq: 5,
                 payload_len: 20_000,
             },
+            Request::SyncSummaries {
+                from: 1,
+                summaries: vec![WireSummary {
+                    status: WireNodeStatus {
+                        id: 3,
+                        class: NodeClass::Volunteer,
+                        location: GeoPoint::new(44.9, -93.2),
+                        attached_users: 1,
+                        load_score: 0.5,
+                    },
+                    listen_addr: "127.0.0.1:9003".into(),
+                    age_us: 1_500_000,
+                }],
+            },
         ];
         for msg in requests {
             let text = armada_json::to_string(&msg);
@@ -533,6 +627,7 @@ mod tests {
                 seq: 3,
                 processing_us: 27_500,
             },
+            Response::SyncAck { applied: 4 },
             Response::Error {
                 message: "node shutting down".into(),
             },

@@ -1,0 +1,120 @@
+//! The widening geo-filter + ranking step, shared between control-plane
+//! tiers.
+//!
+//! Both the single [`CentralManager`](crate::CentralManager) and the
+//! shards of a geo-federated manager tier serve discovery with exactly
+//! this procedure. Sharing the implementation (rather than the idea) is
+//! what makes the federation's border-merge behaviour provably identical
+//! to the single-manager baseline: given the same view of alive nodes,
+//! both produce byte-for-byte the same shortlist.
+
+use armada_geo::ProximityIndex;
+use armada_node::NodeStatus;
+use armada_types::{GeoPoint, NodeId, SystemConfig};
+
+use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
+
+/// Serves one discovery query against an arbitrary liveness view.
+///
+/// The geo-proximity filter starts at the configured radius and widens
+/// (doubling) until at least `top_n` alive candidates are inside, or all
+/// `alive_total` alive nodes are. `alive_status` is the view: it returns
+/// the status for a node id iff that node is currently considered alive.
+///
+/// Candidates are then ranked by `policy`, best first, and truncated to
+/// `top_n`.
+#[allow(clippy::too_many_arguments)] // free function shared across tiers; callers pass their own state
+pub fn widen_and_rank(
+    config: &SystemConfig,
+    policy: &GlobalSelectionPolicy,
+    index: &ProximityIndex,
+    alive_total: usize,
+    alive_status: impl Fn(NodeId) -> Option<NodeStatus>,
+    user_loc: GeoPoint,
+    affiliations: &[NodeId],
+    top_n: usize,
+) -> Vec<ScoredCandidate> {
+    if top_n == 0 {
+        return Vec::new();
+    }
+    let mut radius = config.proximity_radius_km.max(0.1);
+    let want = top_n.min(alive_total);
+    let candidates = loop {
+        let nearby = index.within_km(user_loc, radius);
+        let alive: Vec<NodeStatus> = nearby.iter().filter_map(|n| alive_status(n.id)).collect();
+        if alive.len() >= want || alive.len() == alive_total {
+            break alive;
+        }
+        radius *= 2.0;
+    };
+    let mut ranked = policy.rank(user_loc, candidates, affiliations);
+    ranked.truncate(top_n);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armada_types::NodeClass;
+    use std::collections::HashMap;
+
+    fn status(id: u64, loc: GeoPoint) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: NodeClass::Volunteer,
+            location: loc,
+            attached_users: 0,
+            load_score: 0.0,
+        }
+    }
+
+    #[test]
+    fn widens_until_the_view_is_exhausted() {
+        let home = GeoPoint::new(44.98, -93.26);
+        let mut index = ProximityIndex::new();
+        let mut view = HashMap::new();
+        for (i, km) in [3.0, 400.0, 900.0].into_iter().enumerate() {
+            let s = status(i as u64, home.offset_km(km, 0.0));
+            index.insert(s.node, s.location);
+            view.insert(s.node, s);
+        }
+        let got = widen_and_rank(
+            &SystemConfig::default(),
+            &GlobalSelectionPolicy::default(),
+            &index,
+            view.len(),
+            |id| view.get(&id).copied(),
+            home,
+            &[],
+            3,
+        );
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].node, NodeId::new(0));
+    }
+
+    #[test]
+    fn dead_entries_in_the_index_are_skipped() {
+        let home = GeoPoint::new(44.98, -93.26);
+        let mut index = ProximityIndex::new();
+        let mut view = HashMap::new();
+        for i in 0..3u64 {
+            let s = status(i, home.offset_km(i as f64 * 2.0, 0.0));
+            index.insert(s.node, s.location);
+            if i != 0 {
+                view.insert(s.node, s);
+            }
+        }
+        let got = widen_and_rank(
+            &SystemConfig::default(),
+            &GlobalSelectionPolicy::default(),
+            &index,
+            view.len(),
+            |id| view.get(&id).copied(),
+            home,
+            &[],
+            3,
+        );
+        assert_eq!(got.len(), 2, "the dead node must not appear");
+        assert!(got.iter().all(|c| c.node != NodeId::new(0)));
+    }
+}

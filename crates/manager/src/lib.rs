@@ -39,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod discovery;
 mod manager;
 mod registry;
 mod selection;
 
+pub use discovery::widen_and_rank;
 pub use manager::CentralManager;
 pub use registry::{NodeRecord, NodeRegistry};
 pub use selection::{GlobalSelectionPolicy, ScoredCandidate};

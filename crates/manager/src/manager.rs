@@ -122,29 +122,22 @@ impl CentralManager {
         top_n: usize,
         now: SimTime,
     ) -> Vec<ScoredCandidate> {
-        if top_n == 0 {
-            return Vec::new();
-        }
-        // Geo filter with widening: ask the spatial index for nearby
-        // nodes, discard the dead, widen until we have enough.
-        let mut radius = self.config.proximity_radius_km.max(0.1);
-        let alive_total = self.registry.alive_count(now);
-        let want = top_n.min(alive_total);
-        let candidates = loop {
-            let nearby = self.index.within_km(user_loc, radius);
-            let alive: Vec<NodeStatus> = nearby
-                .iter()
-                .filter(|n| self.registry.is_alive(n.id, now))
-                .filter_map(|n| self.registry.record(n.id).map(|r| r.status))
-                .collect();
-            if alive.len() >= want || alive.len() == alive_total {
-                break alive;
-            }
-            radius *= 2.0;
-        };
-        let mut ranked = self.policy.rank(user_loc, candidates, affiliations);
-        ranked.truncate(top_n);
-        ranked
+        crate::discovery::widen_and_rank(
+            &self.config,
+            &self.policy,
+            &self.index,
+            self.registry.alive_count(now),
+            |id| {
+                if self.registry.is_alive(id, now) {
+                    self.registry.record(id).map(|r| r.status)
+                } else {
+                    None
+                }
+            },
+            user_loc,
+            affiliations,
+            top_n,
+        )
     }
 }
 

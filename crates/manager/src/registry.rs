@@ -49,10 +49,18 @@ impl NodeRegistry {
     }
 
     /// Registers a node or refreshes an existing registration.
+    ///
+    /// A node re-registering after it was declared dead starts a *new*
+    /// registration: `registered_at` resets to `now` instead of carrying
+    /// over from the expired incarnation.
     pub fn register(&mut self, status: NodeStatus, now: SimTime) {
+        let deadline = self.deadline(now);
         self.nodes
             .entry(status.node)
             .and_modify(|r| {
+                if r.last_heartbeat < deadline {
+                    r.registered_at = now;
+                }
                 r.status = status;
                 r.last_heartbeat = now;
             })
@@ -97,6 +105,11 @@ impl NodeRegistry {
     /// The record for `node`, if registered (regardless of liveness).
     pub fn record(&self, node: NodeId) -> Option<&NodeRecord> {
         self.nodes.get(&node)
+    }
+
+    /// Iterates over every record, alive or not (no defined order).
+    pub fn records(&self) -> impl Iterator<Item = &NodeRecord> {
+        self.nodes.values()
     }
 
     /// Iterates over records considered alive at `now`.
@@ -173,6 +186,52 @@ mod tests {
         // 3 × 2 s budget: alive at 6 s, dead at 7 s.
         assert!(r.is_alive(NodeId::new(1), SimTime::from_secs(6)));
         assert!(!r.is_alive(NodeId::new(1), SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn heartbeat_exactly_at_the_miss_budget_keeps_the_node_alive() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        // The liveness budget is miss_limit × heartbeat_period = 6 s: a
+        // heartbeat aged *exactly* the budget is still within it.
+        let boundary = SimTime::from_secs(6);
+        assert!(r.is_alive(NodeId::new(1), boundary));
+        assert_eq!(r.alive_count(boundary), 1);
+        // One microsecond past the budget the node is dead.
+        let past = boundary + SimDuration::from_micros(1);
+        assert!(!r.is_alive(NodeId::new(1), past));
+        assert_eq!(r.alive_count(past), 0);
+        // A heartbeat landing exactly on the boundary resets the budget.
+        assert!(r.heartbeat(status(1), boundary));
+        assert!(r.is_alive(NodeId::new(1), SimTime::from_secs(12)));
+    }
+
+    #[test]
+    fn re_registration_after_death_resets_registered_at() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        // Dead at 10 s (budget expired at 6 s), then the node comes back.
+        let back = SimTime::from_secs(10);
+        assert!(!r.is_alive(NodeId::new(1), back));
+        r.register(status(1), back);
+        let rec = r.record(NodeId::new(1)).unwrap();
+        assert_eq!(
+            rec.registered_at, back,
+            "a dead node's re-registration starts a new incarnation"
+        );
+        assert!(r.is_alive(NodeId::new(1), back));
+    }
+
+    #[test]
+    fn re_registration_while_alive_preserves_registered_at() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        // Still alive at 5 s: a duplicate Register is a refresh, not a
+        // new incarnation.
+        r.register(status(1), SimTime::from_secs(5));
+        let rec = r.record(NodeId::new(1)).unwrap();
+        assert_eq!(rec.registered_at, SimTime::ZERO);
+        assert_eq!(rec.last_heartbeat, SimTime::from_secs(5));
     }
 
     #[test]

@@ -158,6 +158,68 @@ mod tests {
     }
 
     #[test]
+    fn equal_composite_scores_from_different_inputs_rank_by_node_id() {
+        let p = GlobalSelectionPolicy::default();
+        // Different load/affinity mixes, identical composite score:
+        // 10 × 0.5  ==  10 × 1.0 − 5 (affinity bonus)  ==  5.0, exactly
+        // representable so the tie is bit-for-bit (a distance-based
+        // fixture cannot be: offset_km then haversine never lands on a
+        // round number).
+        let a = status(9, 0.0, 0.5);
+        let b = status(4, 0.0, 1.0);
+        let sa = p.score(user(), &a, false);
+        let sb = p.score(user(), &b, true);
+        assert!(
+            sa.score == sb.score,
+            "fixture must produce a true tie: {} vs {}",
+            sa.score,
+            sb.score
+        );
+        let ranked = p.rank(user(), vec![a, b], &[NodeId::new(4)]);
+        assert_eq!(ranked[0].node, NodeId::new(4), "ties order by NodeId");
+        assert_eq!(ranked[1].node, NodeId::new(9));
+    }
+
+    #[test]
+    fn rank_is_independent_of_candidate_input_order() {
+        // Shard-merged candidate lists arrive in whatever order the
+        // home and neighbour views were concatenated; the ranking must
+        // not depend on it — including among tied candidates.
+        let p = GlobalSelectionPolicy::default();
+        let pool = vec![
+            status(7, 5.0, 0.0),
+            status(2, 5.0, 0.0),
+            status(5, 0.0, 0.1), // ties with the two above (score 1.0)
+            status(1, 30.0, 0.0),
+            status(9, 2.0, 0.3),
+        ];
+        let baseline: Vec<NodeId> = p
+            .rank(user(), pool.clone(), &[])
+            .iter()
+            .map(|c| c.node)
+            .collect();
+        // Every rotation (and the full reversal) yields the same order.
+        for rot in 0..pool.len() {
+            let mut shuffled = pool.clone();
+            shuffled.rotate_left(rot);
+            let got: Vec<NodeId> = p
+                .rank(user(), shuffled, &[])
+                .iter()
+                .map(|c| c.node)
+                .collect();
+            assert_eq!(got, baseline, "rotation {rot} reordered the ranking");
+        }
+        let mut reversed = pool.clone();
+        reversed.reverse();
+        let got: Vec<NodeId> = p
+            .rank(user(), reversed, &[])
+            .iter()
+            .map(|c| c.node)
+            .collect();
+        assert_eq!(got, baseline, "reversal reordered the ranking");
+    }
+
+    #[test]
     fn scores_expose_distance() {
         let p = GlobalSelectionPolicy::default();
         let s = p.score(user(), &status(1, 12.0, 0.0), false);

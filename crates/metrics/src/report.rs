@@ -30,6 +30,13 @@
 //! When a binary captured structured-event traces (`ARMADA_TRACE`), the
 //! report additionally lists their paths under a `"traces"` array (the
 //! field is always present, empty when tracing was off).
+//!
+//! Experiment-specific measurements that do not fit the common schema —
+//! per-shard load counters, selection-quality deltas, latency
+//! percentiles — ride along in `"extra"` objects: one per report
+//! ([`BenchReport::attach`]) and one per run
+//! ([`BenchReport::record_with`]). Both are always present and empty by
+//! default, so downstream tooling can treat the base schema as stable.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -45,6 +52,8 @@ pub struct BenchRun {
     pub virtual_secs: f64,
     /// Measurement samples the run produced.
     pub samples: u64,
+    /// Experiment-specific key/value measurements for this run.
+    pub extra: Vec<(String, Json)>,
 }
 
 impl BenchRun {
@@ -68,6 +77,7 @@ pub struct BenchReport {
     started: Instant,
     runs: Vec<BenchRun>,
     traces: Vec<String>,
+    extra: Vec<(String, Json)>,
 }
 
 impl BenchReport {
@@ -80,16 +90,38 @@ impl BenchReport {
             started: Instant::now(),
             runs: Vec::new(),
             traces: Vec::new(),
+            extra: Vec::new(),
         }
     }
 
     /// Records one completed unit of work.
     pub fn record(&mut self, label: impl Into<String>, virtual_secs: f64, samples: u64) {
+        self.record_with(label, virtual_secs, samples, Vec::new());
+    }
+
+    /// [`BenchReport::record`] with experiment-specific measurements
+    /// attached to the run (surfaced under the run's `"extra"` object).
+    pub fn record_with(
+        &mut self,
+        label: impl Into<String>,
+        virtual_secs: f64,
+        samples: u64,
+        extra: Vec<(String, Json)>,
+    ) {
         self.runs.push(BenchRun {
             label: label.into(),
             virtual_secs,
             samples,
+            extra,
         });
+    }
+
+    /// Attaches a report-level measurement (surfaced under the
+    /// top-level `"extra"` object). Later values for the same key win.
+    pub fn attach(&mut self, key: impl Into<String>, value: Json) {
+        let key = key.into();
+        self.extra.retain(|(k, _)| *k != key);
+        self.extra.push((key, value));
     }
 
     /// Records the path of a structured-event trace captured during the
@@ -121,11 +153,15 @@ impl BenchReport {
                     self.runs
                         .iter()
                         .map(|r| {
-                            Json::object(vec![
-                                ("label", Json::Str(r.label.clone())),
-                                ("virtual_secs", Json::Float(r.virtual_secs)),
-                                ("samples", Json::Int(r.samples as i64)),
-                                ("throughput_per_vsec", Json::Float(r.throughput_per_vsec())),
+                            Json::Object(vec![
+                                ("label".to_owned(), Json::Str(r.label.clone())),
+                                ("virtual_secs".to_owned(), Json::Float(r.virtual_secs)),
+                                ("samples".to_owned(), Json::Int(r.samples as i64)),
+                                (
+                                    "throughput_per_vsec".to_owned(),
+                                    Json::Float(r.throughput_per_vsec()),
+                                ),
+                                ("extra".to_owned(), Json::Object(r.extra.clone())),
                             ])
                         })
                         .collect(),
@@ -135,6 +171,7 @@ impl BenchReport {
                 "traces",
                 Json::Array(self.traces.iter().cloned().map(Json::Str).collect()),
             ),
+            ("extra", Json::Object(self.extra.clone())),
         ])
     }
 
@@ -161,6 +198,7 @@ mod tests {
         report.record("a", 40.0, 80);
         report.record("b", 0.0, 7);
         report.record_trace("TRACE_unit_test_a.jsonl");
+        report.attach("sweep", Json::Str("demo".into()));
         let json = report.to_json();
         let traces = json.get("traces").and_then(Json::as_array).unwrap();
         assert_eq!(traces.len(), 1);
@@ -179,9 +217,51 @@ mod tests {
             runs[1].get("throughput_per_vsec").and_then(Json::as_f64),
             Some(0.0)
         );
+        assert_eq!(
+            json.get("extra")
+                .and_then(|e| e.get("sweep"))
+                .and_then(Json::as_str),
+            Some("demo")
+        );
+        assert!(
+            matches!(runs[0].get("extra"), Some(Json::Object(m)) if m.is_empty()),
+            "plain record leaves the run extras empty"
+        );
         // Round-trips through the parser.
         let parsed = Json::parse(&armada_json::to_string(&json)).unwrap();
         assert_eq!(parsed.get("run_count").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn run_extras_surface_and_report_extras_dedupe() {
+        let mut report = BenchReport::start("extras_test", 1);
+        report.record_with(
+            "k=2",
+            30.0,
+            100,
+            vec![
+                ("registry_ops_per_shard".to_owned(), Json::Float(512.0)),
+                ("top1_match_rate".to_owned(), Json::Float(1.0)),
+            ],
+        );
+        report.attach("users", Json::Int(200));
+        report.attach("users", Json::Int(400));
+        let json = report.to_json();
+        let runs = json.get("runs").and_then(Json::as_array).unwrap();
+        let extra = runs[0].get("extra").unwrap();
+        assert_eq!(
+            extra.get("registry_ops_per_shard").and_then(Json::as_f64),
+            Some(512.0)
+        );
+        assert_eq!(
+            extra.get("top1_match_rate").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Re-attaching a key replaces the earlier value instead of
+        // emitting a duplicate member.
+        let top = json.get("extra").unwrap();
+        assert_eq!(top.get("users").and_then(Json::as_u64), Some(400));
+        assert!(matches!(top, Json::Object(m) if m.len() == 1));
     }
 
     #[test]

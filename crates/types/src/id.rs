@@ -82,6 +82,62 @@ impl From<u64> for UserId {
     }
 }
 
+/// Identifier of a manager shard in a geo-federated control plane.
+///
+/// Shards partition the world by geohash prefix; every node and user
+/// has a *home shard* derived from its location.
+///
+/// # Examples
+///
+/// ```
+/// use armada_types::ShardId;
+///
+/// let id = ShardId::new(2);
+/// assert_eq!(id.as_u64(), 2);
+/// assert_eq!(id.to_string(), "shard-2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ShardId(u64);
+
+impl ShardId {
+    /// Creates a shard identifier from its raw integer value.
+    pub const fn new(raw: u64) -> Self {
+        ShardId(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+impl From<u64> for ShardId {
+    fn from(raw: u64) -> Self {
+        ShardId(raw)
+    }
+}
+
+impl ToJson for ShardId {
+    fn to_json(&self) -> Json {
+        Json::Int(self.0 as i64)
+    }
+}
+
+impl FromJson for ShardId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .map(ShardId::new)
+            .ok_or_else(|| JsonError::new("ShardId: expected non-negative integer"))
+    }
+}
+
 impl ToJson for NodeId {
     fn to_json(&self) -> Json {
         Json::Int(self.0 as i64)
@@ -127,6 +183,16 @@ mod tests {
     fn display_formats() {
         assert_eq!(NodeId::new(1).to_string(), "node-1");
         assert_eq!(UserId::new(9).to_string(), "user-9");
+        assert_eq!(ShardId::new(4).to_string(), "shard-4");
+    }
+
+    #[test]
+    fn shard_id_roundtrips_through_json() {
+        let json = armada_json::to_string(&ShardId::new(3));
+        assert_eq!(json, "3");
+        let back: ShardId = armada_json::from_str(&json).unwrap();
+        assert_eq!(back, ShardId::new(3));
+        assert!(armada_json::from_str::<ShardId>("-1").is_err());
     }
 
     #[test]

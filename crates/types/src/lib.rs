@@ -41,6 +41,6 @@ pub use data::{Bandwidth, DataSize};
 pub use error::{ArmadaError, Result};
 pub use geo::GeoPoint;
 pub use hardware::{table2_profiles, HardwareProfile, NodeClass};
-pub use id::{NodeId, UserId};
+pub use id::{NodeId, ShardId, UserId};
 pub use network::AccessNetwork;
 pub use time::{SimDuration, SimTime};

@@ -37,6 +37,7 @@ pub use armada_baselines as baselines;
 pub use armada_churn as churn;
 pub use armada_client as client;
 pub use armada_core as core;
+pub use armada_federation as federation;
 pub use armada_geo as geo;
 pub use armada_live as live;
 pub use armada_manager as manager;
