@@ -1,0 +1,223 @@
+//! A fault-injecting wrapper around live byte streams.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::hash::{mix, unit};
+use crate::plan::LinkFaults;
+
+/// Wraps a `Read + Write` stream and applies [`LinkFaults`] to every
+/// outgoing frame at the socket boundary.
+///
+/// The live protocol issues one `write` call per length-prefixed frame,
+/// so each write is treated as one frame: it may be swallowed (drop),
+/// held back with a sleep (delay/reorder budget), bit-flipped
+/// (corrupt) or written twice (duplicate). Decisions hash
+/// `(seed, frame sequence)` — the same deterministic scheme the
+/// simulator uses — so a faulty transport replays identically under a
+/// fixed seed. A shared *blackhole* switch simulates a hard partition:
+/// while set, reads and writes fail fast with `ConnectionReset`.
+///
+/// # Examples
+///
+/// ```
+/// use armada_chaos::{FaultyTransport, LinkFaults};
+/// use std::io::Write;
+///
+/// let sink: Vec<u8> = Vec::new();
+/// let mut t = FaultyTransport::new(sink, LinkFaults::lossy(1.0), 9);
+/// t.write_all(b"doomed frame").unwrap();     // swallowed, not an error
+/// assert!(t.get_ref().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct FaultyTransport<S> {
+    inner: S,
+    faults: LinkFaults,
+    seed: u64,
+    seq: u64,
+    blackhole: Arc<AtomicBool>,
+}
+
+impl<S> FaultyTransport<S> {
+    /// Wraps `inner`, applying `faults` to frames under `seed`.
+    pub fn new(inner: S, faults: LinkFaults, seed: u64) -> Self {
+        FaultyTransport {
+            inner,
+            faults,
+            seed,
+            seq: 0,
+            blackhole: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The switch that turns this transport into a blackhole
+    /// (partition): share it with a test to cut the link mid-flight.
+    pub fn blackhole_switch(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.blackhole)
+    }
+
+    /// Frames decided so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.seq
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn severed(&self) -> Option<io::Error> {
+        if self.blackhole.load(Ordering::Acquire) {
+            Some(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: link partitioned",
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+impl<S: Read> Read for FaultyTransport<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(e) = self.severed() {
+            return Err(e);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyTransport<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(e) = self.severed() {
+            return Err(e);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let draw = |salt: u64| unit(mix(self.seed, 0x7fa17, seq, salt));
+
+        if draw(1) < self.faults.drop.clamp(0.0, 1.0) {
+            // Swallowed in flight: report success, deliver nothing. The
+            // receiver discovers the loss by timeout, as on a real link.
+            return Ok(buf.len());
+        }
+        if self.faults.delay_us > 0 && draw(2) < self.faults.delay.clamp(0.0, 1.0) {
+            std::thread::sleep(std::time::Duration::from_micros(self.faults.delay_us));
+        }
+        let copies = if draw(5) < self.faults.duplicate.clamp(0.0, 1.0) {
+            2
+        } else {
+            1
+        };
+        if draw(6) < self.faults.corrupt.clamp(0.0, 1.0) && !buf.is_empty() {
+            let mut corrupted = buf.to_vec();
+            let at = (mix(self.seed, 0x7fa17, seq, 9) as usize) % corrupted.len();
+            let bit = 1u8 << (mix(self.seed, 0x7fa17, seq, 10) % 8);
+            corrupted[at] ^= bit;
+            for _ in 0..copies {
+                self.inner.write_all(&corrupted)?;
+            }
+            return Ok(buf.len());
+        }
+        for _ in 0..copies {
+            self.inner.write_all(buf)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.severed() {
+            return Err(e);
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_faults_pass_bytes_through() {
+        let mut t = FaultyTransport::new(Vec::new(), LinkFaults::NONE, 1);
+        t.write_all(b"hello").unwrap();
+        t.write_all(b" world").unwrap();
+        assert_eq!(t.get_ref().as_slice(), b"hello world");
+    }
+
+    #[test]
+    fn full_drop_swallows_every_frame() {
+        let mut t = FaultyTransport::new(Vec::new(), LinkFaults::lossy(1.0), 1);
+        for _ in 0..10 {
+            t.write_all(b"frame").unwrap();
+        }
+        assert!(t.get_ref().is_empty());
+        assert_eq!(t.frames_seen(), 10);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_per_frame() {
+        let faults = LinkFaults {
+            corrupt: 1.0,
+            ..LinkFaults::NONE
+        };
+        let mut t = FaultyTransport::new(Vec::new(), faults, 3);
+        let frame = [0u8; 16];
+        t.write_all(&frame).unwrap();
+        let written = t.into_inner();
+        assert_eq!(written.len(), 16);
+        let flipped: u32 = written.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn duplication_writes_the_frame_twice() {
+        let faults = LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::NONE
+        };
+        let mut t = FaultyTransport::new(Vec::new(), faults, 4);
+        t.write_all(b"abcd").unwrap();
+        assert_eq!(t.get_ref().as_slice(), b"abcdabcd");
+    }
+
+    #[test]
+    fn blackhole_fails_reads_and_writes_fast() {
+        let mut t = FaultyTransport::new(std::io::Cursor::new(vec![1u8; 4]), LinkFaults::NONE, 5);
+        t.blackhole_switch().store(true, Ordering::Release);
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            t.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(
+            t.write(b"x").unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        t.blackhole_switch().store(false, Ordering::Release);
+        assert!(t.read(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn same_seed_makes_identical_fault_sequences() {
+        let faults = LinkFaults {
+            drop: 0.5,
+            ..LinkFaults::NONE
+        };
+        let run = |seed| {
+            let mut t = FaultyTransport::new(Vec::new(), faults, seed);
+            for i in 0..32u8 {
+                t.write_all(&[i]).unwrap();
+            }
+            t.into_inner()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

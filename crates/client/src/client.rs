@@ -74,6 +74,10 @@ pub struct ClientStats {
     pub frames_sent: u64,
     /// Frame responses received.
     pub frames_acked: u64,
+    /// Frames whose in-flight slot was reclaimed by the ack timeout
+    /// (frame or reply lost in transit; only nonzero under fault
+    /// injection or node failures).
+    pub frames_lost: u64,
 }
 
 /// The state machine of one application user.
@@ -326,6 +330,14 @@ impl EdgeClient {
         self.stats.frames_acked += 1;
         self.outstanding = self.outstanding.saturating_sub(1);
         self.rate.on_latency(latency);
+    }
+
+    /// Releases the in-flight slot of a frame whose ack timed out (the
+    /// frame or its reply was lost in transit). Without this, every
+    /// lost frame would permanently shrink the send window.
+    pub fn on_frame_lost(&mut self) {
+        self.stats.frames_lost += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
     }
 
     /// The current inter-frame interval.

@@ -9,8 +9,9 @@
 
 use std::collections::HashSet;
 
+use armada_chaos::{Backoff, BreakerState, CircuitBreaker, Transition};
 use armada_client::{ClientDecision, FailoverDecision, JoinFollowup, ProbeResult};
-use armada_net::Addr;
+use armada_net::{Addr, Delivery};
 use armada_node::{NodeAction, ProbeReply};
 use armada_sim::Context;
 use armada_trace::{s, u, Severity};
@@ -34,6 +35,18 @@ const IDLE_RETRY: SimDuration = SimDuration::from_millis(100);
 /// is gone takes a transport-level timeout before re-discovery can even
 /// begin — the dominant cost of the reactive (re-connect) approach.
 const RECONNECT_TIMEOUT: SimDuration = SimDuration::from_millis(1_000);
+/// How long the client waits for a frame acknowledgement before
+/// reclaiming the in-flight slot of a frame lost to fault injection.
+const FRAME_ACK_TIMEOUT: SimDuration = SimDuration::from_millis(1_000);
+/// Consecutive discovery failures before a client's manager breaker
+/// opens and the client stops hammering an unreachable control plane.
+const BREAKER_THRESHOLD: u32 = 3;
+/// How long an open discovery breaker cools down before letting one
+/// half-open probe through.
+const BREAKER_COOLDOWN: SimDuration = SimDuration::from_secs(2);
+/// Capped jittered exponential backoff between discovery retries while
+/// the control plane is failing (replaces hammering at [`IDLE_RETRY`]).
+const DISCOVERY_BACKOFF: Backoff = Backoff::from_millis(100, 2_000);
 
 /// Emits one structured event stamped with the current virtual time.
 macro_rules! trace_event {
@@ -52,6 +65,67 @@ pub(crate) fn user_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
     }
 }
 
+/// Emits the `chaos.breaker.*` event for one breaker transition.
+fn trace_breaker(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, t: Transition) {
+    let kind = match t.to {
+        BreakerState::Open => "chaos.breaker.open",
+        BreakerState::HalfOpen => "chaos.breaker.half_open",
+        BreakerState::Closed => "chaos.breaker.close",
+    };
+    trace_event!(w, ctx, Severity::Warn, kind,
+        "user" => u(user.as_u64()), "from" => s(t.from.as_str()));
+}
+
+/// Marks a user degraded (manager unreachable; any current attachment
+/// keeps serving) and emits `chaos.degraded` with the stale age.
+fn note_degraded(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    let now = ctx.now();
+    let since = *w.degraded.entry(user).or_insert(now);
+    let attached = w
+        .clients
+        .get(&user)
+        .and_then(|c| c.current_node())
+        .is_some();
+    trace_event!(w, ctx, Severity::Warn, "chaos.degraded",
+        "user" => u(user.as_u64()),
+        "stale_us" => u(now.saturating_since(since).as_micros()),
+        "attached" => u(u64::from(attached)));
+}
+
+/// Records a failed discovery round trip: feeds the user's breaker,
+/// enters degraded mode and schedules the retry on the capped
+/// exponential backoff.
+fn discovery_failed(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    let now_us = ctx.now().as_micros();
+    let breaker = w
+        .breakers
+        .entry(user)
+        .or_insert_with(|| CircuitBreaker::new(BREAKER_THRESHOLD, BREAKER_COOLDOWN.as_micros()));
+    let transition = breaker.on_failure(now_us);
+    let attempt = breaker.consecutive_failures().saturating_sub(1);
+    if let Some(t) = transition {
+        trace_breaker(w, ctx, user, t);
+    }
+    note_degraded(w, ctx, user);
+    let delay = SimDuration::from_micros(DISCOVERY_BACKOFF.delay_us(attempt, user.as_u64()));
+    ctx.schedule_in(delay, move |w, ctx| start_probe_round(w, ctx, user));
+}
+
+/// Records a successful discovery round trip: closes the breaker and
+/// reconciles out of degraded mode.
+fn discovery_succeeded(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
+    if let Some(breaker) = w.breakers.get_mut(&user) {
+        if let Some(t) = breaker.on_success() {
+            trace_breaker(w, ctx, user, t);
+        }
+    }
+    if let Some(since) = w.degraded.remove(&user) {
+        let outage = ctx.now().saturating_since(since);
+        trace_event!(w, ctx, Severity::Info, "chaos.degraded.recovered",
+            "user" => u(user.as_u64()), "outage_us" => u(outage.as_micros()));
+    }
+}
+
 /// Edge discovery + probe fan-out (Algorithm 2, lines 1–10).
 pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
     let Some(client) = w.clients.get(&user) else {
@@ -59,10 +133,40 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
     };
     let loc = client.location();
     let top_n = w.client_config.top_n;
-    let Some(rtt_m) = w.net.rtt(Addr::User(user), Addr::Manager, ctx.rng()) else {
-        ctx.schedule_in(IDLE_RETRY, move |w, ctx| start_probe_round(w, ctx, user));
-        return;
+    let now_us = ctx.now().as_micros();
+    // Per-user breaker on the discovery path: while open, skip the
+    // manager entirely (degraded mode — any existing attachment keeps
+    // serving) instead of burning a round trip per retry.
+    if let Some(breaker) = w.breakers.get_mut(&user) {
+        let (allowed, transition) = breaker.allow(now_us);
+        if let Some(t) = transition {
+            trace_breaker(w, ctx, user, t);
+        }
+        if !allowed {
+            note_degraded(w, ctx, user);
+            ctx.schedule_in(BREAKER_COOLDOWN, move |w, ctx| {
+                start_probe_round(w, ctx, user)
+            });
+            return;
+        }
+    }
+    let rtt_m = match w
+        .net
+        .deliver_rtt(Addr::User(user), Addr::Manager, now_us, ctx.rng())
+    {
+        Delivery::Delivered { delay, .. } => delay,
+        Delivery::Dropped => {
+            // Request or reply lost in flight: the client discovers the
+            // loss by timeout, then counts it against the breaker.
+            ctx.schedule_in(PROBE_TIMEOUT, move |w, ctx| discovery_failed(w, ctx, user));
+            return;
+        }
+        Delivery::Unreachable => {
+            discovery_failed(w, ctx, user);
+            return;
+        }
     };
+    discovery_succeeded(w, ctx, user);
     ctx.schedule_in(rtt_m, move |w, ctx| {
         if w.federation.is_some() {
             federated_discover(w, ctx, user, loc, top_n, true);
@@ -170,9 +274,19 @@ fn probe_candidates(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, mut candidat
 
 /// One `RTT_probe()` + `Process_probe()` exchange.
 fn send_probe(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, node: NodeId, round: u64) {
-    let Some(d1) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) else {
-        probe_failed(w, ctx, user, round);
-        return;
+    let now_us = ctx.now().as_micros();
+    let d1 = match w
+        .net
+        .deliver_one_way(Addr::User(user), Addr::Node(node), now_us, ctx.rng())
+    {
+        Delivery::Delivered { delay, .. } => delay,
+        // Probe lost in flight: nobody notices until the round's
+        // timeout fires.
+        Delivery::Dropped => return,
+        Delivery::Unreachable => {
+            probe_failed(w, ctx, user, round);
+            return;
+        }
     };
     ctx.schedule_in(d1, move |w, ctx| {
         let now = ctx.now();
@@ -187,14 +301,21 @@ fn send_probe(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, node: NodeId, roun
         let (reply, actions) = n.process_probe(now);
         handle_node_actions(w, ctx, node, actions);
         schedule_node_wakeup(w, ctx, node);
-        match w.net.one_way(Addr::Node(node), Addr::User(user), ctx.rng()) {
-            Some(d2) => {
+        match w.net.deliver_one_way(
+            Addr::Node(node),
+            Addr::User(user),
+            now.as_micros(),
+            ctx.rng(),
+        ) {
+            Delivery::Delivered { delay: d2, .. } => {
                 let rtt = d1 + d2;
                 ctx.schedule_in(d2, move |w, ctx| {
                     probe_reply(w, ctx, user, round, reply, rtt);
                 });
             }
-            None => probe_failed(w, ctx, user, round),
+            // Lost reply: discovered by the round timeout.
+            Delivery::Dropped => {}
+            Delivery::Unreachable => probe_failed(w, ctx, user, round),
         }
     });
 }
@@ -283,11 +404,12 @@ fn conclude_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, round: u
 
 /// `Join()` with sequence-number synchronisation (Algorithm 1).
 fn attempt_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, seq: u64) {
+    let now_us = ctx.now().as_micros();
     match w
         .net
-        .one_way(Addr::User(user), Addr::Node(target), ctx.rng())
+        .deliver_one_way(Addr::User(user), Addr::Node(target), now_us, ctx.rng())
     {
-        Some(d1) => {
+        Delivery::Delivered { delay: d1, .. } => {
             ctx.schedule_in(d1, move |w, ctx| {
                 let now = ctx.now();
                 let accepted = if w.node_is_up(target) {
@@ -303,20 +425,32 @@ fn attempt_join(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, 
                 } else {
                     false
                 };
-                let d2 = w
-                    .net
-                    .one_way(Addr::Node(target), Addr::User(user), ctx.rng())
-                    // If the node died between request and reply, no
-                    // reply ever arrives — the client learns through a
-                    // transport-level timeout, not the (much shorter)
-                    // one-way delay of the request leg.
-                    .unwrap_or(RECONNECT_TIMEOUT);
+                let d2 = match w.net.deliver_one_way(
+                    Addr::Node(target),
+                    Addr::User(user),
+                    now.as_micros(),
+                    ctx.rng(),
+                ) {
+                    Delivery::Delivered { delay, .. } => delay,
+                    // If the reply is lost (or the node died between
+                    // request and reply), the client learns the outcome
+                    // through a transport-level timeout, not the (much
+                    // shorter) one-way delay of the request leg.
+                    Delivery::Dropped | Delivery::Unreachable => RECONNECT_TIMEOUT,
+                };
                 ctx.schedule_in(d2, move |w, ctx| {
                     join_reply(w, ctx, user, target, accepted);
                 });
             });
         }
-        None => {
+        // A join request lost in flight also costs the full timeout
+        // before the client gives up on it.
+        Delivery::Dropped => {
+            ctx.schedule_in(RECONNECT_TIMEOUT, move |w, ctx| {
+                join_reply(w, ctx, user, target, false);
+            });
+        }
+        Delivery::Unreachable => {
             // Target unreachable: treat as rejection.
             join_reply(w, ctx, user, target, false);
         }
@@ -359,8 +493,12 @@ fn join_reply(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, target: NodeId, ac
 
 /// `Leave()` notification to the previous node.
 fn send_leave(w: &mut World, ctx: &mut Ctx<'_>, user: UserId, node: NodeId) {
-    let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) else {
-        return; // previous node already gone
+    let now_us = ctx.now().as_micros();
+    let Delivery::Delivered { delay: d, .. } =
+        w.net
+            .deliver_one_way(Addr::User(user), Addr::Node(node), now_us, ctx.rng())
+    else {
+        return; // previous node gone, or the notification was lost
     };
     ctx.schedule_in(d, move |w, ctx| {
         if !w.node_is_up(node) {
@@ -430,14 +568,29 @@ fn send_frame(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
             }
             let seq = client.next_frame_seq();
             let frame = Frame::live(user, seq, now);
-            match w
-                .net
-                .delivery_delay(Addr::User(user), Addr::Node(node), FRAME_SIZE, ctx.rng())
-            {
-                Some(d) => {
-                    ctx.schedule_in(d, move |w, ctx| receive_frame(w, ctx, node, frame));
+            match w.net.deliver_message(
+                Addr::User(user),
+                Addr::Node(node),
+                FRAME_SIZE,
+                now.as_micros(),
+                ctx.rng(),
+            ) {
+                Delivery::Delivered { delay, duplicate } => {
+                    ctx.schedule_in(delay, move |w, ctx| receive_frame(w, ctx, node, frame));
+                    if let Some(dup) = duplicate {
+                        ctx.schedule_in(dup, move |w, ctx| receive_frame(w, ctx, node, frame));
+                    }
                 }
-                None => {
+                Delivery::Dropped => {
+                    // Frame lost in flight: no ack will ever come, so the
+                    // in-flight slot is reclaimed by the ack timeout.
+                    ctx.schedule_in(FRAME_ACK_TIMEOUT, move |w, _ctx| {
+                        if let Some(client) = w.clients.get_mut(&user) {
+                            client.on_frame_lost();
+                        }
+                    });
+                }
+                Delivery::Unreachable => {
                     // Connection interruption detected (paper §IV-E).
                     handle_node_failure(w, ctx, user);
                 }
@@ -497,19 +650,34 @@ pub(crate) fn handle_node_actions(
             }
             NodeAction::Respond(response) => {
                 let size = response.size;
-                match w.net.delivery_delay(
+                match w.net.deliver_message(
                     Addr::Node(node),
                     Addr::User(response.user),
                     size,
+                    ctx.now().as_micros(),
                     ctx.rng(),
                 ) {
-                    Some(d) => {
-                        ctx.schedule_in(d, move |w, ctx| receive_response(w, ctx, response));
+                    Delivery::Delivered { delay, duplicate } => {
+                        ctx.schedule_in(delay, move |w, ctx| receive_response(w, ctx, response));
+                        if let Some(dup) = duplicate {
+                            ctx.schedule_in(dup, move |w, ctx| receive_response(w, ctx, response));
+                        }
                     }
-                    None => {
+                    Delivery::Dropped => {
+                        // Reply lost in transit (fault injection): the
+                        // client's ack timeout reclaims the in-flight slot.
+                        let user = response.user;
+                        ctx.schedule_in(FRAME_ACK_TIMEOUT, move |w, _ctx| {
+                            if let Some(client) = w.clients.get_mut(&user) {
+                                client.on_frame_lost();
+                            }
+                        });
+                    }
+                    Delivery::Unreachable => {
                         // Node died between processing and reply: the
                         // response is lost; the client's failure monitor
-                        // will notice at its next send.
+                        // will notice at its next send (which resets the
+                        // in-flight window on reattach).
                     }
                 }
             }
@@ -580,10 +748,12 @@ fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
                 // The connection is pre-established; Unexpected_join
                 // cannot be rejected (Table I). Frames resume on the next
                 // tick of the send loop.
-                if let Some(d) = w
-                    .net
-                    .one_way(Addr::User(user), Addr::Node(target), ctx.rng())
-                {
+                if let Delivery::Delivered { delay: d, .. } = w.net.deliver_one_way(
+                    Addr::User(user),
+                    Addr::Node(target),
+                    now.as_micros(),
+                    ctx.rng(),
+                ) {
                     ctx.schedule_in(d, move |w, ctx| {
                         if !w.node_is_up(target) {
                             return;
@@ -628,9 +798,24 @@ fn handle_node_failure(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
 
 /// Server-side one-shot assignment for the baseline strategies.
 pub(crate) fn baseline_assign(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
-    let Some(rtt_m) = w.net.rtt(Addr::User(user), Addr::Manager, ctx.rng()) else {
-        ctx.schedule_in(IDLE_RETRY, move |w, ctx| baseline_assign(w, ctx, user));
-        return;
+    let now_us = ctx.now().as_micros();
+    let rtt_m = match w
+        .net
+        .deliver_rtt(Addr::User(user), Addr::Manager, now_us, ctx.rng())
+    {
+        Delivery::Delivered { delay, .. } => delay,
+        Delivery::Unreachable => {
+            ctx.schedule_in(IDLE_RETRY, move |w, ctx| baseline_assign(w, ctx, user));
+            return;
+        }
+        Delivery::Dropped => {
+            // Request or reply lost: the client retries after its
+            // request timeout expires.
+            ctx.schedule_in(RECONNECT_TIMEOUT, move |w, ctx| {
+                baseline_assign(w, ctx, user)
+            });
+            return;
+        }
     };
     ctx.schedule_in(rtt_m, move |w, ctx| {
         let Some(node) = pick_baseline_node(w, user) else {
@@ -644,7 +829,12 @@ pub(crate) fn baseline_assign(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) {
         }
         trace_event!(w, ctx, Severity::Info, "client.assign",
             "user" => u(user.as_u64()), "node" => u(node.as_u64()));
-        if let Some(d) = w.net.one_way(Addr::User(user), Addr::Node(node), ctx.rng()) {
+        if let Delivery::Delivered { delay: d, .. } = w.net.deliver_one_way(
+            Addr::User(user),
+            Addr::Node(node),
+            ctx.now().as_micros(),
+            ctx.rng(),
+        ) {
             ctx.schedule_in(d, move |w, ctx| {
                 if !w.node_is_up(node) {
                     return;
@@ -866,6 +1056,8 @@ mod tests {
             failure_events: Vec::new(),
             affiliations: HashMap::new(),
             tracer: Default::default(),
+            breakers: HashMap::new(),
+            degraded: HashMap::new(),
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use armada_chaos::{FaultPlan, PeerClass};
 use armada_churn::ChurnTrace;
 use armada_client::EdgeClient;
 use armada_federation::{FederatedCluster, ShardMap};
@@ -10,7 +11,7 @@ use armada_metrics::LatencyRecorder;
 use armada_net::{Addr, Endpoint};
 use armada_node::EdgeNode;
 use armada_sim::{SimRng, Simulation};
-use armada_trace::{u, Severity, Tracer};
+use armada_trace::{s, u, Severity, Tracer};
 use armada_types::{
     AccessNetwork, GeoPoint, HardwareProfile, NodeClass, NodeId, ShardId, SimDuration, SimTime,
     UserId,
@@ -49,6 +50,7 @@ pub struct Scenario {
     shard_kills: Vec<(usize, SimTime)>,
     shard_revivals: Vec<(usize, SimTime)>,
     tracer: Tracer,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -66,7 +68,18 @@ impl Scenario {
             shard_kills: Vec::new(),
             shard_revivals: Vec::new(),
             tracer: Tracer::disabled(),
+            fault_plan: None,
         }
+    }
+
+    /// Installs a deterministic fault plan (drops, delays, duplicates,
+    /// partitions, crash-restarts, sync loss) for this run, overriding
+    /// any plan carried by the environment spec. A no-op plan (zero
+    /// probabilities, no schedules) leaves the run byte-identical to a
+    /// plan-free one.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Attaches a structured-event tracer. Events are stamped with
@@ -156,12 +169,22 @@ impl Scenario {
             shard_kills,
             shard_revivals,
             tracer,
+            fault_plan,
         } = self;
         let client_config = strategy.client_config();
         let n_users = env.users.len();
 
         // --- Network ------------------------------------------------
-        let net = env.to_network();
+        let mut net = env.to_network();
+        // Scenario-level plan wins over the environment's.
+        let fault_plan = fault_plan.or_else(|| env.fault_plan.clone());
+        let crashes = fault_plan
+            .as_ref()
+            .map(|p| p.crashes.clone())
+            .unwrap_or_default();
+        if let Some(plan) = fault_plan {
+            net.set_fault_plan(plan);
+        }
 
         // --- Components ----------------------------------------------
         let manager = CentralManager::new(env.system, GlobalSelectionPolicy::default());
@@ -233,6 +256,8 @@ impl Scenario {
                 })
                 .collect(),
             tracer,
+            breakers: HashMap::new(),
+            degraded: HashMap::new(),
         };
 
         // --- Timeline -------------------------------------------------
@@ -271,17 +296,31 @@ impl Scenario {
                     let Some(fed) = w.federation.as_mut() else {
                         return false;
                     };
-                    let stats = fed.cluster.sync_round(ctx.now());
+                    let now = ctx.now();
+                    // Under a fault plan, each shard-to-shard summary
+                    // push can be lost; the decision is a pure hash of
+                    // (seed, pair, round), so lossy sync replays
+                    // identically under the same seed.
+                    let stats = match w.net.fault_injector_mut() {
+                        Some(inj) if !inj.is_noop() => {
+                            let now_us = now.as_micros();
+                            fed.cluster.sync_round_filtered(now, &mut |from, to| {
+                                inj.drop_sync(from.as_u64(), to.as_u64(), now_us)
+                            })
+                        }
+                        _ => fed.cluster.sync_round(now),
+                    };
                     w.tracer
-                        .emit_at(ctx.now().as_micros(), Severity::Debug, "fed.sync", || {
+                        .emit_at(now.as_micros(), Severity::Debug, "fed.sync", || {
                             vec![
                                 ("round", u(stats.round)),
                                 ("participants", u(stats.participants as u64)),
                                 ("summaries", u(stats.summaries)),
                                 ("removals", u(stats.removals)),
+                                ("dropped", u(stats.dropped)),
                             ]
                         });
-                    ctx.now() < w.end_time
+                    now < w.end_time
                 },
             );
             for (index, at) in shard_kills {
@@ -323,6 +362,119 @@ impl Scenario {
                 });
             }
         }
+        // Fault-plan crash-restart schedules, mapped onto the runtime's
+        // own down/up operations per peer class. Unknown targets (a node
+        // index that never exists, a shard in a non-federated run) are
+        // ignored rather than panicking: plans are often swept across
+        // differently-sized environments.
+        for crash in crashes {
+            let peer = crash.peer;
+            let down_at = crash.down_at;
+            let up_at = crash.up_at;
+            match peer.class {
+                PeerClass::Node => {
+                    let id = NodeId::new(peer.id);
+                    sim.schedule_at(down_at, move |w: &mut World, ctx| {
+                        if !w.node_is_up(id) {
+                            return;
+                        }
+                        w.tracer.emit_at(
+                            ctx.now().as_micros(),
+                            Severity::Warn,
+                            "chaos.crash",
+                            || vec![("class", s(peer.class.as_str())), ("peer", u(peer.id))],
+                        );
+                        runner::node_leave(w, ctx, id);
+                    });
+                    if up_at < SimTime::MAX {
+                        sim.schedule_at(up_at, move |w: &mut World, ctx| {
+                            if !w.nodes.contains_key(&id) || !w.dead_nodes.remove(&id) {
+                                return;
+                            }
+                            w.net.set_up(Addr::Node(id));
+                            w.tracer.emit_at(
+                                ctx.now().as_micros(),
+                                Severity::Info,
+                                "chaos.restart",
+                                || vec![("class", s(peer.class.as_str())), ("peer", u(peer.id))],
+                            );
+                            runner::start_node_lifecycle(w, ctx, id);
+                        });
+                    }
+                }
+                PeerClass::Manager => {
+                    sim.schedule_at(down_at, move |w: &mut World, ctx| {
+                        if !w.net.is_up(Addr::Manager) {
+                            return;
+                        }
+                        w.net.set_down(Addr::Manager);
+                        w.tracer.emit_at(
+                            ctx.now().as_micros(),
+                            Severity::Warn,
+                            "chaos.crash",
+                            || vec![("class", s(peer.class.as_str())), ("peer", u(peer.id))],
+                        );
+                    });
+                    if up_at < SimTime::MAX {
+                        sim.schedule_at(up_at, move |w: &mut World, ctx| {
+                            w.net.set_up(Addr::Manager);
+                            w.tracer.emit_at(
+                                ctx.now().as_micros(),
+                                Severity::Info,
+                                "chaos.restart",
+                                || vec![("class", s(peer.class.as_str())), ("peer", u(peer.id))],
+                            );
+                        });
+                    }
+                }
+                PeerClass::Shard => {
+                    let id = ShardId::new(peer.id);
+                    sim.schedule_at(down_at, move |w: &mut World, ctx| {
+                        let Some(fed) = w.federation.as_mut() else {
+                            return;
+                        };
+                        if peer.id as usize >= fed.cluster.shard_count() {
+                            return;
+                        }
+                        if fed.cluster.kill(id) {
+                            w.tracer.emit_at(
+                                ctx.now().as_micros(),
+                                Severity::Warn,
+                                "chaos.crash",
+                                || vec![("class", s(peer.class.as_str())), ("peer", u(peer.id))],
+                            );
+                        }
+                    });
+                    if up_at < SimTime::MAX {
+                        sim.schedule_at(up_at, move |w: &mut World, ctx| {
+                            let Some(fed) = w.federation.as_mut() else {
+                                return;
+                            };
+                            if peer.id as usize >= fed.cluster.shard_count() {
+                                return;
+                            }
+                            if fed.cluster.revive(id) {
+                                w.tracer.emit_at(
+                                    ctx.now().as_micros(),
+                                    Severity::Info,
+                                    "chaos.restart",
+                                    || {
+                                        vec![
+                                            ("class", s(peer.class.as_str())),
+                                            ("peer", u(peer.id)),
+                                        ]
+                                    },
+                                );
+                            }
+                        });
+                    }
+                }
+                // Client crashes are not modeled: users simply stop
+                // producing load when their link is partitioned instead.
+                PeerClass::User => {}
+            }
+        }
+
         let static_node_count = env.nodes.len();
         for i in 0..static_node_count {
             let id = NodeId::new(i as u64);

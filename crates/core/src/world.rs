@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use armada_chaos::CircuitBreaker;
 use armada_client::{EdgeClient, ProbeResult};
 use armada_federation::FederatedCluster;
 use armada_manager::CentralManager;
@@ -74,6 +75,15 @@ pub struct World {
     /// Structured event sink (disabled by default; events are stamped
     /// with virtual time, so traced runs stay deterministic).
     pub(crate) tracer: Tracer,
+    /// Per-user circuit breakers on the discovery path: opened after
+    /// consecutive manager failures, half-open probe after a cooldown.
+    /// Only populated when discovery actually fails, so fault-free runs
+    /// carry no breaker state at all.
+    pub(crate) breakers: HashMap<UserId, CircuitBreaker>,
+    /// Users currently in degraded mode (manager unreachable, serving
+    /// from their existing attachment), with the time degradation
+    /// began — the stale-age anchor.
+    pub(crate) degraded: HashMap<UserId, SimTime>,
 }
 
 impl World {
@@ -178,6 +188,23 @@ impl World {
     /// The tracer events of this run are emitted through.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Total circuit-breaker state transitions across all users'
+    /// discovery paths.
+    pub fn breaker_transitions(&self) -> u64 {
+        self.breakers.values().map(|b| b.transition_count()).sum()
+    }
+
+    /// Users currently in degraded mode (manager unreachable, serving
+    /// from their existing attachment).
+    pub fn degraded_users(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Fault-injection counters, when the run carries a fault plan.
+    pub fn fault_stats(&self) -> Option<armada_chaos::InjectorStats> {
+        self.net.fault_stats()
     }
 
     /// `true` while the node is present and reachable.

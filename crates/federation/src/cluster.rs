@@ -22,6 +22,9 @@ pub struct SyncStats {
     pub summaries: u64,
     /// Removal tombstones shipped this round.
     pub removals: u64,
+    /// Delta messages lost in transit this round (fault injection via
+    /// [`FederatedCluster::sync_round_filtered`]).
+    pub dropped: u64,
 }
 
 /// One discovery served through the federation.
@@ -188,6 +191,19 @@ impl FederatedCluster {
     /// previous round to every other up shard. Revived shards receive a
     /// full resync. Down shards neither send nor receive.
     pub fn sync_round(&mut self, now: SimTime) -> SyncStats {
+        self.sync_round_filtered(now, &mut |_, _| false)
+    }
+
+    /// Like [`FederatedCluster::sync_round`], except `drop` decides per
+    /// `(sender, receiver)` pair whether that delta message is lost in
+    /// transit (fault injection). A receiver that missed a delta gets a
+    /// full resync from every peer next round, so lossy sync still
+    /// converges once a round's messages to it all arrive.
+    pub fn sync_round_filtered(
+        &mut self,
+        now: SimTime,
+        drop: &mut dyn FnMut(ShardId, ShardId) -> bool,
+    ) -> SyncStats {
         self.rounds += 1;
         let up: Vec<ShardId> = self
             .shards
@@ -200,7 +216,9 @@ impl FederatedCluster {
             participants: up.len(),
             summaries: 0,
             removals: 0,
+            dropped: 0,
         };
+        let mut missed: HashSet<ShardId> = HashSet::new();
         if up.len() >= 2 {
             let since = self.last_sync;
             let deltas: Vec<SyncDelta> = up
@@ -210,6 +228,11 @@ impl FederatedCluster {
             for (si, &sender) in up.iter().enumerate() {
                 for &receiver in &up {
                     if sender == receiver {
+                        continue;
+                    }
+                    if drop(sender, receiver) {
+                        stats.dropped += 1;
+                        missed.insert(receiver);
                         continue;
                     }
                     let delta = if self.needs_full.contains(&receiver) {
@@ -228,6 +251,7 @@ impl FederatedCluster {
             }
         }
         self.needs_full.clear();
+        self.needs_full.extend(missed);
         self.last_sync = now;
         stats
     }

@@ -3,8 +3,10 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use armada_chaos::{Backoff, BreakerState, CircuitBreaker, Transition};
 use armada_client::{rank_candidates, ProbeResult};
 use armada_trace::{s, u, Severity, Tracer};
 use armada_types::{ClientConfig, GeoPoint, NodeId, SimDuration};
@@ -17,6 +19,26 @@ use crate::proto::{read_message, write_message, Request, Response};
 /// read timeout on every connection — a plain `TcpStream::connect` to
 /// an unroutable address can block far longer than any RPC budget.
 const RPC_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Sleep schedule between session attempts: capped jittered exponential
+/// backoff. The old linear `50 ms × attempt` both grew too slowly to
+/// ride out a real outage and synchronised colliding clients into
+/// retry herds; this one doubles per attempt, never exceeds the cap,
+/// and jitters deterministically per client.
+const RETRY_BACKOFF: Backoff = Backoff::from_millis(50, 1_000);
+
+/// Consecutive discovery failures before a manager's circuit breaker
+/// opens (after which the route walk skips it without connecting).
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// How long an open manager breaker refuses locally before letting a
+/// single half-open probe through.
+const BREAKER_COOLDOWN: Duration = Duration::from_millis(500);
+
+/// Connect/read budget for the mid-session candidate-cache refresh.
+/// Kept far below [`RPC_TIMEOUT`] so a black-holed manager cannot
+/// stall the frame loop for the full RPC budget every probing period.
+const REFRESH_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// What a [`LiveClient`] session measured.
 #[derive(Debug, Clone)]
@@ -57,6 +79,24 @@ pub struct LiveClient {
     location: GeoPoint,
     config: ClientConfig,
     tracer: Tracer,
+    /// Last candidate list any discovery returned; serves discovery in
+    /// degraded mode when every manager is unreachable. Shared across
+    /// clones so repeated sessions survive a manager outage.
+    cache: Arc<Mutex<Option<CandidateCache>>>,
+    /// When the current degraded episode began, while one is active.
+    degraded_since: Arc<Mutex<Option<Instant>>>,
+    /// One circuit breaker per manager address.
+    breakers: Arc<Mutex<HashMap<SocketAddr, CircuitBreaker>>>,
+    /// Time base for the breakers' microsecond clock.
+    epoch: Instant,
+}
+
+/// A remembered discovery result with its fetch time, so degraded mode
+/// can report exactly how stale the served candidates are.
+#[derive(Debug, Clone)]
+struct CandidateCache {
+    nodes: Vec<(u64, String)>,
+    fetched: Instant,
 }
 
 struct Candidate {
@@ -71,6 +111,10 @@ impl LiveClient {
             location,
             config,
             tracer: Tracer::disabled(),
+            cache: Arc::new(Mutex::new(None)),
+            degraded_since: Arc::new(Mutex::new(None)),
+            breakers: Arc::new(Mutex::new(HashMap::new())),
+            epoch: Instant::now(),
         }
     }
 
@@ -84,6 +128,23 @@ impl LiveClient {
     /// This client's identity.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// `true` while discovery is being served from the stale cached
+    /// candidate list because every manager is unreachable or
+    /// breaker-gated.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_since.lock().expect("degraded lock").is_some()
+    }
+
+    /// Total circuit-breaker state transitions across all managers.
+    pub fn breaker_transitions(&self) -> u64 {
+        self.breakers
+            .lock()
+            .expect("breaker lock")
+            .values()
+            .map(|b| b.transition_count())
+            .sum()
     }
 
     /// Runs one full session: discovery → concurrent probing → ranked
@@ -120,7 +181,7 @@ impl LiveClient {
         let mut last_err = None;
         for attempt in 0..5u32 {
             if attempt > 0 {
-                std::thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
+                std::thread::sleep(RETRY_BACKOFF.delay(attempt - 1, self.id));
             }
             match self.try_session(managers, frames, u64::from(attempt)) {
                 Ok(report) => return Ok(report),
@@ -138,45 +199,13 @@ impl LiveClient {
         round: u64,
     ) -> std::io::Result<SessionReport> {
         // --- Edge discovery ------------------------------------------
-        // Walk the route order: the home manager first, then its
-        // failover peers, each of which holds synced summaries of the
-        // whole federation.
-        let request = Request::Discover {
-            user: self.id,
-            lat: self.location.lat(),
-            lon: self.location.lon(),
-            top_n: self.config.top_n,
+        // Walk the route order under per-manager breakers; if the whole
+        // tier is unreachable, degrade to the last-known candidate list
+        // rather than failing the session outright.
+        let candidates = match self.discover(managers, RPC_TIMEOUT) {
+            Ok(nodes) => nodes,
+            Err(e) => self.cached_candidates().ok_or(e)?,
         };
-        let mut candidates = None;
-        for (rank, &manager) in managers.iter().enumerate() {
-            let outcome = connect(manager).and_then(|mut mgr| rpc(&mut mgr, &request));
-            match outcome {
-                Ok(Response::Candidates { nodes }) => {
-                    if rank > 0 {
-                        self.tracer.emit(Severity::Warn, "fed.failover", || {
-                            vec![("user", u(self.id)), ("served_by", u(rank as u64))]
-                        });
-                    }
-                    candidates = Some(nodes);
-                    break;
-                }
-                Ok(other) => return Err(protocol_error(format!("discovery got {other:?}"))),
-                // Dead or unreachable manager: next in the route order.
-                Err(_) => continue,
-            }
-        }
-        let Some(candidates) = candidates else {
-            return Err(protocol_error("every manager is unreachable".into()));
-        };
-        self.tracer.emit(Severity::Debug, "mgr.discover", || {
-            vec![
-                ("user", u(self.id)),
-                ("returned", u(candidates.len() as u64)),
-            ]
-        });
-        if candidates.is_empty() {
-            return Err(protocol_error("manager returned no candidates".into()));
-        }
 
         // --- Concurrent probing ---------------------------------------
         // One scoped thread per candidate: all RTT/process probes are in
@@ -305,6 +334,13 @@ impl LiveClient {
                         backups.push(previous);
                     }
                 }
+                // Opportunistic cache refresh: this is what notices a
+                // manager partition (entering degraded mode) and its
+                // recovery, even while frames keep flowing to already
+                // connected nodes.
+                if self.discover(managers, REFRESH_TIMEOUT).is_err() {
+                    let _ = self.cached_candidates();
+                }
             }
             let frame = Request::Frame {
                 user: self.id,
@@ -390,6 +426,163 @@ impl LiveClient {
 }
 
 impl LiveClient {
+    /// Walks the manager route order (home first) under per-manager
+    /// circuit breakers. A success refreshes the candidate cache and
+    /// ends any degraded episode; total failure leaves the cache for
+    /// [`LiveClient::cached_candidates`] to serve.
+    fn discover(
+        &self,
+        managers: &[SocketAddr],
+        timeout: Duration,
+    ) -> std::io::Result<Vec<(u64, String)>> {
+        let request = Request::Discover {
+            user: self.id,
+            lat: self.location.lat(),
+            lon: self.location.lon(),
+            top_n: self.config.top_n,
+        };
+        for (rank, &manager) in managers.iter().enumerate() {
+            if !self.breaker_allows(manager) {
+                continue;
+            }
+            let outcome =
+                connect_with(manager, timeout).and_then(|mut mgr| rpc(&mut mgr, &request));
+            match outcome {
+                Ok(Response::Candidates { nodes }) => {
+                    self.breaker_success(manager);
+                    if rank > 0 {
+                        self.tracer.emit(Severity::Warn, "fed.failover", || {
+                            vec![("user", u(self.id)), ("served_by", u(rank as u64))]
+                        });
+                    }
+                    self.tracer.emit(Severity::Debug, "mgr.discover", || {
+                        vec![("user", u(self.id)), ("returned", u(nodes.len() as u64))]
+                    });
+                    if nodes.is_empty() {
+                        // The manager is healthy, it just has nothing to
+                        // offer — not a breaker failure, and not worth
+                        // caching.
+                        return Err(protocol_error("manager returned no candidates".into()));
+                    }
+                    self.refresh_cache(&nodes);
+                    return Ok(nodes);
+                }
+                Ok(other) => {
+                    self.breaker_failure(manager);
+                    return Err(protocol_error(format!("discovery got {other:?}")));
+                }
+                // Dead or unreachable manager: next in the route order.
+                Err(_) => self.breaker_failure(manager),
+            }
+        }
+        Err(protocol_error(
+            "every manager is unreachable or breaker-gated".into(),
+        ))
+    }
+
+    /// Stores a freshly served candidate list and, if a degraded
+    /// episode was in progress, ends it with a recovery event.
+    fn refresh_cache(&self, nodes: &[(u64, String)]) {
+        *self.cache.lock().expect("cache lock") = Some(CandidateCache {
+            nodes: nodes.to_vec(),
+            fetched: Instant::now(),
+        });
+        let recovered = self.degraded_since.lock().expect("degraded lock").take();
+        if let Some(since) = recovered {
+            let outage = since.elapsed();
+            self.tracer
+                .emit(Severity::Info, "chaos.degraded.recovered", || {
+                    vec![
+                        ("user", u(self.id)),
+                        ("outage_us", u(outage.as_micros() as u64)),
+                    ]
+                });
+        }
+    }
+
+    /// Serves the last-known candidate list when every manager is
+    /// down, entering (or extending) a degraded episode. `None` when
+    /// nothing was ever cached — then the discovery error stands.
+    fn cached_candidates(&self) -> Option<Vec<(u64, String)>> {
+        let cached = self.cache.lock().expect("cache lock").clone()?;
+        let stale = cached.fetched.elapsed();
+        self.degraded_since
+            .lock()
+            .expect("degraded lock")
+            .get_or_insert_with(Instant::now);
+        self.tracer.emit(Severity::Warn, "chaos.degraded", || {
+            vec![
+                ("user", u(self.id)),
+                ("stale_us", u(stale.as_micros() as u64)),
+                ("cached", u(cached.nodes.len() as u64)),
+            ]
+        });
+        Some(cached.nodes)
+    }
+
+    /// Microseconds on the breakers' shared clock.
+    fn breaker_now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Should discovery try this manager now? Traces the open →
+    /// half-open transition when a cooldown expires.
+    fn breaker_allows(&self, manager: SocketAddr) -> bool {
+        let mut breakers = self.breakers.lock().expect("breaker lock");
+        let Some(breaker) = breakers.get_mut(&manager) else {
+            return true;
+        };
+        let (allowed, transition) = breaker.allow(self.breaker_now_us());
+        drop(breakers);
+        if let Some(t) = transition {
+            self.trace_breaker(manager, t);
+        }
+        allowed
+    }
+
+    fn breaker_success(&self, manager: SocketAddr) {
+        let transition = self
+            .breakers
+            .lock()
+            .expect("breaker lock")
+            .get_mut(&manager)
+            .and_then(CircuitBreaker::on_success);
+        if let Some(t) = transition {
+            self.trace_breaker(manager, t);
+        }
+    }
+
+    fn breaker_failure(&self, manager: SocketAddr) {
+        let now_us = self.breaker_now_us();
+        let transition = self
+            .breakers
+            .lock()
+            .expect("breaker lock")
+            .entry(manager)
+            .or_insert_with(|| {
+                CircuitBreaker::new(BREAKER_THRESHOLD, BREAKER_COOLDOWN.as_micros() as u64)
+            })
+            .on_failure(now_us);
+        if let Some(t) = transition {
+            self.trace_breaker(manager, t);
+        }
+    }
+
+    fn trace_breaker(&self, manager: SocketAddr, t: Transition) {
+        let kind = match t.to {
+            BreakerState::Open => "chaos.breaker.open",
+            BreakerState::HalfOpen => "chaos.breaker.half_open",
+            BreakerState::Closed => "chaos.breaker.close",
+        };
+        self.tracer.emit(Severity::Warn, kind, || {
+            vec![
+                ("user", u(self.id)),
+                ("peer", s(manager.to_string())),
+                ("from", s(t.from.as_str())),
+            ]
+        });
+    }
+
     /// Re-probes the open candidate connections and returns a strictly
     /// better serving node, if one exists past the hysteresis margin.
     fn find_better_candidate(
@@ -460,11 +653,6 @@ impl LiveClient {
             _ => None,
         }
     }
-}
-
-/// Connects with the RPC timeout bounding the handshake and all reads.
-fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
-    connect_with(addr, RPC_TIMEOUT)
 }
 
 /// Connects with `timeout` bounding both the TCP handshake and every
@@ -806,6 +994,159 @@ mod tests {
             mgr_b.discoveries_served() > 0,
             "the peer shard must have served the discovery"
         );
+    }
+
+    /// Satellite for the retry-loop fix: the session retry schedule
+    /// must be exponential, jittered within its envelope, capped, and
+    /// deterministic per client.
+    #[test]
+    fn retry_backoff_schedule_is_bounded_and_deterministic() {
+        for attempt in 0..8u32 {
+            for client_id in [1u64, 7, 9999] {
+                let d = RETRY_BACKOFF.delay(attempt, client_id);
+                assert!(d >= RETRY_BACKOFF.delay_floor(attempt), "attempt {attempt}");
+                assert!(
+                    d <= RETRY_BACKOFF.delay_ceiling(attempt),
+                    "attempt {attempt}"
+                );
+                assert!(d <= Duration::from_millis(1_000), "cap violated");
+                assert_eq!(d, RETRY_BACKOFF.delay(attempt, client_id), "deterministic");
+            }
+        }
+        // The envelope really doubles (50, 100, 200, ...) until the cap.
+        assert_eq!(RETRY_BACKOFF.delay_ceiling(0), Duration::from_millis(50));
+        assert_eq!(RETRY_BACKOFF.delay_ceiling(2), Duration::from_millis(200));
+        assert_eq!(
+            RETRY_BACKOFF.delay_ceiling(30),
+            Duration::from_millis(1_000)
+        );
+    }
+
+    /// Degraded mode end to end: a client partitioned from every
+    /// manager mid-session keeps streaming, serves later discoveries
+    /// from its cached candidate list (`chaos.degraded`), and
+    /// reconciles when the partition heals
+    /// (`chaos.degraded.recovered`).
+    #[test]
+    fn degraded_mode_serves_cached_candidates_and_recovers() {
+        use armada_chaos::{ChaosProxy, LinkFaults};
+        use armada_trace::MemorySink;
+
+        let sink = MemorySink::new();
+        let buffer = sink.buffer();
+        let tracer = Tracer::with_sink(Box::new(sink), Severity::Debug);
+
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+        let (_n1, _) = LiveNode::bind(node_config(1, 4, 5.0, 1), Some(mgr_addr)).unwrap();
+        let (_n2, _) = LiveNode::bind(node_config(2, 4, 5.0, 3), Some(mgr_addr)).unwrap();
+        // The client only ever sees the manager through the proxy, so
+        // the partition switch is a full discovery outage; the nodes
+        // are dialed directly and keep serving throughout.
+        let proxy = ChaosProxy::spawn(mgr_addr, LinkFaults::NONE, 11).unwrap();
+
+        let config = ClientConfig::default()
+            .with_top_n(2)
+            .with_probing_period(SimDuration::from_millis(200));
+        let client = LiveClient::new(400, GeoPoint::new(44.98, -93.26), config).with_tracer(tracer);
+
+        // Session 1, with the partition cut mid-session and healed
+        // before the session ends: every frame must still be served.
+        let report = std::thread::scope(|scope| {
+            let session = scope.spawn(|| client.run_session(proxy.addr(), 60));
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(300));
+                proxy.set_partitioned(true);
+                std::thread::sleep(Duration::from_millis(700));
+                proxy.set_partitioned(false);
+            });
+            session.join().expect("session thread")
+        })
+        .expect("session must survive the mid-session partition");
+        assert_eq!(report.latencies.len(), 60);
+        let trace = buffer.lock().unwrap().clone();
+        assert!(
+            trace.contains(r#""kind":"chaos.degraded""#),
+            "the partition window must have produced degraded events:\n{trace}"
+        );
+        assert!(
+            trace.contains(r#""kind":"chaos.degraded.recovered""#),
+            "healing must have produced a recovery event:\n{trace}"
+        );
+        assert!(!client.is_degraded(), "healed before the session ended");
+
+        // Session 2, started while partitioned: discovery is served
+        // entirely from the cache.
+        proxy.set_partitioned(true);
+        let report = client
+            .run_session(proxy.addr(), 3)
+            .expect("cached candidates must carry a whole session");
+        assert_eq!(report.latencies.len(), 3);
+        assert!(client.is_degraded(), "nothing has healed it yet");
+
+        // Session 3, after healing: discovery reconciles with the
+        // manager and the degraded episode ends.
+        proxy.set_partitioned(false);
+        let report = client.run_session(proxy.addr(), 3).unwrap();
+        assert_eq!(report.latencies.len(), 3);
+        assert!(!client.is_degraded(), "recovery must clear degraded mode");
+    }
+
+    /// The full breaker cycle — closed → open → half-open → closed —
+    /// observed through `chaos.breaker.*` trace events against a
+    /// manager that dies and comes back.
+    #[test]
+    fn discovery_breaker_cycles_open_half_open_closed() {
+        use armada_chaos::{ChaosProxy, LinkFaults};
+        use armada_trace::MemorySink;
+
+        let sink = MemorySink::new();
+        let buffer = sink.buffer();
+        let tracer = Tracer::with_sink(Box::new(sink), Severity::Debug);
+
+        let (_mgr, mgr_addr) = LiveManager::bind().unwrap();
+        let (_n1, _) = LiveNode::bind(node_config(1, 2, 5.0, 1), Some(mgr_addr)).unwrap();
+        let proxy = ChaosProxy::spawn(mgr_addr, LinkFaults::NONE, 12).unwrap();
+        let client = LiveClient::new(500, GeoPoint::new(44.98, -93.26), ClientConfig::default())
+            .with_tracer(tracer);
+        let managers = [proxy.addr()];
+
+        // Prime the cache, then cut the link and fail discovery until
+        // the breaker opens.
+        client.discover(&managers, RPC_TIMEOUT).expect("clean run");
+        proxy.set_partitioned(true);
+        for _ in 0..BREAKER_THRESHOLD {
+            assert!(client.discover(&managers, RPC_TIMEOUT).is_err());
+        }
+        assert!(
+            buffer
+                .lock()
+                .unwrap()
+                .contains(r#""kind":"chaos.breaker.open""#),
+            "threshold failures must open the breaker"
+        );
+        // While open, the walk skips the manager without connecting —
+        // even though the proxy is healed again, nothing probes it yet.
+        proxy.set_partitioned(false);
+        assert!(
+            client.discover(&managers, RPC_TIMEOUT).is_err(),
+            "open breaker gates the only manager"
+        );
+        // After the cooldown one half-open probe goes through, succeeds
+        // against the healed manager, and recloses the breaker.
+        std::thread::sleep(BREAKER_COOLDOWN + Duration::from_millis(50));
+        client
+            .discover(&managers, RPC_TIMEOUT)
+            .expect("half-open probe against the healed manager");
+        let trace = buffer.lock().unwrap().clone();
+        assert!(
+            trace.contains(r#""kind":"chaos.breaker.half_open""#),
+            "cooldown expiry must trace half-open:\n{trace}"
+        );
+        assert!(
+            trace.contains(r#""kind":"chaos.breaker.close""#),
+            "successful probe must reclose the breaker:\n{trace}"
+        );
+        assert!(client.breaker_transitions() >= 3, "full cycle recorded");
     }
 
     #[test]

@@ -32,4 +32,7 @@ mod proto;
 pub use client::{LiveClient, SessionReport};
 pub use manager::LiveManager;
 pub use node::{LiveNode, NodeConfig};
-pub use proto::{read_message, write_message, Request, Response, WireNodeStatus, WireSummary};
+pub use proto::{
+    read_frame, read_message, write_message, FrameError, Request, Response, WireNodeStatus,
+    WireSummary,
+};

@@ -7,7 +7,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use armada_trace::{u, Severity, Tracer};
+use armada_chaos::Backoff;
+use armada_trace::{s, u, Severity, Tracer};
 use armada_types::GeoPoint;
 
 use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus, WireSummary};
@@ -16,14 +17,30 @@ use crate::proto::{read_message, write_message, Request, Response, WireNodeStatu
 const LIVENESS_WINDOW: Duration = Duration::from_secs(6);
 
 /// Bound on each peer-sync RPC (connect + ack read). A dead peer must
-/// cost at most this per round, not an OS connect timeout.
+/// cost at most this per round, not an OS connect timeout — this is
+/// the dead-peer budget: a peer that cannot complete the exchange
+/// within it is marked dead until a sync succeeds again.
 const SYNC_RPC_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Backoff applied to a peer whose syncs keep failing: instead of one
+/// timed-out dial every round, a dead peer is retried on a capped
+/// jittered exponential schedule and revived by the first good sync.
+const SYNC_PEER_BACKOFF: Backoff = Backoff::from_millis(50, 2_000);
 
 #[derive(Debug, Clone)]
 struct Registration {
     status: WireNodeStatus,
     listen_addr: String,
     last_seen: Instant,
+}
+
+/// Sync-link health of one federation peer, kept by the sync loop.
+#[derive(Debug, Clone)]
+struct PeerHealth {
+    consecutive_failures: u32,
+    /// Earliest time the next sync to this peer will be attempted.
+    next_attempt: Instant,
+    dead: bool,
 }
 
 #[derive(Default)]
@@ -37,6 +54,8 @@ struct ManagerState {
     /// `last_seen` is reconstructed from the wire age, so the same
     /// [`LIVENESS_WINDOW`] applies to both maps.
     remote: HashMap<u64, Registration>,
+    /// Health of each outbound sync peer.
+    peers: HashMap<SocketAddr, PeerHealth>,
     discoveries: u64,
     sync_rounds: u64,
     syncs_applied: u64,
@@ -177,20 +196,75 @@ impl LiveManager {
                 };
                 let request = Request::SyncSummaries { from, summaries };
                 for peer in &peers {
-                    let Ok(mut stream) = TcpStream::connect_timeout(peer, SYNC_RPC_TIMEOUT) else {
-                        continue;
+                    // Backoff gate: a recently failed peer sits out until
+                    // its next scheduled attempt.
+                    let gated = {
+                        let st = state.lock().expect("not poisoned");
+                        st.peers
+                            .get(peer)
+                            .is_some_and(|h| Instant::now() < h.next_attempt)
                     };
-                    let _ = stream.set_read_timeout(Some(SYNC_RPC_TIMEOUT));
-                    let _ = stream.set_nodelay(true);
-                    if write_message(&mut stream, &request).is_err() {
+                    if gated {
                         continue;
                     }
-                    let _ = read_message::<_, Response>(&mut stream);
+                    let ok = sync_one(peer, &request);
+                    let mut st = state.lock().expect("not poisoned");
+                    let health = st.peers.entry(*peer).or_insert_with(|| PeerHealth {
+                        consecutive_failures: 0,
+                        next_attempt: Instant::now(),
+                        dead: false,
+                    });
+                    if ok {
+                        let revived = health.dead;
+                        health.consecutive_failures = 0;
+                        health.next_attempt = Instant::now();
+                        health.dead = false;
+                        if revived {
+                            let peer = *peer;
+                            st.tracer.emit(Severity::Info, "fed.peer.revived", || {
+                                vec![("shard", u(from)), ("peer", s(peer.to_string()))]
+                            });
+                        }
+                    } else {
+                        // One blown dead-peer budget is enough to mark it;
+                        // the next good sync revives it.
+                        let delay = SYNC_PEER_BACKOFF
+                            .delay(health.consecutive_failures, from ^ u64::from(peer.port()));
+                        health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+                        health.next_attempt = Instant::now() + delay;
+                        let newly_dead = !health.dead;
+                        health.dead = true;
+                        let failures = health.consecutive_failures;
+                        if newly_dead {
+                            let peer = *peer;
+                            st.tracer.emit(Severity::Warn, "fed.peer.dead", || {
+                                vec![
+                                    ("shard", u(from)),
+                                    ("peer", s(peer.to_string())),
+                                    ("failures", u(u64::from(failures))),
+                                ]
+                            });
+                        }
+                    }
                 }
                 state.lock().expect("not poisoned").sync_rounds += 1;
             }
         });
         self.sync_handle = Some(handle);
+    }
+
+    /// Number of sync peers currently marked dead (their last sync
+    /// blew the [`SYNC_RPC_TIMEOUT`] budget and no good sync has
+    /// revived them yet).
+    pub fn dead_peer_count(&self) -> usize {
+        let state = self.state.lock().expect("not poisoned");
+        state.peers.values().filter(|h| h.dead).count()
+    }
+
+    /// `true` while the sync loop considers `peer` dead.
+    pub fn peer_is_dead(&self, peer: SocketAddr) -> bool {
+        let state = self.state.lock().expect("not poisoned");
+        state.peers.get(&peer).is_some_and(|h| h.dead)
     }
 
     /// Number of nodes currently considered alive, own and synced.
@@ -255,6 +329,19 @@ impl Drop for LiveManager {
             let _ = handle.join();
         }
     }
+}
+
+/// One summary push to one peer; `true` only for a fully acknowledged
+/// exchange within the [`SYNC_RPC_TIMEOUT`] budget.
+fn sync_one(peer: &SocketAddr, request: &Request) -> bool {
+    let Ok(mut stream) = TcpStream::connect_timeout(peer, SYNC_RPC_TIMEOUT) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(SYNC_RPC_TIMEOUT)).is_err() {
+        return false;
+    }
+    let _ = stream.set_nodelay(true);
+    write_message(&mut stream, request).is_ok() && read_message::<_, Response>(&mut stream).is_ok()
 }
 
 fn serve_connection(mut stream: TcpStream, state: Arc<Mutex<ManagerState>>) -> std::io::Result<()> {
@@ -589,6 +676,82 @@ mod tests {
         eventually("rounds to keep completing against a dead peer", || {
             a.sync_rounds() >= 3
         });
+    }
+
+    /// A node whose heartbeats are merely delayed — not stopped — must
+    /// not be evicted: the liveness window is a grace window, and only
+    /// silence past it counts as death.
+    #[test]
+    fn delayed_heartbeat_within_grace_window_is_not_evicted() {
+        let (mgr, addr) = LiveManager::bind().unwrap();
+        rpc(
+            addr,
+            Request::Register {
+                status: status(3, 0.0),
+                listen_addr: "127.0.0.1:9103".into(),
+            },
+        );
+        // Half the window with no heartbeat at all: delayed but alive.
+        std::thread::sleep(LIVENESS_WINDOW / 2);
+        assert_eq!(mgr.alive_count(), 1, "half-window silence is not death");
+        let resp = rpc(
+            addr,
+            Request::Heartbeat {
+                status: status(3, 0.1),
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::HeartbeatAck,
+            "a late heartbeat must land on the live registration"
+        );
+        match rpc(
+            addr,
+            Request::Discover {
+                user: 1,
+                lat: 44.98,
+                lon: -93.26,
+                top_n: 5,
+            },
+        ) {
+            Response::Candidates { nodes } => {
+                assert_eq!(nodes.len(), 1, "the delayed node stays discoverable");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Silence past the whole window is death.
+        std::thread::sleep(LIVENESS_WINDOW + Duration::from_millis(500));
+        assert_eq!(mgr.alive_count(), 0, "full-window silence evicts");
+    }
+
+    /// A federation peer that blows the 1 s dead-peer budget is marked
+    /// dead (with backoff instead of per-round timeouts) and revived by
+    /// the first good sync after it heals.
+    #[test]
+    fn sync_peer_is_marked_dead_then_revived() {
+        use armada_chaos::{ChaosProxy, LinkFaults};
+
+        let (mut a, _addr_a) = LiveManager::bind_federated(0, Tracer::disabled()).unwrap();
+        let (_b, addr_b) = LiveManager::bind_federated(1, Tracer::disabled()).unwrap();
+        let proxy = ChaosProxy::spawn(addr_b, LinkFaults::NONE, 31).unwrap();
+        let peer = proxy.addr();
+        a.start_sync(vec![peer], Duration::from_millis(25));
+        eventually("a clean sync to complete", || a.sync_rounds() >= 2);
+        assert!(!a.peer_is_dead(peer), "healthy peer must not be dead");
+
+        proxy.set_partitioned(true);
+        eventually("the failed sync to mark the peer dead", || {
+            a.peer_is_dead(peer)
+        });
+        assert_eq!(a.dead_peer_count(), 1);
+
+        // Heal quickly so the accrued backoff stays short; the next
+        // good sync must revive the peer.
+        proxy.set_partitioned(false);
+        eventually("the next good sync to revive the peer", || {
+            !a.peer_is_dead(peer)
+        });
+        assert_eq!(a.dead_peer_count(), 0);
     }
 
     #[test]

@@ -5,11 +5,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use armada_chaos::Backoff;
 use armada_trace::{u, Severity, Tracer};
 use armada_types::{GeoPoint, HardwareProfile, NodeClass};
 use armada_workload::offered_load;
 
 use crate::proto::{read_message, write_message, Request, Response, WireNodeStatus};
+
+/// Heartbeat period toward the manager.
+const HEARTBEAT_PERIOD: Duration = Duration::from_secs(2);
+
+/// Read/connect budget on the manager link: a silently partitioned
+/// manager must fail the heartbeat rather than hang it forever.
+const HEARTBEAT_RPC_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Backoff between manager reconnect attempts after the heartbeat link
+/// drops. Without reconnection a single manager restart permanently
+/// orphans the node: its registration ages past the liveness window
+/// and discovery never offers it again.
+const HEARTBEAT_RECONNECT: Backoff = Backoff::from_millis(100, 2_000);
 
 /// Configuration of one live edge node.
 #[derive(Debug, Clone)]
@@ -94,7 +108,9 @@ pub struct LiveNode {
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
     connections: Arc<Mutex<Vec<TcpStream>>>,
-    heartbeat_stream: Option<TcpStream>,
+    /// The current manager link, shared with the heartbeat thread
+    /// (which replaces it on reconnect) so shutdown can sever it.
+    heartbeat_stream: Arc<Mutex<Option<TcpStream>>>,
 }
 
 impl LiveNode {
@@ -159,39 +175,29 @@ impl LiveNode {
             });
         });
 
-        let heartbeat_stream = match manager_addr {
-            Some(mgr) => {
-                // Initial registration happens synchronously so callers
-                // can discover the node as soon as bind returns.
-                let mut stream = TcpStream::connect(mgr)?;
-                stream.set_nodelay(true)?;
-                write_message(
-                    &mut stream,
-                    &Request::Register {
-                        status: status_of(&state),
-                        listen_addr: addr.to_string(),
-                    },
-                )?;
-                let _: Response = read_message(&mut stream)?;
-                let hb_state = Arc::clone(&state);
-                let hb_shutdown = Arc::clone(&shutdown);
-                let mut hb_stream = stream.try_clone()?;
-                std::thread::spawn(move || loop {
-                    std::thread::sleep(Duration::from_secs(2));
-                    if hb_shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let status = status_of(&hb_state);
-                    let ok = write_message(&mut hb_stream, &Request::Heartbeat { status })
-                        .and_then(|()| read_message::<_, Response>(&mut hb_stream));
-                    if ok.is_err() {
-                        break;
-                    }
-                });
-                Some(stream)
-            }
-            None => None,
-        };
+        let heartbeat_stream: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
+        if let Some(mgr) = manager_addr {
+            // Initial registration happens synchronously so callers
+            // can discover the node as soon as bind returns.
+            let mut stream = TcpStream::connect(mgr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(HEARTBEAT_RPC_TIMEOUT))?;
+            write_message(
+                &mut stream,
+                &Request::Register {
+                    status: status_of(&state),
+                    listen_addr: addr.to_string(),
+                },
+            )?;
+            let _: Response = read_message(&mut stream)?;
+            *heartbeat_stream.lock().expect("not poisoned") = Some(stream.try_clone()?);
+            let hb_state = Arc::clone(&state);
+            let hb_shutdown = Arc::clone(&shutdown);
+            let hb_shared = Arc::clone(&heartbeat_stream);
+            std::thread::spawn(move || {
+                heartbeat_loop(stream, mgr, addr, hb_state, hb_shutdown, hb_shared);
+            });
+        }
 
         let node = LiveNode {
             state,
@@ -230,7 +236,7 @@ impl LiveNode {
         for conn in self.connections.lock().expect("not poisoned").drain(..) {
             let _ = conn.shutdown(Shutdown::Both);
         }
-        if let Some(hb) = &self.heartbeat_stream {
+        if let Some(hb) = self.heartbeat_stream.lock().expect("not poisoned").as_ref() {
             let _ = hb.shutdown(Shutdown::Both);
         }
     }
@@ -240,6 +246,105 @@ impl Drop for LiveNode {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Keeps the manager link alive for the node's lifetime: heartbeats
+/// every [`HEARTBEAT_PERIOD`], re-registers in place when the manager
+/// answers with an error (a restarted manager has forgotten us), and
+/// reconnects under [`HEARTBEAT_RECONNECT`] backoff when the link dies
+/// outright. The shared slot always holds the live stream so shutdown
+/// can sever it.
+fn heartbeat_loop(
+    mut stream: TcpStream,
+    manager: SocketAddr,
+    listen_addr: SocketAddr,
+    state: Arc<NodeState>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Mutex<Option<TcpStream>>>,
+) {
+    loop {
+        std::thread::sleep(HEARTBEAT_PERIOD);
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let status = status_of(&state);
+        let outcome = write_message(&mut stream, &Request::Heartbeat { status })
+            .and_then(|()| read_message::<_, Response>(&mut stream));
+        match outcome {
+            Ok(Response::Error { .. }) => {
+                // The manager is up but no longer knows this node
+                // (restart, eviction): re-register on the same link.
+                let register = Request::Register {
+                    status: status_of(&state),
+                    listen_addr: listen_addr.to_string(),
+                };
+                let _ = write_message(&mut stream, &register)
+                    .and_then(|()| read_message::<_, Response>(&mut stream));
+                state
+                    .tracer
+                    .emit(Severity::Warn, "node.heartbeat.reregister", || {
+                        vec![("node", u(state.cfg.id))]
+                    });
+            }
+            Ok(_) => {}
+            Err(_) => {
+                state
+                    .tracer
+                    .emit(Severity::Warn, "node.heartbeat.lost", || {
+                        vec![("node", u(state.cfg.id))]
+                    });
+                let Some(fresh) = reconnect(manager, listen_addr, &state, &shutdown) else {
+                    break; // shutdown while reconnecting
+                };
+                *shared.lock().expect("not poisoned") = fresh.try_clone().ok();
+                stream = fresh;
+            }
+        }
+    }
+}
+
+/// Redials the manager under capped jittered backoff until it answers
+/// a fresh registration; `None` only on shutdown.
+fn reconnect(
+    manager: SocketAddr,
+    listen_addr: SocketAddr,
+    state: &Arc<NodeState>,
+    shutdown: &Arc<AtomicBool>,
+) -> Option<TcpStream> {
+    for attempt in 0.. {
+        std::thread::sleep(HEARTBEAT_RECONNECT.delay(attempt, state.cfg.id));
+        if shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        let Ok(mut stream) = TcpStream::connect_timeout(&manager, HEARTBEAT_RPC_TIMEOUT) else {
+            continue;
+        };
+        if stream.set_nodelay(true).is_err()
+            || stream
+                .set_read_timeout(Some(HEARTBEAT_RPC_TIMEOUT))
+                .is_err()
+        {
+            continue;
+        }
+        let register = Request::Register {
+            status: status_of(state),
+            listen_addr: listen_addr.to_string(),
+        };
+        let replied = write_message(&mut stream, &register)
+            .and_then(|()| read_message::<_, Response>(&mut stream));
+        if replied.is_ok() {
+            state
+                .tracer
+                .emit(Severity::Info, "node.heartbeat.reconnected", || {
+                    vec![
+                        ("node", u(state.cfg.id)),
+                        ("attempts", u(u64::from(attempt) + 1)),
+                    ]
+                });
+            return Some(stream);
+        }
+    }
+    None
 }
 
 fn status_of(state: &NodeState) -> WireNodeStatus {
@@ -466,6 +571,32 @@ mod tests {
             started.elapsed() >= Duration::from_millis(20),
             "two legs of 10 ms each"
         );
+    }
+
+    /// A node whose manager link dies must reconnect and re-register;
+    /// the old heartbeat loop broke permanently on the first error, so
+    /// any manager blip silently orphaned a perfectly healthy node
+    /// once its registration aged past the liveness window.
+    #[test]
+    fn heartbeat_survives_a_manager_partition() {
+        use crate::manager::LiveManager;
+        use armada_chaos::{ChaosProxy, LinkFaults};
+
+        let (mgr, mgr_addr) = LiveManager::bind().unwrap();
+        let proxy = ChaosProxy::spawn(mgr_addr, LinkFaults::NONE, 21).unwrap();
+        let (_node, _) = LiveNode::bind(config(9, 2, 5.0, 0), Some(proxy.addr())).unwrap();
+        assert_eq!(mgr.alive_count(), 1);
+
+        // Cut the node↔manager link long enough for a heartbeat to
+        // fail, then heal it; the node must redial and re-register.
+        proxy.set_partitioned(true);
+        std::thread::sleep(Duration::from_millis(2_600));
+        proxy.set_partitioned(false);
+
+        // Well past the liveness window only resumed heartbeats keep
+        // the registration fresh.
+        std::thread::sleep(Duration::from_millis(4_600));
+        assert_eq!(mgr.alive_count(), 1, "node must have re-registered");
     }
 
     #[test]

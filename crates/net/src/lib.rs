@@ -49,4 +49,4 @@ mod network;
 pub use endpoint::{Addr, Endpoint};
 pub use latency::LatencyModelParams;
 pub use measurement::{MeasurementCampaign, RttSummary};
-pub use network::Network;
+pub use network::{Delivery, Network};

@@ -3,11 +3,54 @@
 
 use std::collections::{HashMap, HashSet};
 
+use armada_chaos::{FaultInjector, FaultPlan, InjectorStats, PeerId};
 use armada_sim::SimRng;
 use armada_types::{DataSize, SimDuration};
 
 use crate::endpoint::{Addr, Endpoint};
 use crate::latency::LatencyModelParams;
+
+/// The fate of one message under the chaos-aware delivery path.
+///
+/// [`Network::deliver_one_way`] and friends fold the installed
+/// [`FaultPlan`] into the latency model: a message can arrive (possibly
+/// late, possibly twice), vanish in flight, or fail fast because the
+/// link is partitioned or an endpoint is down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivery {
+    /// The message arrives after `delay`; a duplicate fault also
+    /// delivers a second copy after `duplicate`.
+    Delivered {
+        /// In-flight delay of the (first) copy.
+        delay: SimDuration,
+        /// Arrival delay of the duplicate copy, if one was injected.
+        duplicate: Option<SimDuration>,
+    },
+    /// Silently lost in flight: the sender learns nothing, the receiver
+    /// sees nothing. Loss manifests as a timeout.
+    Dropped,
+    /// The endpoint is down or the link is partitioned: fails fast,
+    /// like a connection reset.
+    Unreachable,
+}
+
+impl Delivery {
+    /// The first-copy delay, if the message arrives at all.
+    pub fn delay(self) -> Option<SimDuration> {
+        match self {
+            Delivery::Delivered { delay, .. } => Some(delay),
+            _ => None,
+        }
+    }
+
+    /// `true` if the link itself refused the message (down/partition).
+    pub fn is_unreachable(self) -> bool {
+        matches!(self, Delivery::Unreachable)
+    }
+}
+
+/// Extra arrival offset of an injected duplicate over the original.
+const DUPLICATE_LAG: SimDuration = SimDuration::from_millis(1);
 
 /// The simulated network connecting users, edge nodes and the manager.
 ///
@@ -25,6 +68,11 @@ pub struct Network {
     /// (smaller address first).
     overrides: HashMap<(Addr, Addr), SimDuration>,
     down: HashSet<Addr>,
+    /// Deterministic fault injection, when a plan is installed. Fault
+    /// decisions are pure hashes of the plan seed — they never draw
+    /// from the shared [`SimRng`] — so installing a no-op plan leaves
+    /// every query byte-identical to running without one.
+    chaos: Option<FaultInjector>,
 }
 
 impl Network {
@@ -35,7 +83,29 @@ impl Network {
             endpoints: HashMap::new(),
             overrides: HashMap::new(),
             down: HashSet::new(),
+            chaos: None,
         }
+    }
+
+    /// Installs a fault plan; subsequent `deliver_*` queries evaluate it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.chaos = Some(FaultInjector::new(plan));
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.chaos.as_ref()
+    }
+
+    /// Mutable access to the installed injector (sync-plane faults are
+    /// decided by the scenario runner through this).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.chaos.as_mut()
+    }
+
+    /// Counters from the installed injector, if any.
+    pub fn fault_stats(&self) -> Option<InjectorStats> {
+        self.chaos.as_ref().map(|c| c.stats())
     }
 
     /// The latency model in use.
@@ -186,6 +256,81 @@ impl Network {
     /// Iterates over registered addresses in unspecified order.
     pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
         self.endpoints.keys().copied()
+    }
+
+    /// Chaos-aware [`Network::one_way`]: samples the propagation delay
+    /// and folds in the installed fault plan at virtual time `now_us`.
+    ///
+    /// Without a plan (or with a no-op plan) this is exactly
+    /// `one_way`, with `None` mapped to [`Delivery::Unreachable`].
+    pub fn deliver_one_way(&mut self, a: Addr, b: Addr, now_us: u64, rng: &mut SimRng) -> Delivery {
+        match self.one_way(a, b, rng) {
+            None => Delivery::Unreachable,
+            Some(base) => self.apply_chaos(a, b, base, now_us),
+        }
+    }
+
+    /// Chaos-aware [`Network::rtt`]: each direction is decided
+    /// independently; losing either leg loses the round trip.
+    pub fn deliver_rtt(&mut self, a: Addr, b: Addr, now_us: u64, rng: &mut SimRng) -> Delivery {
+        let fwd = self.deliver_one_way(a, b, now_us, rng);
+        let back = self.deliver_one_way(b, a, now_us, rng);
+        match (fwd, back) {
+            (Delivery::Unreachable, _) | (_, Delivery::Unreachable) => Delivery::Unreachable,
+            (Delivery::Dropped, _) | (_, Delivery::Dropped) => Delivery::Dropped,
+            (Delivery::Delivered { delay: f, .. }, Delivery::Delivered { delay: b, .. }) => {
+                Delivery::Delivered {
+                    delay: f + b,
+                    duplicate: None,
+                }
+            }
+        }
+    }
+
+    /// Chaos-aware [`Network::delivery_delay`] for a message of `size`.
+    pub fn deliver_message(
+        &mut self,
+        a: Addr,
+        b: Addr,
+        size: DataSize,
+        now_us: u64,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        match self.delivery_delay(a, b, size, rng) {
+            None => Delivery::Unreachable,
+            Some(base) => self.apply_chaos(a, b, base, now_us),
+        }
+    }
+
+    /// Applies the installed plan to a message whose clean in-flight
+    /// delay would be `base`.
+    fn apply_chaos(&mut self, a: Addr, b: Addr, base: SimDuration, now_us: u64) -> Delivery {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return Delivery::Delivered {
+                delay: base,
+                duplicate: None,
+            };
+        };
+        let decision = chaos.decide(peer_of(a), peer_of(b), now_us);
+        if decision.unreachable {
+            return Delivery::Unreachable;
+        }
+        if !decision.deliver {
+            return Delivery::Dropped;
+        }
+        let delay =
+            base.mul_f64(decision.slowdown) + SimDuration::from_micros(decision.extra_delay_us);
+        let duplicate = (decision.duplicates > 0).then_some(delay + DUPLICATE_LAG);
+        Delivery::Delivered { delay, duplicate }
+    }
+}
+
+/// Maps a simulator address into the chaos plan's peer namespace.
+fn peer_of(addr: Addr) -> PeerId {
+    match addr {
+        Addr::User(u) => PeerId::user(u.as_u64()),
+        Addr::Node(n) => PeerId::node(n.as_u64()),
+        Addr::Manager => PeerId::manager(0),
     }
 }
 
@@ -386,6 +531,105 @@ mod tests {
                 *rtt,
                 "offsets are stable"
             );
+        }
+    }
+
+    #[test]
+    fn noop_fault_plan_leaves_deliveries_byte_identical() {
+        let plain = small_net(true);
+        let mut chaotic = small_net(true);
+        chaotic.set_fault_plan(FaultPlan::new(123));
+        let mut rng_a = SimRng::seed_from(9);
+        let mut rng_b = SimRng::seed_from(9);
+        for i in 0..200u64 {
+            let clean = plain.delivery_delay(U1, N1, DataSize::from_bytes(512), &mut rng_a);
+            let faulted = chaotic.deliver_message(U1, N1, DataSize::from_bytes(512), i, &mut rng_b);
+            assert_eq!(
+                faulted,
+                Delivery::Delivered {
+                    delay: clean.unwrap(),
+                    duplicate: None
+                }
+            );
+        }
+        assert_eq!(chaotic.fault_stats().unwrap(), InjectorStats::default());
+    }
+
+    #[test]
+    fn partition_makes_links_unreachable_for_its_window() {
+        use armada_chaos::{PeerClass, PeerSel};
+        let mut net = small_net(false);
+        net.set_fault_plan(FaultPlan::new(1).partition(
+            PeerSel::Class(PeerClass::User),
+            PeerSel::Class(PeerClass::Manager),
+            armada_types::SimTime::from_secs(1),
+            armada_types::SimTime::from_secs(2),
+        ));
+        let mut rng = SimRng::seed_from(0);
+        let before = net.deliver_rtt(U1, Addr::Manager, 0, &mut rng);
+        assert!(before.delay().is_some());
+        let during = net.deliver_rtt(U1, Addr::Manager, 1_500_000, &mut rng);
+        assert!(during.is_unreachable());
+        // Node links are untouched by a user↔manager cut.
+        assert!(net
+            .deliver_rtt(U1, N1, 1_500_000, &mut rng)
+            .delay()
+            .is_some());
+        let after = net.deliver_rtt(U1, Addr::Manager, 2_000_000, &mut rng);
+        assert!(after.delay().is_some());
+    }
+
+    #[test]
+    fn drop_faults_lose_messages_and_slowdown_scales_delay() {
+        use armada_chaos::LinkFaults;
+        let mut net = small_net(false);
+        net.set_fault_plan(FaultPlan::new(5).with_faults(LinkFaults {
+            drop: 0.5,
+            slowdown: 3.0,
+            ..LinkFaults::NONE
+        }));
+        let mut rng = SimRng::seed_from(0);
+        let clean = small_net(false)
+            .delivery_delay(U1, N1, DataSize::from_bytes(64), &mut SimRng::seed_from(0))
+            .unwrap();
+        let mut dropped = 0;
+        for i in 0..200u64 {
+            match net.deliver_message(U1, N1, DataSize::from_bytes(64), i, &mut rng) {
+                Delivery::Dropped => dropped += 1,
+                Delivery::Delivered { delay, .. } => {
+                    assert_eq!(
+                        delay,
+                        clean.mul_f64(3.0),
+                        "slowdown multiplies the base delay"
+                    )
+                }
+                Delivery::Unreachable => panic!("no partitions in this plan"),
+            }
+        }
+        assert!(
+            (60..140).contains(&dropped),
+            "~50% drop rate, got {dropped}/200"
+        );
+        assert_eq!(net.fault_stats().unwrap().dropped, dropped as u64);
+    }
+
+    #[test]
+    fn duplicate_faults_deliver_a_lagged_second_copy() {
+        use armada_chaos::LinkFaults;
+        let mut net = small_net(false);
+        net.set_fault_plan(FaultPlan::new(2).with_faults(LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::NONE
+        }));
+        let mut rng = SimRng::seed_from(0);
+        match net.deliver_one_way(U1, N1, 0, &mut rng) {
+            Delivery::Delivered {
+                delay,
+                duplicate: Some(second),
+            } => {
+                assert_eq!(second, delay + DUPLICATE_LAG)
+            }
+            other => panic!("expected a duplicated delivery, got {other:?}"),
         }
     }
 

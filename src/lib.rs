@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub use armada_baselines as baselines;
+pub use armada_chaos as chaos;
 pub use armada_churn as churn;
 pub use armada_client as client;
 pub use armada_core as core;
