@@ -1,0 +1,362 @@
+//! Discovery scale sweep: fast snapshot engine vs the reference oracle
+//! as the fleet grows from thousands to a million nodes.
+//!
+//! For every `--nodes` count the sweep builds one seeded fleet (~80%
+//! clustered around world metros, ~20% uniform; mixed node classes and
+//! loads; ~10% dead entries still occupying the spatial index), takes a
+//! copy-on-write [`DiscoverySnapshot`], and serves `--queries` seeded
+//! discovery queries (`top_n = 16`) off it, reporting:
+//!
+//! * **fast-path latency** (wall-clock µs, p50/p99/mean) and
+//!   **queries/sec** of `snapshot.ranked` — incremental disk scan +
+//!   bounded partial select;
+//! * **reference throughput** of the retained full-scan oracle
+//!   (`reference::widen_and_rank`) on a budget-capped prefix of the same
+//!   query set, and the resulting **speedup**;
+//! * **oracle identity**: every reference query is `assert_eq!`-compared
+//!   against the fast answer, so any divergence aborts the run with a
+//!   nonzero exit — CI smoke-runs this binary exactly for that check.
+//!
+//! Defaults: `--nodes 1000,10000,100000,1000000 --queries 2000`. CI
+//! smoke-runs `--nodes 2000,20000 --queries 300`. Results land in
+//! `BENCH_discover_scale.json` with per-run measurements under each
+//! run's `"extra"` object.
+
+use std::time::Instant;
+
+use armada_bench::{print_csv, print_table, trace_path, tracer_for};
+use armada_json::Json;
+use armada_manager::{CentralManager, DiscoverySnapshot, GlobalSelectionPolicy};
+use armada_metrics::BenchReport;
+use armada_node::NodeStatus;
+use armada_trace::{f, u, Severity};
+use armada_types::{GeoPoint, NodeClass, NodeId, SimTime, SystemConfig};
+
+/// Candidate-list size for every discovery — the acceptance criterion's
+/// `top_n = 16` working set.
+const TOP_N: usize = 16;
+/// Placement seed: identical fleets and query sets across reruns.
+const SEED: u64 = 1717;
+/// Reference-oracle work budget per sweep point, in roughly
+/// `nodes × queries` units: the oracle re-scans the registry every
+/// query, so the measured prefix shrinks as the fleet grows.
+const REFERENCE_OP_BUDGET: u64 = 40_000_000;
+/// Never judge the oracle (or the identity check) on fewer than this
+/// many queries, however large the fleet.
+const REFERENCE_MIN_QUERIES: usize = 16;
+
+/// Splitmix-style deterministic generator — placements must not depend
+/// on platform RNGs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// World metros the clustered 80% gathers around — the same spread the
+/// differential suite uses, crossing hemispheres and the antimeridian.
+const METROS: [(f64, f64); 6] = [
+    (44.98, -93.26),  // Minneapolis
+    (40.71, -74.00),  // New York
+    (51.50, -0.12),   // London
+    (35.68, 139.69),  // Tokyo
+    (-33.87, 151.21), // Sydney
+    (-17.71, 178.06), // Suva
+];
+
+fn node_class(r: u64) -> NodeClass {
+    match r % 3 {
+        0 => NodeClass::Volunteer,
+        1 => NodeClass::Dedicated,
+        _ => NodeClass::Cloud,
+    }
+}
+
+/// Builds the seeded fleet and freezes the snapshot queries run against:
+/// register everything at t=0, heartbeat ~90% at t=30 s, query at
+/// t=31 s — the silent 10% are dead but still indexed.
+fn build_snapshot(seed: u64, nodes: usize) -> (DiscoverySnapshot, SimTime) {
+    let mut rng = Rng::new(seed);
+    let mut manager =
+        CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+    let mut statuses = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let location = if rng.next_f64() < 0.8 {
+            let (lat, lon) = METROS[rng.range(METROS.len() as u64) as usize];
+            GeoPoint::new(lat, lon).offset_km(
+                rng.next_f64() * 240.0 - 120.0,
+                rng.next_f64() * 240.0 - 120.0,
+            )
+        } else {
+            GeoPoint::new(
+                rng.next_f64() * 170.0 - 85.0,
+                rng.next_f64() * 360.0 - 180.0,
+            )
+        };
+        let status = NodeStatus {
+            node: NodeId::new(i as u64),
+            class: node_class(rng.next_u64()),
+            location,
+            attached_users: rng.range(8) as usize,
+            load_score: (rng.range(13) as f64) * 0.25,
+        };
+        manager.register(status, SimTime::ZERO);
+        statuses.push(status);
+    }
+    let refresh = SimTime::from_secs(30);
+    for status in &statuses {
+        if rng.next_f64() < 0.9 {
+            manager.heartbeat(*status, refresh);
+        }
+    }
+    (manager.snapshot(), SimTime::from_secs(31))
+}
+
+/// The seeded query mix: near a metro half the time, anywhere otherwise,
+/// with 0–3 affiliated node ids.
+fn build_queries(seed: u64, nodes: usize, count: usize) -> Vec<(GeoPoint, Vec<NodeId>)> {
+    let mut rng = Rng::new(seed ^ 0xfeed_f00d);
+    (0..count)
+        .map(|_| {
+            let loc = if rng.next_u64().is_multiple_of(2) {
+                let (lat, lon) = METROS[rng.range(METROS.len() as u64) as usize];
+                GeoPoint::new(lat, lon)
+                    .offset_km(rng.next_f64() * 60.0 - 30.0, rng.next_f64() * 60.0 - 30.0)
+            } else {
+                GeoPoint::new(
+                    rng.next_f64() * 170.0 - 85.0,
+                    rng.next_f64() * 360.0 - 180.0,
+                )
+            };
+            let affiliated = (0..rng.range(4) as usize)
+                .map(|_| NodeId::new(rng.range(nodes as u64)))
+                .collect();
+            (loc, affiliated)
+        })
+        .collect()
+}
+
+/// What one `--nodes` sweep point measured.
+struct Outcome {
+    nodes: usize,
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    ref_queries: usize,
+    ref_qps: f64,
+    ref_p99_us: f64,
+    speedup: f64,
+    build_ms: f64,
+}
+
+fn percentile(sorted: &[f64], pct: usize) -> f64 {
+    sorted[(sorted.len().saturating_sub(1)) * pct / 100]
+}
+
+fn run_for_nodes(nodes: usize, queries: usize) -> Outcome {
+    let build_started = Instant::now();
+    let (snapshot, now) = build_snapshot(SEED ^ nodes as u64, nodes);
+    let build_ms = build_started.elapsed().as_nanos() as f64 / 1_000_000.0;
+    let query_set = build_queries(SEED ^ nodes as u64, nodes, queries);
+
+    // Fast path: every query, individually timed.
+    let mut fast_answers = Vec::with_capacity(query_set.len());
+    let mut latencies_us = Vec::with_capacity(query_set.len());
+    let fast_started = Instant::now();
+    for (loc, affiliated) in &query_set {
+        let started = Instant::now();
+        let ranked = snapshot.ranked(*loc, affiliated, TOP_N, now);
+        latencies_us.push(started.elapsed().as_nanos() as f64 / 1_000.0);
+        fast_answers.push(ranked);
+    }
+    let fast_secs = fast_started.elapsed().as_secs_f64();
+
+    // Reference oracle on a budget-capped prefix of the same queries,
+    // asserting byte-identity with the fast answer as it goes. A
+    // mismatch panics — this is the self-check CI relies on.
+    let ref_queries = ((REFERENCE_OP_BUDGET / nodes.max(1) as u64) as usize)
+        .clamp(REFERENCE_MIN_QUERIES, query_set.len());
+    let mut ref_latencies_us = Vec::with_capacity(ref_queries);
+    let ref_started = Instant::now();
+    for (q, (loc, affiliated)) in query_set.iter().take(ref_queries).enumerate() {
+        let started = Instant::now();
+        let oracle = snapshot.reference_ranked(*loc, affiliated, TOP_N, now);
+        ref_latencies_us.push(started.elapsed().as_nanos() as f64 / 1_000.0);
+        assert_eq!(
+            fast_answers[q], oracle,
+            "oracle mismatch at nodes={nodes} query={q} loc={loc}"
+        );
+    }
+    let ref_secs = ref_started.elapsed().as_secs_f64();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ref_latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
+    let qps = query_set.len() as f64 / fast_secs.max(f64::MIN_POSITIVE);
+    let ref_qps = ref_queries as f64 / ref_secs.max(f64::MIN_POSITIVE);
+    Outcome {
+        nodes,
+        queries: query_set.len(),
+        qps,
+        p50_us: percentile(&latencies_us, 50),
+        p99_us: percentile(&latencies_us, 99),
+        mean_us,
+        ref_queries,
+        ref_qps,
+        ref_p99_us: percentile(&ref_latencies_us, 99),
+        speedup: qps / ref_qps.max(f64::MIN_POSITIVE),
+        build_ms,
+    }
+}
+
+/// Parses `--flag a,b,c` into a list; `default` when absent.
+fn list_arg(flag: &str, default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        let value = match arg.strip_prefix(&format!("{flag}=")) {
+            Some(v) => Some(v.to_owned()),
+            None if arg == flag => args.get(i + 1).cloned(),
+            None => None,
+        };
+        if let Some(value) = value {
+            let parsed: Vec<usize> = value
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse()
+                        .unwrap_or_else(|_| panic!("bad {flag} value `{s}`"))
+                })
+                .collect();
+            if !parsed.is_empty() {
+                return parsed;
+            }
+        }
+    }
+    default.to_vec()
+}
+
+fn main() {
+    let node_counts = list_arg("--nodes", &[1_000, 10_000, 100_000, 1_000_000]);
+    let queries = *list_arg("--queries", &[2_000])
+        .first()
+        .expect("default is non-empty");
+
+    // Unlike the simulation sweeps, this is a wall-clock latency
+    // microbenchmark: concurrent sweep points would contend for cores
+    // and memory bandwidth and corrupt each other's p50/p99, so the
+    // points always run serially (there is no `--threads` here).
+    let mut report = BenchReport::start("discover_scale", 1);
+    report.attach("top_n", Json::Int(TOP_N as i64));
+    report.attach("queries_per_point", Json::Int(queries as i64));
+    report.attach(
+        "nodes_swept",
+        Json::Array(node_counts.iter().map(|&n| Json::Int(n as i64)).collect()),
+    );
+
+    let outcomes: Vec<Outcome> = node_counts
+        .iter()
+        .map(|&nodes| run_for_nodes(nodes, queries))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut total_checked = 0usize;
+    for outcome in &outcomes {
+        total_checked += outcome.ref_queries;
+        let label = format!("nodes={}", outcome.nodes);
+        // Under `ARMADA_TRACE`, each sweep point leaves one summary
+        // event so CI can archive the sweep alongside the report.
+        let tracer = tracer_for("discover_scale", &label);
+        tracer.emit(Severity::Info, "discover.sweep", || {
+            vec![
+                ("nodes", u(outcome.nodes as u64)),
+                ("queries", u(outcome.queries as u64)),
+                ("qps", f(outcome.qps)),
+                ("p50_us", f(outcome.p50_us)),
+                ("p99_us", f(outcome.p99_us)),
+                ("ref_qps", f(outcome.ref_qps)),
+                ("speedup", f(outcome.speedup)),
+                ("oracle_checked", u(outcome.ref_queries as u64)),
+            ]
+        });
+        tracer.flush();
+        if let Some(path) = trace_path("discover_scale", &label) {
+            report.record_trace(path.display().to_string());
+        }
+        report.record_with(
+            label,
+            0.0, // wall-clock microbenchmark: no virtual timeline
+            outcome.queries as u64,
+            vec![
+                ("nodes".to_owned(), Json::Int(outcome.nodes as i64)),
+                ("qps".to_owned(), Json::Float(outcome.qps)),
+                ("p50_us".to_owned(), Json::Float(outcome.p50_us)),
+                ("p99_us".to_owned(), Json::Float(outcome.p99_us)),
+                ("mean_us".to_owned(), Json::Float(outcome.mean_us)),
+                (
+                    "ref_queries".to_owned(),
+                    Json::Int(outcome.ref_queries as i64),
+                ),
+                ("ref_qps".to_owned(), Json::Float(outcome.ref_qps)),
+                ("ref_p99_us".to_owned(), Json::Float(outcome.ref_p99_us)),
+                ("speedup".to_owned(), Json::Float(outcome.speedup)),
+                (
+                    "oracle_checked".to_owned(),
+                    Json::Int(outcome.ref_queries as i64),
+                ),
+                ("oracle_mismatches".to_owned(), Json::Int(0)),
+                ("build_ms".to_owned(), Json::Float(outcome.build_ms)),
+            ],
+        );
+        rows.push(vec![
+            outcome.nodes.to_string(),
+            outcome.queries.to_string(),
+            format!("{:.0}", outcome.qps),
+            format!("{:.1}", outcome.p50_us),
+            format!("{:.1}", outcome.p99_us),
+            format!("{:.0}", outcome.ref_qps),
+            format!("{:.1}", outcome.ref_p99_us),
+            format!("{:.1}x", outcome.speedup),
+            outcome.ref_queries.to_string(),
+        ]);
+    }
+
+    let header = [
+        "nodes",
+        "queries",
+        "fast_qps",
+        "p50_us",
+        "p99_us",
+        "ref_qps",
+        "ref_p99_us",
+        "speedup",
+        "oracle_checked",
+    ];
+    print_table("Discovery scale sweep (top_n=16)", &header, &rows);
+    print_csv("discover_scale", &header, &rows);
+    println!("\noracle identity: {total_checked} queries checked, 0 mismatches");
+
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}

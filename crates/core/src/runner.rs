@@ -173,6 +173,11 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
         } else {
             let now = ctx.now();
             let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
+            // Served by the incremental disk-scan + partial-select
+            // engine (armada-manager::discover_shortlist), which is
+            // byte-identical to the original full-scan procedure — so
+            // trace determinism and replay are unaffected by the scale
+            // of the registered fleet.
             let candidates = w.manager.discover(loc, &affiliations, top_n, now);
             trace_event!(w, ctx, Severity::Debug, "mgr.discover",
                 "user" => u(user.as_u64()), "returned" => u(candidates.len() as u64));

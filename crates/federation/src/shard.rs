@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use armada_geo::ProximityIndex;
-use armada_manager::{widen_and_rank, GlobalSelectionPolicy, NodeRegistry, ScoredCandidate};
+use armada_manager::{discover_shortlist, GlobalSelectionPolicy, NodeRegistry, ScoredCandidate};
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, ShardId, SimDuration, SimTime, SystemConfig};
 
@@ -124,6 +124,10 @@ impl FederatedShard {
     }
 
     /// Alive nodes across the merged view (own + synced summaries).
+    ///
+    /// O(nodes) — a diagnostics/observability surface. The discovery
+    /// hot path no longer needs it: `discover_shortlist` terminates on
+    /// scan exhaustion instead of an up-front alive census.
     pub fn merged_alive_count(&self, now: SimTime) -> usize {
         self.registry.alive_count(now)
             + self
@@ -227,11 +231,10 @@ impl FederatedShard {
         top_n: usize,
         now: SimTime,
     ) -> Vec<ScoredCandidate> {
-        widen_and_rank(
+        discover_shortlist(
             &self.config,
             &self.policy,
             &self.index,
-            self.merged_alive_count(now),
             |id| {
                 if self.registry.is_alive(id, now) {
                     return self.registry.record(id).map(|r| r.status);

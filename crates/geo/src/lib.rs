@@ -33,4 +33,4 @@ mod geohash;
 mod search;
 
 pub use geohash::{GeoHash, MAX_PRECISION};
-pub use search::{ProximityIndex, RankedNeighbor};
+pub use search::{DiskScan, ProximityIndex, RankedNeighbor, GLOBE_COVER_RADIUS_KM};

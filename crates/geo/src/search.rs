@@ -6,12 +6,116 @@
 //! prefixes) until enough candidates are found, so that remote nodes are
 //! reachable as a last resort — exactly the behaviour described in paper
 //! §IV-B.
+//!
+//! Two query paths coexist:
+//!
+//! * the original full-scan helpers ([`ProximityIndex::within_km`],
+//!   [`ProximityIndex::nearest`]) — exact, O(N) per call, retained as
+//!   the *reference* the differential test suite compares against, and
+//! * the incremental [`DiskScan`] — an expanding cell-ring search over
+//!   multi-resolution GeoHash buckets that visits each cell at most
+//!   once across widening rounds and emits neighbors in deterministic
+//!   `(distance, id)` order. This is the discovery hot path: a widening
+//!   search over a million-node fleet touches only the buckets its
+//!   growing disk actually covers instead of re-scanning every node on
+//!   every radius doubling.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
-use armada_types::{GeoPoint, NodeId};
+use armada_types::{GeoPoint, NodeId, EARTH_RADIUS_KM};
 
-use crate::geohash::GeoHash;
+/// A splitmix64-style hasher for the index's internal maps, whose keys
+/// are all 64-bit (node ids, packed cell coordinates). The default
+/// SipHash is DoS-hardened but costs several times more per lookup, and
+/// the disk scan's inner loop does one position lookup and one
+/// seen-set insert per candidate; keys here are not attacker-chosen.
+#[derive(Debug, Default)]
+struct U64Hasher(u64);
+
+impl Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<U64Hasher>>;
+type FastSet<K> = HashSet<K, BuildHasherDefault<U64Hasher>>;
+
+/// A position pre-converted to radians with its latitude cosine cached.
+///
+/// [`TrigPoint::distance_km`] replicates [`GeoPoint::distance_km`]
+/// term for term, so the result is bit-identical while the per-pair
+/// work drops from four `to_radians` + two `cos` + two `sin` to just
+/// the two `sin` — the disk scan computes one distance per candidate
+/// it touches, and this is its single hottest operation.
+#[derive(Debug, Clone, Copy)]
+struct TrigPoint {
+    lat_rad: f64,
+    lon_rad: f64,
+    cos_lat: f64,
+}
+
+impl TrigPoint {
+    fn new(p: GeoPoint) -> TrigPoint {
+        let lat_rad = p.lat().to_radians();
+        TrigPoint {
+            lat_rad,
+            lon_rad: p.lon().to_radians(),
+            cos_lat: lat_rad.cos(),
+        }
+    }
+
+    /// Haversine distance, bit-identical to
+    /// `GeoPoint::distance_km(self, other)` (same operations, same
+    /// order, same rounding).
+    fn distance_km(&self, other: &TrigPoint) -> f64 {
+        let dlat = other.lat_rad - self.lat_rad;
+        let dlon = other.lon_rad - self.lon_rad;
+        let a =
+            (dlat / 2.0).sin().powi(2) + self.cos_lat * other.cos_lat * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// A search radius guaranteed to cover the whole globe: no great-circle
+/// distance exceeds half the Earth's circumference (≈ 20 015 km), so a
+/// widening search whose radius reached this value has seen every node
+/// it can ever see. Widening loops cap here instead of doubling toward
+/// `f64::INFINITY` when their liveness view and the index disagree.
+pub const GLOBE_COVER_RADIUS_KM: f64 = 20_016.0;
+
+/// Beyond this radius the spherical-cap bounding box spans most of the
+/// globe anyway (half the antipodal distance); [`DiskScan`] switches to
+/// one exhaustive sweep of the remaining buckets. Must stay below
+/// `π/2 · EARTH_RADIUS_KM` ≈ 10 007 km so the cap geometry below stays
+/// in its valid range.
+const FULL_SCAN_RADIUS_KM: f64 = 10_000.0;
+
+/// Cell budget per widening round: the scan picks the finest bucketing
+/// precision whose cover of the query disk stays under this many cells,
+/// keeping per-round work bounded no matter the radius.
+const MAX_CELLS_PER_ROUND: u64 = 256;
+
+/// Indexes this small are cheaper to sweep once than to cover cell by
+/// cell.
+const SMALL_INDEX_FULL_SCAN: usize = 64;
 
 /// A node returned by a proximity query, with its distance to the query
 /// point.
@@ -23,11 +127,72 @@ pub struct RankedNeighbor {
     pub distance_km: f64,
 }
 
+/// The integer cell grid at one GeoHash precision.
+///
+/// A GeoHash of `p` characters encodes `⌈5p/2⌉` longitude bits and
+/// `⌊5p/2⌋` latitude bits by binary subdivision, so its cells are
+/// exactly the cells of a `2^lon_bits × 2^lat_bits` grid. Indexing them
+/// by integer coordinates instead of base-32 strings keeps bucket keys
+/// allocation-free and makes ring enumeration direct arithmetic.
+#[derive(Debug, Clone, Copy)]
+struct Grid {
+    lon_cells: u32,
+    lat_cells: u32,
+}
+
+impl Grid {
+    fn at(precision: usize) -> Grid {
+        let bits = 5 * precision as u32;
+        Grid {
+            lon_cells: 1 << bits.div_ceil(2),
+            lat_cells: 1 << (bits / 2),
+        }
+    }
+
+    fn cell_x(&self, lon: f64) -> u32 {
+        let raw = ((lon + 180.0) / 360.0 * self.lon_cells as f64) as i64;
+        raw.clamp(0, i64::from(self.lon_cells) - 1) as u32
+    }
+
+    fn cell_y(&self, lat: f64) -> u32 {
+        let raw = ((lat + 90.0) / 180.0 * self.lat_cells as f64) as i64;
+        raw.clamp(0, i64::from(self.lat_cells) - 1) as u32
+    }
+
+    fn key(&self, point: GeoPoint) -> u64 {
+        pack(self.cell_x(point.lon()), self.cell_y(point.lat()))
+    }
+}
+
+fn pack(x: u32, y: u32) -> u64 {
+    (u64::from(x) << 32) | u64::from(y)
+}
+
+/// A contiguous block of cells at one precision; longitude wraps.
+#[derive(Debug, Clone, Copy)]
+struct CellRect {
+    x0: u32,
+    x_count: u32,
+    y0: u32,
+    y1: u32,
+}
+
+impl CellRect {
+    fn contains(&self, x: u32, y: u32, lon_cells: u32) -> bool {
+        y >= self.y0 && y <= self.y1 && (x + lon_cells - self.x0) % lon_cells < self.x_count
+    }
+
+    fn area(&self) -> u64 {
+        u64::from(self.x_count) * u64::from(self.y1 - self.y0 + 1)
+    }
+}
+
 /// An in-memory spatial index over edge-node positions.
 ///
-/// Internally nodes are bucketed by a fine GeoHash; queries scan matching
-/// prefix buckets and rank by true haversine distance, so results are
-/// exact while candidate generation stays cheap.
+/// Nodes are bucketed by GeoHash cell at every precision from 1 up to
+/// the index precision; queries scan matching cells and rank by true
+/// haversine distance, so results are exact while candidate generation
+/// stays cheap.
 ///
 /// # Examples
 ///
@@ -47,8 +212,12 @@ pub struct RankedNeighbor {
 pub struct ProximityIndex {
     /// Index precision: fine enough to bucket metro-scale deployments.
     precision: usize,
-    positions: HashMap<NodeId, GeoPoint>,
-    buckets: HashMap<GeoHash, Vec<NodeId>>,
+    /// Position plus its cached trig form (the latter feeds the disk
+    /// scan's distance computation; see [`TrigPoint`]).
+    positions: FastMap<NodeId, (GeoPoint, TrigPoint)>,
+    /// `buckets[l]` holds the cells at precision `l + 1`, keyed by
+    /// packed integer cell coordinates.
+    buckets: Vec<FastMap<u64, Vec<NodeId>>>,
 }
 
 impl ProximityIndex {
@@ -70,8 +239,8 @@ impl ProximityIndex {
         );
         ProximityIndex {
             precision,
-            positions: HashMap::new(),
-            buckets: HashMap::new(),
+            positions: FastMap::default(),
+            buckets: vec![FastMap::default(); precision],
         }
     }
 
@@ -88,21 +257,30 @@ impl ProximityIndex {
     /// Inserts or moves a node. Returns the previous position if the node
     /// was already present.
     pub fn insert(&mut self, id: NodeId, point: GeoPoint) -> Option<GeoPoint> {
+        // Heartbeats from stationary nodes re-insert the same position;
+        // skip the bucket churn entirely in that common case.
+        if self.positions.get(&id).map(|&(p, _)| p) == Some(point) {
+            return Some(point);
+        }
         let prev = self.remove(id);
-        let hash = GeoHash::encode(point, self.precision);
-        self.positions.insert(id, point);
-        self.buckets.entry(hash).or_default().push(id);
+        self.positions.insert(id, (point, TrigPoint::new(point)));
+        for (level, cells) in self.buckets.iter_mut().enumerate() {
+            let key = Grid::at(level + 1).key(point);
+            cells.entry(key).or_default().push(id);
+        }
         prev
     }
 
     /// Removes a node, returning its position if it was present.
     pub fn remove(&mut self, id: NodeId) -> Option<GeoPoint> {
-        let point = self.positions.remove(&id)?;
-        let hash = GeoHash::encode(point, self.precision);
-        if let Some(bucket) = self.buckets.get_mut(&hash) {
-            bucket.retain(|&n| n != id);
-            if bucket.is_empty() {
-                self.buckets.remove(&hash);
+        let (point, _) = self.positions.remove(&id)?;
+        for (level, cells) in self.buckets.iter_mut().enumerate() {
+            let key = Grid::at(level + 1).key(point);
+            if let Some(bucket) = cells.get_mut(&key) {
+                bucket.retain(|&n| n != id);
+                if bucket.is_empty() {
+                    cells.remove(&key);
+                }
             }
         }
         Some(point)
@@ -110,21 +288,25 @@ impl ProximityIndex {
 
     /// Returns the stored position of `id`, if indexed.
     pub fn position(&self, id: NodeId) -> Option<GeoPoint> {
-        self.positions.get(&id).copied()
+        self.positions.get(&id).map(|&(p, _)| p)
     }
 
     /// Iterates over all `(id, position)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, GeoPoint)> + '_ {
-        self.positions.iter().map(|(&id, &p)| (id, p))
+        self.positions.iter().map(|(&id, &(p, _))| (id, p))
     }
 
     /// All nodes within `radius_km` of `from`, sorted nearest-first
     /// (ties broken by `NodeId` for determinism).
+    ///
+    /// Exact but O(N): every position is scanned. The discovery hot
+    /// path uses [`ProximityIndex::disk_scan`] instead; this full scan
+    /// is the reference the differential tests compare it against.
     pub fn within_km(&self, from: GeoPoint, radius_km: f64) -> Vec<RankedNeighbor> {
         let mut out: Vec<RankedNeighbor> = self
             .positions
             .iter()
-            .map(|(&id, &p)| RankedNeighbor {
+            .map(|(&id, &(p, _))| RankedNeighbor {
                 id,
                 distance_km: from.distance_km(p),
             })
@@ -140,7 +322,7 @@ impl ProximityIndex {
         let mut out: Vec<RankedNeighbor> = self
             .positions
             .iter()
-            .map(|(&id, &p)| RankedNeighbor {
+            .map(|(&id, &(p, _))| RankedNeighbor {
                 id,
                 distance_km: from.distance_km(p),
             })
@@ -170,6 +352,29 @@ impl ProximityIndex {
             radius *= 2.0;
         }
     }
+
+    /// Starts an incremental expanding-disk scan centred on `from`.
+    ///
+    /// Call [`DiskScan::extend_to`] with a non-decreasing radius
+    /// sequence; each call returns exactly the neighbors whose distance
+    /// falls inside the newly covered annulus, in `(distance, id)`
+    /// order. Across all calls every node is emitted at most once and
+    /// every bucket cell is read at most once, so a full widening
+    /// search costs O(nodes inside the final disk cover), not
+    /// O(rounds × N).
+    pub fn disk_scan(&self, from: GeoPoint) -> DiskScan<'_> {
+        DiskScan {
+            index: self,
+            from,
+            from_trig: TrigPoint::new(from),
+            pending: Vec::new(),
+            emitted: Vec::new(),
+            seen: FastSet::default(),
+            scanned: vec![None; self.precision],
+            all_scanned: false,
+            prev_radius: -1.0,
+        }
+    }
 }
 
 /// Sorts nearest-first with deterministic NodeId tie-breaking.
@@ -180,6 +385,226 @@ fn sort_ranked(out: &mut [RankedNeighbor]) {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.id.cmp(&b.id))
     });
+}
+
+/// A candidate waiting for the scan radius to reach its distance.
+#[derive(Debug, PartialEq)]
+struct PendingEntry {
+    distance_km: f64,
+    id: NodeId,
+}
+
+impl Eq for PendingEntry {}
+
+impl Ord for PendingEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance_km
+            .total_cmp(&other.distance_km)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for PendingEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An in-progress expanding bucket-ring search (see
+/// [`ProximityIndex::disk_scan`]).
+///
+/// Internally each widening round computes the spherical-cap bounding
+/// box of the query disk, picks the finest bucketing precision whose
+/// cell cover of that box stays within a fixed budget, and reads only
+/// the cells not already read at that precision (the cover grows
+/// monotonically, so the new cells form an expanding ring around the
+/// previous cover). Discovered nodes park in an unsorted pending pool
+/// until the requested radius actually reaches them; each round's
+/// reached batch is then sorted by `(distance, id)`, which makes the
+/// emission order deterministic and exactly equal to the full-scan
+/// reference. (A batch sort beats a heap here: the common query is
+/// satisfied in one round, so almost every queued node is emitted
+/// immediately, and one cache-friendly sort is cheaper than per-element
+/// sift-up/sift-down.)
+#[derive(Debug)]
+pub struct DiskScan<'a> {
+    index: &'a ProximityIndex,
+    from: GeoPoint,
+    /// Cached trig form of `from`; candidate distances come from
+    /// [`TrigPoint::distance_km`], bit-identical to the full formula.
+    from_trig: TrigPoint,
+    /// Queued candidates beyond the covered radius, unsorted. Every
+    /// entry queued in round `k` lies strictly beyond round `k-1`'s
+    /// radius (its cell would otherwise have been read — and the id
+    /// seen — in an earlier round's conservative cover), so sorting
+    /// each reached batch preserves the global emission order.
+    pending: Vec<PendingEntry>,
+    emitted: Vec<RankedNeighbor>,
+    /// Nodes already queued or emitted (cells of different precisions
+    /// overlap spatially; ids must not be scanned twice).
+    seen: FastSet<NodeId>,
+    /// Per-precision rect already read. Rects only grow, and the round
+    /// precision only coarsens, so each cell is read at most once.
+    scanned: Vec<Option<CellRect>>,
+    all_scanned: bool,
+    prev_radius: f64,
+}
+
+impl DiskScan<'_> {
+    /// Grows the covered disk to `radius_km` (which must not decrease
+    /// across calls) and returns the newly covered neighbors — exactly
+    /// those with `prev_radius < distance ≤ radius_km` — in
+    /// `(distance, id)` order. The concatenation of all returned slices
+    /// equals `within_km(from, radius_km)`.
+    pub fn extend_to(&mut self, radius_km: f64) -> &[RankedNeighbor] {
+        debug_assert!(
+            radius_km >= self.prev_radius,
+            "disk scan radius must not shrink"
+        );
+        self.prev_radius = radius_km;
+        if !self.all_scanned {
+            if self.index.len() <= SMALL_INDEX_FULL_SCAN || radius_km >= FULL_SCAN_RADIUS_KM {
+                self.scan_everything();
+            } else {
+                self.scan_cap_cover(radius_km);
+            }
+        }
+        let start = self.emitted.len();
+        // Partition the reached entries out of the pending pool, then
+        // sort just that batch into emission order.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].distance_km <= radius_km {
+                let entry = self.pending.swap_remove(i);
+                self.emitted.push(RankedNeighbor {
+                    id: entry.id,
+                    distance_km: entry.distance_km,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        sort_ranked(&mut self.emitted[start..]);
+        &self.emitted[start..]
+    }
+
+    /// All neighbors emitted so far, in `(distance, id)` order.
+    pub fn emitted(&self) -> &[RankedNeighbor] {
+        &self.emitted
+    }
+
+    /// `true` once every indexed node has been emitted — widening
+    /// further cannot find anything new.
+    pub fn exhausted(&self) -> bool {
+        self.emitted.len() == self.index.len()
+    }
+
+    fn queue(
+        seen: &mut FastSet<NodeId>,
+        pending: &mut Vec<PendingEntry>,
+        from: &TrigPoint,
+        id: NodeId,
+        point: &TrigPoint,
+    ) {
+        if seen.insert(id) {
+            pending.push(PendingEntry {
+                distance_km: from.distance_km(point),
+                id,
+            });
+        }
+    }
+
+    fn scan_everything(&mut self) {
+        for (&id, (_, trig)) in &self.index.positions {
+            Self::queue(&mut self.seen, &mut self.pending, &self.from_trig, id, trig);
+        }
+        self.all_scanned = true;
+    }
+
+    /// Reads the not-yet-read cells of a conservative cover of the
+    /// radius-`radius_km` disk.
+    fn scan_cap_cover(&mut self, radius_km: f64) {
+        // Spherical-cap bounding box on the same sphere distance_km
+        // measures on, padded so float rounding can only over-scan
+        // (over-scanning is harmless: membership is decided by the
+        // exact haversine distance, never by the cover).
+        let r = radius_km * 1.000_001 + 1e-9;
+        let dlat_deg = (r / EARTH_RADIUS_KM).to_degrees();
+        let lat_lo = self.from.lat() - dlat_deg;
+        let lat_hi = self.from.lat() + dlat_deg;
+        let sin_ratio = (r / EARTH_RADIUS_KM).sin() / self.from.lat().to_radians().cos().max(1e-12);
+        // A cap containing a pole spans every longitude.
+        let full_lon = lat_hi >= 90.0 || lat_lo <= -90.0 || sin_ratio >= 1.0;
+        let dlon_deg = if full_lon {
+            180.0
+        } else {
+            (sin_ratio.asin().to_degrees() * 1.000_001).min(180.0)
+        };
+
+        // Finest precision whose cover of the box fits the cell budget.
+        // Precision 1 has at most 8 × 4 cells, so the loop always picks
+        // a level; as the radius grows a level's cover only grows, so
+        // the chosen level only ever coarsens across rounds.
+        for precision in (1..=self.index.precision).rev() {
+            let grid = Grid::at(precision);
+            let y0 = grid.cell_y(lat_lo.max(-90.0));
+            let y1 = grid.cell_y(lat_hi.min(90.0));
+            let x0;
+            let x_count;
+            if dlon_deg >= 180.0 {
+                x0 = 0;
+                x_count = grid.lon_cells;
+            } else {
+                x0 = grid.cell_x(wrap_lon(self.from.lon() - dlon_deg));
+                let x1 = grid.cell_x(wrap_lon(self.from.lon() + dlon_deg));
+                x_count = (x1 + grid.lon_cells - x0) % grid.lon_cells + 1;
+            }
+            let rect = CellRect {
+                x0,
+                x_count,
+                y0,
+                y1,
+            };
+            if rect.area() > MAX_CELLS_PER_ROUND {
+                continue;
+            }
+            self.scan_rect(precision, rect);
+            return;
+        }
+        unreachable!("precision 1 always fits the cell budget");
+    }
+
+    fn scan_rect(&mut self, precision: usize, rect: CellRect) {
+        let grid = Grid::at(precision);
+        let level = precision - 1;
+        let prev = self.scanned[level];
+        for y in rect.y0..=rect.y1 {
+            for k in 0..rect.x_count {
+                let x = (rect.x0 + k) % grid.lon_cells;
+                if let Some(prev) = prev {
+                    if prev.contains(x, y, grid.lon_cells) {
+                        continue;
+                    }
+                }
+                if let Some(bucket) = self.index.buckets[level].get(&pack(x, y)) {
+                    for &id in bucket {
+                        let (_, trig) = &self.index.positions[&id];
+                        Self::queue(&mut self.seen, &mut self.pending, &self.from_trig, id, trig);
+                    }
+                }
+            }
+        }
+        self.scanned[level] = Some(rect);
+    }
+}
+
+/// Wraps a longitude into `[-180, 180)`.
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = (lon + 180.0) % 360.0;
+    if l < 0.0 {
+        l += 360.0;
+    }
+    l - 180.0
 }
 
 #[cfg(test)]
@@ -260,15 +685,108 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_at_same_position_is_a_refresh() {
+        let mut idx = ProximityIndex::new();
+        idx.insert(NodeId::new(7), origin());
+        assert_eq!(idx.insert(NodeId::new(7), origin()), Some(origin()));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.within_km(origin(), 1.0).len(), 1);
+    }
+
+    #[test]
     fn empty_index_behaves() {
         let idx = ProximityIndex::new();
         assert!(idx.is_empty());
         assert!(idx.within_km(origin(), 1000.0).is_empty());
         assert!(idx.nearest(origin(), 3).is_empty());
         assert!(idx.widening_search(origin(), 1.0, 1).is_empty());
+        let mut scan = idx.disk_scan(origin());
+        assert!(scan.extend_to(500.0).is_empty());
+        assert!(scan.exhausted());
+    }
+
+    #[test]
+    fn disk_scan_matches_within_km_round_by_round() {
+        // Cross the SMALL_INDEX_FULL_SCAN threshold so the cap-cover
+        // path is actually exercised.
+        let mut idx = ProximityIndex::new();
+        let mut expected_ids: Vec<NodeId> = Vec::new();
+        for i in 0..200u64 {
+            let east = (i as f64 * 37.0) % 2000.0 - 1000.0;
+            let north = (i as f64 * 53.0) % 1400.0 - 700.0;
+            idx.insert(NodeId::new(i), origin().offset_km(east, north));
+            expected_ids.push(NodeId::new(i));
+        }
+        let mut scan = idx.disk_scan(origin());
+        let mut radius = 5.0;
+        let mut cumulative: Vec<RankedNeighbor> = Vec::new();
+        while radius < GLOBE_COVER_RADIUS_KM * 2.0 {
+            cumulative.extend_from_slice(scan.extend_to(radius));
+            let reference = idx.within_km(origin(), radius);
+            assert_eq!(cumulative, reference, "divergence at radius {radius}");
+            if scan.exhausted() {
+                break;
+            }
+            radius *= 2.0;
+        }
+        assert!(scan.exhausted());
+        assert_eq!(scan.emitted().len(), idx.len());
+    }
+
+    #[test]
+    fn disk_scan_handles_date_line_and_poles() {
+        let mut idx = ProximityIndex::new();
+        // A cluster straddling the antimeridian and one near each pole.
+        for (i, (lat, lon)) in [
+            (10.0, 179.9),
+            (10.0, -179.9),
+            (10.2, 179.5),
+            (89.5, 10.0),
+            (-89.5, -120.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            idx.insert(NodeId::new(i as u64), GeoPoint::new(*lat, *lon));
+        }
+        // Pad the index over the full-scan threshold with far nodes.
+        for i in 100..180u64 {
+            idx.insert(
+                NodeId::new(i),
+                GeoPoint::new(-40.0 + (i as f64 % 10.0), -60.0 + (i as f64 / 10.0)),
+            );
+        }
+        for from in [
+            GeoPoint::new(10.0, 179.99),
+            GeoPoint::new(89.9, -170.0),
+            GeoPoint::new(-89.9, 5.0),
+        ] {
+            let mut scan = idx.disk_scan(from);
+            let mut cumulative: Vec<RankedNeighbor> = Vec::new();
+            for radius in [50.0, 100.0, 400.0, 3_000.0, 12_000.0, GLOBE_COVER_RADIUS_KM] {
+                cumulative.extend_from_slice(scan.extend_to(radius));
+                assert_eq!(cumulative, idx.within_km(from, radius));
+            }
+            assert!(scan.exhausted());
+        }
     }
 
     proptest! {
+        /// The cached-trig distance must be *bit*-identical to
+        /// `GeoPoint::distance_km`: these values flow into emitted
+        /// neighbors and candidate scores that differential tests
+        /// compare with `==` against the full-scan reference.
+        #[test]
+        fn trig_distance_is_bit_identical_to_geopoint_distance(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let a = GeoPoint::new(lat1, lon1);
+            let b = GeoPoint::new(lat2, lon2);
+            let cached = TrigPoint::new(a).distance_km(&TrigPoint::new(b));
+            prop_assert_eq!(cached.to_bits(), a.distance_km(b).to_bits());
+        }
+
         #[test]
         fn nearest_is_prefix_of_full_sort(
             seeds in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..20),
@@ -303,6 +821,31 @@ mod tests {
             let idx = build(&seeds);
             let found = idx.widening_search(origin(), 5.0, want);
             prop_assert!(found.len() >= want.min(seeds.len()));
+        }
+
+        #[test]
+        fn disk_scan_equals_full_scan_at_any_scale(
+            seeds in proptest::collection::vec((-88.0f64..88.0, -179.0f64..179.0), 0..120),
+            qlat in -80.0f64..80.0,
+            qlon in -179.0f64..179.0,
+            start_radius in 1.0f64..200.0,
+        ) {
+            let mut idx = ProximityIndex::new();
+            for (i, &(lat, lon)) in seeds.iter().enumerate() {
+                idx.insert(NodeId::new(i as u64), GeoPoint::new(lat, lon));
+            }
+            let from = GeoPoint::new(qlat, qlon);
+            let mut scan = idx.disk_scan(from);
+            let mut cumulative: Vec<RankedNeighbor> = Vec::new();
+            let mut radius = start_radius;
+            loop {
+                cumulative.extend_from_slice(scan.extend_to(radius));
+                prop_assert_eq!(&cumulative, &idx.within_km(from, radius));
+                if scan.exhausted() || radius >= GLOBE_COVER_RADIUS_KM {
+                    break;
+                }
+                radius *= 2.0;
+            }
         }
     }
 }

@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use armada_chaos::Backoff;
+use armada_manager::partial_select_by;
 use armada_trace::{s, u, Severity, Tracer};
 use armada_types::GeoPoint;
 
@@ -48,12 +49,14 @@ struct ManagerState {
     /// This shard's identity within a federation (0 when standalone).
     shard: u64,
     /// Nodes registered directly with this manager (it owns their
-    /// liveness).
-    nodes: HashMap<u64, Registration>,
+    /// liveness). Copy-on-write: discovery clones the `Arc` under the
+    /// lock and ranks outside it, so heartbeat writes never wait on a
+    /// query (and pay one clone only when a query is in flight).
+    nodes: Arc<HashMap<u64, Registration>>,
     /// Nodes owned by peer shards, learned through `SyncSummaries`.
     /// `last_seen` is reconstructed from the wire age, so the same
     /// [`LIVENESS_WINDOW`] applies to both maps.
-    remote: HashMap<u64, Registration>,
+    remote: Arc<HashMap<u64, Registration>>,
     /// Health of each outbound sync peer.
     peers: HashMap<SocketAddr, PeerHealth>,
     discoveries: u64,
@@ -360,7 +363,7 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
         } => {
             let mut s = state.lock().expect("not poisoned");
             let id = status.id;
-            s.nodes.insert(
+            Arc::make_mut(&mut s.nodes).insert(
                 id,
                 Registration {
                     status,
@@ -374,16 +377,17 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
         }
         Request::Heartbeat { status } => {
             let mut s = state.lock().expect("not poisoned");
-            match s.nodes.get_mut(&status.id) {
-                Some(reg) => {
-                    reg.status = status;
-                    reg.last_seen = Instant::now();
-                    Response::HeartbeatAck
-                }
-                None => Response::Error {
+            if !s.nodes.contains_key(&status.id) {
+                return Response::Error {
                     message: format!("heartbeat from unregistered node {}", status.id),
-                },
+                };
             }
+            let reg = Arc::make_mut(&mut s.nodes)
+                .get_mut(&status.id)
+                .expect("checked above");
+            reg.status = status;
+            reg.last_seen = Instant::now();
+            Response::HeartbeatAck
         }
         Request::Discover {
             user,
@@ -391,41 +395,52 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
             lon,
             top_n,
         } => {
-            let mut s = state.lock().expect("not poisoned");
-            s.discoveries += 1;
+            // Snapshot the registries under the lock (two refcount
+            // bumps), then rank outside it: discovery never blocks a
+            // heartbeat or sync write, which at most pays one
+            // copy-on-write clone while this query holds the maps.
+            let (own, remote, tracer) = {
+                let mut s = state.lock().expect("not poisoned");
+                s.discoveries += 1;
+                (
+                    Arc::clone(&s.nodes),
+                    Arc::clone(&s.remote),
+                    s.tracer.clone(),
+                )
+            };
             let user_loc = GeoPoint::new(lat, lon);
             let now = Instant::now();
             // Own registrations are authoritative; synced summaries fill
             // in the rest of the federation (and keep discovery alive
             // for border users or when this shard serves as a fallback).
-            let mut alive: Vec<&Registration> = s
-                .nodes
+            let alive = own
                 .values()
                 .chain(
-                    s.remote
+                    remote
                         .iter()
-                        .filter(|(id, _)| !s.nodes.contains_key(id))
+                        .filter(|(id, _)| !own.contains_key(id))
                         .map(|(_, r)| r),
                 )
-                .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW)
-                .collect();
+                .filter(|r| now.duration_since(r.last_seen) < LIVENESS_WINDOW);
             // Same coarse ranking as the simulated manager: load first,
-            // distance as the tiebreaker scale.
-            alive.sort_by(|a, b| {
-                let score = |r: &Registration| {
-                    10.0 * r.status.load_score + 0.2 * user_loc.distance_km(r.status.location)
-                };
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.status.id.cmp(&b.status.id))
+            // distance as the tiebreaker scale. The bounded partial
+            // select equals full sort + take(top_n) because the id
+            // tie-break makes the order strict and total.
+            let scored = alive.map(|r| {
+                let score =
+                    10.0 * r.status.load_score + 0.2 * user_loc.distance_km(r.status.location);
+                (score, r)
             });
-            let nodes: Vec<(u64, String)> = alive
+            let best = partial_select_by(scored, top_n, |a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.status.id.cmp(&b.1.status.id))
+            });
+            let nodes: Vec<(u64, String)> = best
                 .into_iter()
-                .take(top_n)
-                .map(|r| (r.status.id, r.listen_addr.clone()))
+                .map(|(_, r)| (r.status.id, r.listen_addr.clone()))
                 .collect();
-            s.tracer.emit(Severity::Debug, "mgr.discover", || {
+            tracer.emit(Severity::Debug, "mgr.discover", || {
                 vec![("user", u(user)), ("returned", u(nodes.len() as u64))]
             });
             Response::Candidates { nodes }
@@ -434,16 +449,18 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
             let mut s = state.lock().expect("not poisoned");
             let now = Instant::now();
             let mut applied = 0u64;
+            let st = &mut *s;
+            let remote = Arc::make_mut(&mut st.remote);
             for summary in summaries {
                 // A direct registration outranks a synced summary: the
                 // owner's heartbeat is first-hand.
-                if s.nodes.contains_key(&summary.status.id) {
+                if st.nodes.contains_key(&summary.status.id) {
                     continue;
                 }
                 let last_seen = now
                     .checked_sub(Duration::from_micros(summary.age_us))
                     .unwrap_or(now);
-                s.remote.insert(
+                remote.insert(
                     summary.status.id,
                     Registration {
                         status: summary.status,

@@ -7,8 +7,38 @@
 //! what makes the federation's border-merge behaviour provably identical
 //! to the single-manager baseline: given the same view of alive nodes,
 //! both produce byte-for-byte the same shortlist.
+//!
+//! This module holds the *fast* engine: an incremental
+//! [`DiskScan`](armada_geo::DiskScan) replaces the per-round `within_km`
+//! re-scan (each geohash cell is visited at most once across all
+//! widening rounds) and a bounded partial-select replaces the full sort.
+//! The original implementation lives on in [`crate::reference`] as the
+//! differential-test oracle; `tests/discovery_equivalence.rs` holds the
+//! two byte-identical over seeded random fleets.
+//!
+//! # Why the outputs are identical
+//!
+//! Both engines follow the same radius schedule (`proximity_radius_km`,
+//! doubling) and, per round, consider exactly the `within_km` member
+//! set — the disk scan's cumulative emissions equal the full scan by
+//! construction. The loop exits differ in form but not in effect:
+//!
+//! * the reference stops once `want = top_n.min(alive_total)` alive
+//!   candidates are in view; the fast engine stops at `top_n` alive
+//!   candidates *or* scan exhaustion. When `alive_total < top_n` the
+//!   reference stops earlier (as soon as all alive nodes are inside),
+//!   but the extra rounds the fast engine runs can only surface nodes
+//!   that fail the liveness filter — every alive node is already in the
+//!   candidate set — so the ranked shortlist cannot change.
+//! * ranking is input-order-insensitive (strict total order on
+//!   `(score, id)`), so candidate arrival order is irrelevant, and the
+//!   bounded partial-select provably equals full-sort + truncate under
+//!   that same order.
+//!
+//! Dropping `alive_total` from the fast path is therefore not just
+//! cosmetic: it removes an O(N) registry sweep from every query.
 
-use armada_geo::ProximityIndex;
+use armada_geo::{ProximityIndex, GLOBE_COVER_RADIUS_KM};
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, SystemConfig};
 
@@ -17,18 +47,20 @@ use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
 /// Serves one discovery query against an arbitrary liveness view.
 ///
 /// The geo-proximity filter starts at the configured radius and widens
-/// (doubling) until at least `top_n` alive candidates are inside, or all
-/// `alive_total` alive nodes are. `alive_status` is the view: it returns
-/// the status for a node id iff that node is currently considered alive.
+/// (doubling) until at least `top_n` alive candidates are inside or the
+/// scan has covered every indexed node. `alive_status` is the view: it
+/// returns the status for a node id iff that node is currently
+/// considered alive (nodes the view holds but the index doesn't are
+/// simply undiscoverable — the scan terminates regardless).
 ///
-/// Candidates are then ranked by `policy`, best first, and truncated to
-/// `top_n`.
-#[allow(clippy::too_many_arguments)] // free function shared across tiers; callers pass their own state
-pub fn widen_and_rank(
+/// Candidates are then ranked by `policy`, best first, keeping `top_n`.
+///
+/// Byte-identical to [`crate::reference::widen_and_rank`]; see the
+/// [module docs](crate::discovery) for the argument.
+pub fn discover_shortlist(
     config: &SystemConfig,
     policy: &GlobalSelectionPolicy,
     index: &ProximityIndex,
-    alive_total: usize,
     alive_status: impl Fn(NodeId) -> Option<NodeStatus>,
     user_loc: GeoPoint,
     affiliations: &[NodeId],
@@ -38,18 +70,22 @@ pub fn widen_and_rank(
         return Vec::new();
     }
     let mut radius = config.proximity_radius_km.max(0.1);
-    let want = top_n.min(alive_total);
-    let candidates = loop {
-        let nearby = index.within_km(user_loc, radius);
-        let alive: Vec<NodeStatus> = nearby.iter().filter_map(|n| alive_status(n.id)).collect();
-        if alive.len() >= want || alive.len() == alive_total {
-            break alive;
+    let mut scan = index.disk_scan(user_loc);
+    // Each alive candidate keeps the distance the scan measured, so the
+    // ranking below never recomputes a haversine.
+    let mut alive: Vec<(NodeStatus, f64)> = Vec::new();
+    loop {
+        for neighbor in scan.extend_to(radius) {
+            if let Some(status) = alive_status(neighbor.id) {
+                alive.push((status, neighbor.distance_km));
+            }
+        }
+        if alive.len() >= top_n || scan.exhausted() || radius >= GLOBE_COVER_RADIUS_KM {
+            break;
         }
         radius *= 2.0;
-    };
-    let mut ranked = policy.rank(user_loc, candidates, affiliations);
-    ranked.truncate(top_n);
-    ranked
+    }
+    policy.rank_top_n_with_distances(alive, affiliations, top_n)
 }
 
 #[cfg(test)]
@@ -68,23 +104,25 @@ mod tests {
         }
     }
 
+    fn home() -> GeoPoint {
+        GeoPoint::new(44.98, -93.26)
+    }
+
     #[test]
     fn widens_until_the_view_is_exhausted() {
-        let home = GeoPoint::new(44.98, -93.26);
         let mut index = ProximityIndex::new();
         let mut view = HashMap::new();
         for (i, km) in [3.0, 400.0, 900.0].into_iter().enumerate() {
-            let s = status(i as u64, home.offset_km(km, 0.0));
+            let s = status(i as u64, home().offset_km(km, 0.0));
             index.insert(s.node, s.location);
             view.insert(s.node, s);
         }
-        let got = widen_and_rank(
+        let got = discover_shortlist(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
             &index,
-            view.len(),
             |id| view.get(&id).copied(),
-            home,
+            home(),
             &[],
             3,
         );
@@ -94,27 +132,65 @@ mod tests {
 
     #[test]
     fn dead_entries_in_the_index_are_skipped() {
-        let home = GeoPoint::new(44.98, -93.26);
         let mut index = ProximityIndex::new();
         let mut view = HashMap::new();
         for i in 0..3u64 {
-            let s = status(i, home.offset_km(i as f64 * 2.0, 0.0));
+            let s = status(i, home().offset_km(i as f64 * 2.0, 0.0));
             index.insert(s.node, s.location);
             if i != 0 {
                 view.insert(s.node, s);
             }
         }
-        let got = widen_and_rank(
+        let got = discover_shortlist(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
             &index,
-            view.len(),
             |id| view.get(&id).copied(),
-            home,
+            home(),
             &[],
             3,
         );
         assert_eq!(got.len(), 2, "the dead node must not appear");
         assert!(got.iter().all(|c| c.node != NodeId::new(0)));
+    }
+
+    #[test]
+    fn matches_the_reference_oracle_on_a_small_fleet() {
+        let mut index = ProximityIndex::new();
+        let mut view = HashMap::new();
+        for i in 0..150u64 {
+            let east = (i as f64 * 37.0) % 1800.0 - 900.0;
+            let north = (i as f64 * 53.0) % 1200.0 - 600.0;
+            let s = status(i, home().offset_km(east, north));
+            index.insert(s.node, s.location);
+            if i % 7 != 0 {
+                view.insert(s.node, s); // every 7th node is dead
+            }
+        }
+        let config = SystemConfig::default();
+        let policy = GlobalSelectionPolicy::default();
+        let affiliations = [NodeId::new(12), NodeId::new(40)];
+        for top_n in [0usize, 1, 4, 16, 128, 200] {
+            let fast = discover_shortlist(
+                &config,
+                &policy,
+                &index,
+                |id| view.get(&id).copied(),
+                home(),
+                &affiliations,
+                top_n,
+            );
+            let oracle = crate::reference::widen_and_rank(
+                &config,
+                &policy,
+                &index,
+                view.len(),
+                |id| view.get(&id).copied(),
+                home(),
+                &affiliations,
+                top_n,
+            );
+            assert_eq!(fast, oracle, "top_n={top_n}");
+        }
     }
 }

@@ -41,10 +41,14 @@
 
 mod discovery;
 mod manager;
+pub mod reference;
 mod registry;
 mod selection;
+mod snapshot;
 
-pub use discovery::widen_and_rank;
+pub use discovery::discover_shortlist;
 pub use manager::CentralManager;
+pub use reference::widen_and_rank;
 pub use registry::{NodeRecord, NodeRegistry};
-pub use selection::{GlobalSelectionPolicy, ScoredCandidate};
+pub use selection::{partial_select_by, GlobalSelectionPolicy, ScoredCandidate};
+pub use snapshot::DiscoverySnapshot;

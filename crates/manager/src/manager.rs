@@ -1,13 +1,22 @@
 //! The Central Manager facade.
 
+use std::sync::Arc;
+
 use armada_geo::ProximityIndex;
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, SimTime, SystemConfig};
 
 use crate::registry::NodeRegistry;
 use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
+use crate::snapshot::DiscoverySnapshot;
 
 /// The Central Manager: registry + proximity index + global selection.
+///
+/// Discovery is served off epoch-numbered copy-on-write snapshots
+/// ([`CentralManager::snapshot`]): the registry's record table and the
+/// proximity index both live behind [`Arc`]s, so freezing a consistent
+/// view is two refcount bumps and writers only pay a deep copy when a
+/// snapshot is still held at their next mutation.
 ///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
@@ -15,7 +24,10 @@ pub struct CentralManager {
     config: SystemConfig,
     policy: GlobalSelectionPolicy,
     registry: NodeRegistry,
-    index: ProximityIndex,
+    index: Arc<ProximityIndex>,
+    /// Bumped on every registry/index mutation; snapshots carry the
+    /// epoch they froze, so equal epochs mean identical views.
+    epoch: u64,
     discoveries_served: u64,
 }
 
@@ -27,7 +39,8 @@ impl CentralManager {
             config,
             policy,
             registry: NodeRegistry::new(config.heartbeat_period, config.heartbeat_miss_limit),
-            index: ProximityIndex::new(),
+            index: Arc::new(ProximityIndex::new()),
+            epoch: 0,
             discoveries_served: 0,
         }
     }
@@ -37,9 +50,15 @@ impl CentralManager {
         &self.config
     }
 
+    /// The current registry mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Registers a node (or refreshes it after downtime).
     pub fn register(&mut self, status: NodeStatus, now: SimTime) {
-        self.index.insert(status.node, status.location);
+        self.epoch += 1;
+        Arc::make_mut(&mut self.index).insert(status.node, status.location);
         self.registry.register(status, now);
     }
 
@@ -50,15 +69,31 @@ impl CentralManager {
         if !self.registry.heartbeat(status, now) {
             self.register(status, now);
         } else {
+            self.epoch += 1;
             // Keep the spatial index in sync with mobile nodes.
-            self.index.insert(status.node, status.location);
+            Arc::make_mut(&mut self.index).insert(status.node, status.location);
         }
     }
 
     /// Handles a graceful departure notification.
     pub fn node_left(&mut self, node: NodeId) {
+        self.epoch += 1;
         self.registry.deregister(node);
-        self.index.remove(node);
+        Arc::make_mut(&mut self.index).remove(node);
+    }
+
+    /// Freezes the current discovery state into an epoch-numbered
+    /// copy-on-write snapshot. O(1); the manager stays fully mutable
+    /// and later writes never show through the snapshot.
+    pub fn snapshot(&self) -> DiscoverySnapshot {
+        DiscoverySnapshot::new(
+            self.epoch,
+            self.config,
+            self.policy,
+            self.registry.shared(),
+            Arc::clone(&self.index),
+            self.registry.liveness_budget(),
+        )
     }
 
     /// Number of nodes alive at `now`.
@@ -81,8 +116,12 @@ impl CentralManager {
     /// Volunteers that reappear simply re-register via heartbeat.
     pub fn prune_dead(&mut self, now: SimTime, grace: armada_types::SimDuration) -> Vec<NodeId> {
         let pruned = self.registry.prune(now, grace);
-        for id in &pruned {
-            self.index.remove(*id);
+        if !pruned.is_empty() {
+            self.epoch += 1;
+            let index = Arc::make_mut(&mut self.index);
+            for id in &pruned {
+                index.remove(*id);
+            }
         }
         pruned
     }
@@ -122,11 +161,10 @@ impl CentralManager {
         top_n: usize,
         now: SimTime,
     ) -> Vec<ScoredCandidate> {
-        crate::discovery::widen_and_rank(
+        crate::discovery::discover_shortlist(
             &self.config,
             &self.policy,
             &self.index,
-            self.registry.alive_count(now),
             |id| {
                 if self.registry.is_alive(id, now) {
                     self.registry.record(id).map(|r| r.status)

@@ -1,6 +1,7 @@
 //! The node registry with heartbeat-based liveness.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use armada_node::NodeStatus;
 use armada_types::{NodeId, SimDuration, SimTime};
@@ -22,9 +23,14 @@ pub struct NodeRecord {
 /// `miss_limit × heartbeat_period` of heartbeats is considered dead and
 /// excluded from discovery until it reappears — volunteer nodes "can
 /// join and leave the system anytime without notifications".
+///
+/// The record table is held behind an [`Arc`] so discovery can take a
+/// copy-on-write snapshot ([`NodeRegistry::shared`]) without cloning a
+/// million records: writers only pay a deep copy when a snapshot is
+/// still outstanding at the next mutation.
 #[derive(Debug, Clone)]
 pub struct NodeRegistry {
-    nodes: HashMap<NodeId, NodeRecord>,
+    nodes: Arc<HashMap<NodeId, NodeRecord>>,
     heartbeat_period: SimDuration,
     miss_limit: u32,
 }
@@ -42,10 +48,25 @@ impl NodeRegistry {
             "heartbeat period must be positive"
         );
         NodeRegistry {
-            nodes: HashMap::new(),
+            nodes: Arc::new(HashMap::new()),
             heartbeat_period,
             miss_limit,
         }
+    }
+
+    /// A copy-on-write snapshot of the record table. Cheap (one
+    /// refcount bump); the registry stays mutable and later writes do
+    /// not show through.
+    pub fn shared(&self) -> Arc<HashMap<NodeId, NodeRecord>> {
+        Arc::clone(&self.nodes)
+    }
+
+    /// The liveness budget: a heartbeat older than this at query time
+    /// means the node is dead. Exactly
+    /// `heartbeat_period × miss_limit`, exposed so snapshot views apply
+    /// the *same* deadline rule as the registry itself.
+    pub fn liveness_budget(&self) -> SimDuration {
+        self.heartbeat_period * u64::from(self.miss_limit)
     }
 
     /// Registers a node or refreshes an existing registration.
@@ -55,7 +76,7 @@ impl NodeRegistry {
     /// over from the expired incarnation.
     pub fn register(&mut self, status: NodeStatus, now: SimTime) {
         let deadline = self.deadline(now);
-        self.nodes
+        Arc::make_mut(&mut self.nodes)
             .entry(status.node)
             .and_modify(|r| {
                 if r.last_heartbeat < deadline {
@@ -74,7 +95,10 @@ impl NodeRegistry {
     /// Records a heartbeat; returns `false` (and ignores it) if the node
     /// was never registered.
     pub fn heartbeat(&mut self, status: NodeStatus, now: SimTime) -> bool {
-        match self.nodes.get_mut(&status.node) {
+        if !self.nodes.contains_key(&status.node) {
+            return false;
+        }
+        match Arc::make_mut(&mut self.nodes).get_mut(&status.node) {
             Some(r) => {
                 r.status = status;
                 r.last_heartbeat = now;
@@ -86,7 +110,10 @@ impl NodeRegistry {
 
     /// Explicitly removes a node (graceful departure).
     pub fn deregister(&mut self, node: NodeId) -> Option<NodeRecord> {
-        self.nodes.remove(&node)
+        if !self.nodes.contains_key(&node) {
+            return None;
+        }
+        Arc::make_mut(&mut self.nodes).remove(&node)
     }
 
     /// The liveness deadline: heartbeats older than this many
@@ -145,8 +172,11 @@ impl NodeRegistry {
             .filter(|(_, r)| r.last_heartbeat < cutoff)
             .map(|(&id, _)| id)
             .collect();
-        for id in &dead {
-            self.nodes.remove(id);
+        if !dead.is_empty() {
+            let nodes = Arc::make_mut(&mut self.nodes);
+            for id in &dead {
+                nodes.remove(id);
+            }
         }
         dead
     }
@@ -302,5 +332,72 @@ mod tests {
     #[should_panic(expected = "miss limit")]
     fn zero_miss_limit_rejected() {
         let _ = NodeRegistry::new(SimDuration::from_secs(1), 0);
+    }
+
+    #[test]
+    fn register_at_the_deadline_boundary_is_a_refresh_not_a_new_incarnation() {
+        // The pinned rule: a heartbeat aged *exactly*
+        // miss_limit × heartbeat_period is alive (inclusive deadline),
+        // and every entry point must agree. `register` at the boundary
+        // therefore refreshes the existing incarnation.
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        let boundary = SimTime::from_secs(6);
+        assert!(r.is_alive(NodeId::new(1), boundary), "alive at the edge");
+        r.register(status(1), boundary);
+        let rec = r.record(NodeId::new(1)).unwrap();
+        assert_eq!(
+            rec.registered_at,
+            SimTime::ZERO,
+            "boundary re-registration must not start a new incarnation"
+        );
+        // One microsecond later the same call is a resurrection.
+        let mut r2 = registry();
+        r2.register(status(1), SimTime::ZERO);
+        let past = boundary + SimDuration::from_micros(1);
+        assert!(!r2.is_alive(NodeId::new(1), past));
+        r2.register(status(1), past);
+        assert_eq!(r2.record(NodeId::new(1)).unwrap().registered_at, past);
+    }
+
+    #[test]
+    fn snapshot_view_agrees_with_registry_liveness_at_the_boundary() {
+        // The COW snapshot (shared records + liveness_budget) must give
+        // the same alive/dead answer as the registry itself, including
+        // exactly on the deadline edge.
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        let shared = r.shared();
+        let budget = r.liveness_budget();
+        assert_eq!(budget, SimDuration::from_secs(6));
+        for now in [
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+            SimTime::from_secs(6),
+            SimTime::from_secs(6) + SimDuration::from_micros(1),
+            SimTime::from_secs(60),
+        ] {
+            let via_snapshot = shared
+                .get(&NodeId::new(1))
+                .is_some_and(|rec| rec.last_heartbeat >= now - budget);
+            assert_eq!(
+                via_snapshot,
+                r.is_alive(NodeId::new(1), now),
+                "snapshot and registry disagree at {now:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut r = registry();
+        r.register(status(1), SimTime::ZERO);
+        let snap = r.shared();
+        r.register(status(2), SimTime::from_secs(1));
+        r.deregister(NodeId::new(1));
+        assert_eq!(snap.len(), 1, "snapshot must not see later writes");
+        assert!(snap.contains_key(&NodeId::new(1)));
+        assert_eq!(r.len(), 1);
+        assert!(r.record(NodeId::new(2)).is_some());
     }
 }

@@ -1,7 +1,64 @@
 //! Global edge selection: ranking alive candidates for one user.
 
+use std::cmp::Ordering;
+
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId};
+
+/// Selects the `n` smallest elements under `cmp` and returns them in
+/// ascending order — the result is exactly `sort_by(cmp)` followed by
+/// `truncate(n)`, provided `cmp` is a *strict* total order (no two
+/// distinct elements compare `Equal`), but costs O(N log n) instead of
+/// O(N log N).
+///
+/// Internally a bounded max-heap of the best `n` seen so far: each
+/// further element either loses to the heap root (worst survivor) and
+/// is dropped, or replaces it.
+pub fn partial_select_by<T>(
+    items: impl IntoIterator<Item = T>,
+    n: usize,
+    mut cmp: impl FnMut(&T, &T) -> Ordering,
+) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut heap: Vec<T> = Vec::with_capacity(n.min(1024));
+    for item in items {
+        if heap.len() < n {
+            heap.push(item);
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if cmp(&heap[i], &heap[parent]) == Ordering::Greater {
+                    heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if cmp(&item, &heap[0]) == Ordering::Less {
+            heap[0] = item;
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < heap.len() && cmp(&heap[l], &heap[largest]) == Ordering::Greater {
+                    largest = l;
+                }
+                if r < heap.len() && cmp(&heap[r], &heap[largest]) == Ordering::Greater {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                heap.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+    heap.sort_by(&mut cmp);
+    heap
+}
 
 /// Weights of the manager-side ranking (paper §IV-B: "prioritize the
 /// local candidates based on resource availability, network affiliation
@@ -57,7 +114,19 @@ impl GlobalSelectionPolicy {
         status: &NodeStatus,
         affiliated: bool,
     ) -> ScoredCandidate {
-        let distance_km = user_loc.distance_km(status.location);
+        self.score_with_distance(status, user_loc.distance_km(status.location), affiliated)
+    }
+
+    /// [`GlobalSelectionPolicy::score`] with the user–node distance
+    /// already known. The discovery hot path computed that distance
+    /// during the disk scan; recomputing the haversine here would
+    /// double the per-candidate trig cost for nothing.
+    pub fn score_with_distance(
+        &self,
+        status: &NodeStatus,
+        distance_km: f64,
+        affiliated: bool,
+    ) -> ScoredCandidate {
         let mut score =
             self.load_weight * status.load_score + self.distance_weight_per_km * distance_km;
         if affiliated {
@@ -85,14 +154,61 @@ impl GlobalSelectionPolicy {
                 self.score(user_loc, &status, affiliated)
             })
             .collect();
-        scored.sort_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.node.cmp(&b.node))
-        });
+        scored.sort_by(rank_order);
         scored
     }
+
+    /// Ranks `candidates` and keeps only the best `top_n` — exactly
+    /// [`GlobalSelectionPolicy::rank`] + `truncate(top_n)` (the ranking
+    /// comparator is a strict total order because node ids are unique,
+    /// so the partial select is byte-identical to the full sort), but
+    /// without sorting candidates that cannot make the shortlist.
+    pub fn rank_top_n(
+        &self,
+        user_loc: GeoPoint,
+        candidates: impl IntoIterator<Item = NodeStatus>,
+        affiliations: &[NodeId],
+        top_n: usize,
+    ) -> Vec<ScoredCandidate> {
+        partial_select_by(
+            candidates.into_iter().map(|status| {
+                let affiliated = affiliations.contains(&status.node);
+                self.score(user_loc, &status, affiliated)
+            }),
+            top_n,
+            rank_order,
+        )
+    }
+
+    /// [`GlobalSelectionPolicy::rank_top_n`] over candidates whose
+    /// user-distance is already known (the disk scan measured it while
+    /// finding them). Byte-identical to scoring from scratch because
+    /// [`GlobalSelectionPolicy::score`] is the same arithmetic on the
+    /// same distance bits.
+    pub fn rank_top_n_with_distances(
+        &self,
+        candidates: impl IntoIterator<Item = (NodeStatus, f64)>,
+        affiliations: &[NodeId],
+        top_n: usize,
+    ) -> Vec<ScoredCandidate> {
+        partial_select_by(
+            candidates.into_iter().map(|(status, distance_km)| {
+                let affiliated = affiliations.contains(&status.node);
+                self.score_with_distance(&status, distance_km, affiliated)
+            }),
+            top_n,
+            rank_order,
+        )
+    }
+}
+
+/// The shortlist order: composite score, ties broken by `NodeId`. A
+/// strict total order over any candidate set with unique node ids.
+fn rank_order(a: &ScoredCandidate, b: &ScoredCandidate) -> Ordering {
+    a.score
+        .partial_cmp(&b.score)
+        .unwrap_or(Ordering::Equal)
+        .then(a.node.cmp(&b.node))
 }
 
 #[cfg(test)]
@@ -224,5 +340,66 @@ mod tests {
         let p = GlobalSelectionPolicy::default();
         let s = p.score(user(), &status(1, 12.0, 0.0), false);
         assert!((s.distance_km - 12.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn partial_select_equals_sort_and_truncate() {
+        // Deterministic pseudo-random keys (splitmix64), including
+        // forced duplicates so the id tie-break matters.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for len in [0usize, 1, 2, 7, 64, 257] {
+            let items: Vec<(u64, u64)> = (0..len as u64).map(|id| ((next() % 50), id)).collect();
+            let cmp = |a: &(u64, u64), b: &(u64, u64)| a.0.cmp(&b.0).then(a.1.cmp(&b.1));
+            let mut full = items.clone();
+            full.sort_by(cmp);
+            for n in [0usize, 1, 3, len / 2, len, len + 5] {
+                let mut expected = full.clone();
+                expected.truncate(n);
+                let got = partial_select_by(items.clone(), n, cmp);
+                assert_eq!(got, expected, "len={len} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_with_precomputed_distances_matches_scoring_from_scratch() {
+        let p = GlobalSelectionPolicy::default();
+        let pool: Vec<NodeStatus> = (0..30)
+            .map(|i| status(i, (i as f64 * 17.0) % 120.0, f64::from(i as u32 % 5) * 0.25))
+            .collect();
+        let affiliations = [NodeId::new(6)];
+        let with_distances: Vec<(NodeStatus, f64)> = pool
+            .iter()
+            .map(|s| (*s, user().distance_km(s.location)))
+            .collect();
+        for top_n in [0usize, 1, 8, 30, 33] {
+            assert_eq!(
+                p.rank_top_n_with_distances(with_distances.clone(), &affiliations, top_n),
+                p.rank_top_n(user(), pool.clone(), &affiliations, top_n),
+                "top_n={top_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_top_n_matches_rank_then_truncate() {
+        let p = GlobalSelectionPolicy::default();
+        let pool: Vec<NodeStatus> = (0..40)
+            .map(|i| status(i, (i as f64 * 13.0) % 90.0, f64::from(i as u32 % 4) * 0.5))
+            .collect();
+        let affiliations = [NodeId::new(3), NodeId::new(17)];
+        for top_n in [0usize, 1, 5, 16, 40, 47] {
+            let mut expected = p.rank(user(), pool.clone(), &affiliations);
+            expected.truncate(top_n);
+            let got = p.rank_top_n(user(), pool.clone(), &affiliations, top_n);
+            assert_eq!(got, expected, "top_n={top_n}");
+        }
     }
 }

@@ -1,0 +1,250 @@
+//! Epoch-numbered copy-on-write discovery snapshots.
+//!
+//! A [`DiscoverySnapshot`] freezes everything a discovery query reads —
+//! the record table, the proximity index, the config and ranking policy
+//! — behind shared [`Arc`]s. Taking one is O(1); holding one costs
+//! writers at most a single copy-on-write clone at their next mutation.
+//! Queries served off a snapshot therefore never contend with heartbeat
+//! writes: a live manager can clone the `Arc`s under its lock, drop the
+//! lock, and rank outside it.
+//!
+//! The `epoch` identifies which registry state the snapshot froze: the
+//! manager bumps it on every mutation, so two snapshots with equal
+//! epochs are views of identical state and must answer identically.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use armada_geo::ProximityIndex;
+use armada_node::NodeStatus;
+use armada_types::{GeoPoint, NodeId, SimDuration, SimTime, SystemConfig};
+
+use crate::registry::NodeRecord;
+use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
+
+/// An immutable, epoch-numbered view of one manager's discovery state.
+///
+/// Produced by [`CentralManager::snapshot`](crate::CentralManager::snapshot).
+/// All query methods are `&self` and allocation-free outside the result
+/// vector, so snapshots can be fanned out across threads.
+#[derive(Debug, Clone)]
+pub struct DiscoverySnapshot {
+    epoch: u64,
+    config: SystemConfig,
+    policy: GlobalSelectionPolicy,
+    records: Arc<HashMap<NodeId, NodeRecord>>,
+    index: Arc<ProximityIndex>,
+    liveness_budget: SimDuration,
+}
+
+impl DiscoverySnapshot {
+    pub(crate) fn new(
+        epoch: u64,
+        config: SystemConfig,
+        policy: GlobalSelectionPolicy,
+        records: Arc<HashMap<NodeId, NodeRecord>>,
+        index: Arc<ProximityIndex>,
+        liveness_budget: SimDuration,
+    ) -> Self {
+        DiscoverySnapshot {
+            epoch,
+            config,
+            policy,
+            records,
+            index,
+            liveness_budget,
+        }
+    }
+
+    /// The registry mutation epoch this snapshot froze.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total records in the frozen view, alive or not.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the frozen view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The node's status iff it is alive at `now` — the same inclusive
+    /// deadline rule as [`NodeRegistry::is_alive`](crate::NodeRegistry::is_alive),
+    /// evaluated on the frozen records.
+    pub fn alive_status(&self, node: NodeId, now: SimTime) -> Option<NodeStatus> {
+        self.records
+            .get(&node)
+            .filter(|r| r.last_heartbeat >= now - self.liveness_budget)
+            .map(|r| r.status)
+    }
+
+    /// `true` iff `node` is alive in the frozen view at `now`.
+    pub fn is_alive(&self, node: NodeId, now: SimTime) -> bool {
+        self.alive_status(node, now).is_some()
+    }
+
+    /// Number of alive nodes in the frozen view at `now`. O(records);
+    /// the fast query path never needs it — it exists for diagnostics
+    /// and for feeding the reference oracle.
+    pub fn alive_count(&self, now: SimTime) -> usize {
+        let deadline = now - self.liveness_budget;
+        self.records
+            .values()
+            .filter(|r| r.last_heartbeat >= deadline)
+            .count()
+    }
+
+    /// Serves one discovery query off the frozen view via the fast
+    /// engine. Returns up to `top_n` scored candidates, best first.
+    pub fn ranked(
+        &self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<ScoredCandidate> {
+        crate::discovery::discover_shortlist(
+            &self.config,
+            &self.policy,
+            &self.index,
+            |id| self.alive_status(id, now),
+            user_loc,
+            affiliations,
+            top_n,
+        )
+    }
+
+    /// Like [`DiscoverySnapshot::ranked`] but returns node ids only —
+    /// the candidate edge list handed to clients.
+    pub fn discover(
+        &self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<NodeId> {
+        self.ranked(user_loc, affiliations, top_n, now)
+            .into_iter()
+            .map(|c| c.node)
+            .collect()
+    }
+
+    /// The same query answered by the retained reference oracle
+    /// ([`crate::reference::widen_and_rank`]) on the *same* frozen view.
+    /// Exists so differential tests and the `discover_scale` bench can
+    /// assert byte-identity without re-building state.
+    pub fn reference_ranked(
+        &self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+    ) -> Vec<ScoredCandidate> {
+        crate::reference::widen_and_rank(
+            &self.config,
+            &self.policy,
+            &self.index,
+            self.alive_count(now),
+            |id| self.alive_status(id, now),
+            user_loc,
+            affiliations,
+            top_n,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CentralManager, GlobalSelectionPolicy};
+    use armada_types::NodeClass;
+
+    fn status(id: u64, loc: GeoPoint, load: f64) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: NodeClass::Volunteer,
+            location: loc,
+            attached_users: 0,
+            load_score: load,
+        }
+    }
+
+    fn home() -> GeoPoint {
+        GeoPoint::new(44.98, -93.26)
+    }
+
+    #[test]
+    fn snapshot_answers_match_the_live_manager() {
+        let mut mgr =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        for i in 0..20u64 {
+            mgr.register(
+                status(i, home().offset_km(i as f64 * 5.0, 0.0), 0.1 * i as f64),
+                SimTime::ZERO,
+            );
+        }
+        let snap = mgr.snapshot();
+        let now = SimTime::from_secs(1);
+        assert_eq!(
+            snap.ranked(home(), &[], 5, now),
+            mgr.ranked_candidates(home(), &[], 5, now)
+        );
+        assert_eq!(snap.alive_count(now), mgr.alive_count(now));
+    }
+
+    #[test]
+    fn snapshot_is_frozen_while_the_manager_moves_on() {
+        let mut mgr =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        mgr.register(status(1, home().offset_km(1.0, 0.0), 0.0), SimTime::ZERO);
+        let snap = mgr.snapshot();
+        let epoch_before = snap.epoch();
+        mgr.register(status(2, home().offset_km(2.0, 0.0), 0.0), SimTime::ZERO);
+        mgr.node_left(NodeId::new(1));
+        // The snapshot still sees the old world…
+        assert_eq!(
+            snap.discover(home(), &[], 5, SimTime::ZERO),
+            vec![NodeId::new(1)]
+        );
+        // …and the new snapshot sees the new one, at a later epoch.
+        let snap2 = mgr.snapshot();
+        assert!(snap2.epoch() > epoch_before);
+        assert_eq!(
+            snap2.discover(home(), &[], 5, SimTime::ZERO),
+            vec![NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn reference_ranked_agrees_on_the_same_view() {
+        let mut mgr =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        for i in 0..40u64 {
+            mgr.register(
+                status(i, home().offset_km((i as f64 * 31.0) % 700.0, 0.0), 0.0),
+                SimTime::ZERO,
+            );
+        }
+        // Half the fleet goes silent.
+        let later = SimTime::from_secs(30);
+        for i in 0..40u64 {
+            if i % 2 == 0 {
+                mgr.heartbeat(
+                    status(i, home().offset_km((i as f64 * 31.0) % 700.0, 0.0), 0.0),
+                    later,
+                );
+            }
+        }
+        let snap = mgr.snapshot();
+        for top_n in [0usize, 1, 7, 20, 27] {
+            assert_eq!(
+                snap.ranked(home(), &[], top_n, later),
+                snap.reference_ranked(home(), &[], top_n, later),
+                "top_n={top_n}"
+            );
+        }
+    }
+}

@@ -5,7 +5,10 @@ use std::fmt;
 use armada_json::{FromJson, Json, JsonError, ToJson};
 
 /// Mean Earth radius in kilometres (IUGG).
-const EARTH_RADIUS_KM: f64 = 6371.0088;
+///
+/// Public so spatial indexes can derive conservative search bounds from
+/// the *same* sphere [`GeoPoint::distance_km`] measures on.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// A WGS-84 latitude/longitude pair in decimal degrees.
 ///

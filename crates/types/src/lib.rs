@@ -39,7 +39,7 @@ mod time;
 pub use config::{ClientConfig, LocalSelectionPolicy, QosRequirement, SystemConfig};
 pub use data::{Bandwidth, DataSize};
 pub use error::{ArmadaError, Result};
-pub use geo::GeoPoint;
+pub use geo::{GeoPoint, EARTH_RADIUS_KM};
 pub use hardware::{table2_profiles, HardwareProfile, NodeClass};
 pub use id::{NodeId, ShardId, UserId};
 pub use network::AccessNetwork;

@@ -1,0 +1,246 @@
+//! Property / metamorphic tests for the discovery engine.
+//!
+//! Where `discovery_equivalence.rs` proves the fast engine equals the
+//! reference oracle, this suite pins down *what both must compute*:
+//! invariances a correct widening + ranking procedure has to satisfy
+//! regardless of implementation. All generators are seeded and in-repo
+//! (splitmix64) — no new dependencies.
+//!
+//! The metamorphic properties are stated with their exact premises; the
+//! naive unconditional versions are false (e.g. adding a farther node
+//! *can* change the shortlist if it is idle enough to out-score a
+//! nearer, loaded node), and the premises document why.
+
+use armada::manager::{CentralManager, GlobalSelectionPolicy, ScoredCandidate};
+use armada::node::NodeStatus;
+use armada::types::{GeoPoint, NodeClass, NodeId, SimTime, SystemConfig};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+fn home() -> GeoPoint {
+    GeoPoint::new(44.98, -93.26)
+}
+
+fn node_class(r: u64) -> NodeClass {
+    match r % 3 {
+        0 => NodeClass::Volunteer,
+        1 => NodeClass::Dedicated,
+        _ => NodeClass::Cloud,
+    }
+}
+
+/// A seeded fleet scattered up to ~1500 km around `home`, with ~10%
+/// dead entries still occupying the index.
+fn seeded_statuses(seed: u64, n: usize) -> Vec<(NodeStatus, bool)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            let east = rng.next_f64() * 3000.0 - 1500.0;
+            let north = rng.next_f64() * 3000.0 - 1500.0;
+            let status = NodeStatus {
+                node: NodeId::new(i as u64),
+                class: node_class(rng.next_u64()),
+                location: home().offset_km(east, north),
+                attached_users: rng.range(6) as usize,
+                load_score: (rng.range(13) as f64) * 0.25,
+            };
+            (status, rng.next_f64() < 0.9)
+        })
+        .collect()
+}
+
+/// Registers the fleet in the given order; alive nodes heartbeat at
+/// t=30 s, so at [`query_time`] the silent ones are dead.
+fn build(statuses: &[(NodeStatus, bool)]) -> CentralManager {
+    let mut manager =
+        CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+    for (status, _) in statuses {
+        manager.register(*status, SimTime::ZERO);
+    }
+    for (status, alive) in statuses {
+        if *alive {
+            manager.heartbeat(*status, SimTime::from_secs(30));
+        }
+    }
+    manager
+}
+
+fn query_time() -> SimTime {
+    SimTime::from_secs(31)
+}
+
+fn shortlist(manager: &CentralManager, top_n: usize) -> Vec<ScoredCandidate> {
+    manager.ranked_candidates(home(), &[], top_n, query_time())
+}
+
+/// Registration order must not leak into the shortlist: the registry
+/// and index are keyed collections and the ranking is a strict total
+/// order, so any permutation of the same fleet answers identically.
+#[test]
+fn shortlist_is_invariant_under_insertion_order() {
+    for seed in 0..8u64 {
+        let statuses = seeded_statuses(seed, 120);
+        let baseline = build(&statuses);
+        // A deterministic shuffle (Fisher–Yates off the same splitmix).
+        let mut shuffled = statuses.clone();
+        let mut rng = Rng::new(seed ^ 0x5111);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.range((i + 1) as u64) as usize;
+            shuffled.swap(i, j);
+        }
+        let permuted = build(&shuffled);
+        let mut reversed = statuses.clone();
+        reversed.reverse();
+        let rebuilt = build(&reversed);
+        for top_n in [1usize, 7, 16, 200] {
+            let expected = shortlist(&baseline, top_n);
+            assert_eq!(
+                shortlist(&permuted, top_n),
+                expected,
+                "shuffled registration changed the shortlist (seed={seed}, top_n={top_n})"
+            );
+            assert_eq!(
+                shortlist(&rebuilt, top_n),
+                expected,
+                "reversed registration changed the shortlist (seed={seed}, top_n={top_n})"
+            );
+        }
+    }
+}
+
+/// Adding a node that is (a) strictly farther than every existing node,
+/// (b) at least as loaded as any of them, (c) unaffiliated — while
+/// `top_n` does not exceed the alive population — never changes the
+/// shortlist: it can neither enter the top `top_n` (its score is
+/// strictly worst) nor stop the widening earlier (all existing alive
+/// nodes sit inside any radius that reaches it).
+///
+/// Premises (a)–(c) are necessary, not hygiene: a farther-but-idle node
+/// can out-score a loaded nearby one, and an affiliated one gets a flat
+/// bonus. The property as often stated — "adding a farther node never
+/// changes the result" — is false without them.
+#[test]
+fn adding_a_strictly_farther_worse_node_never_changes_the_shortlist() {
+    for seed in 20..28u64 {
+        let statuses = seeded_statuses(seed, 100);
+        let manager = build(&statuses);
+        let alive_total = manager.alive_count(query_time());
+        let max_load = statuses
+            .iter()
+            .map(|(s, _)| s.load_score)
+            .fold(0.0f64, f64::max);
+        // Fleet distances max out around ~2200 km from home; 6000 km
+        // east is strictly farther than every node.
+        let far = NodeStatus {
+            node: NodeId::new(10_000),
+            class: NodeClass::Cloud,
+            location: home().offset_km(6_000.0, 0.0),
+            attached_users: 0,
+            load_score: max_load,
+        };
+        for top_n in [1usize, 4, 16, alive_total] {
+            if top_n > alive_total {
+                continue;
+            }
+            let before = shortlist(&manager, top_n);
+            let mut grown = manager.clone();
+            grown.register(far, query_time());
+            assert_eq!(
+                shortlist(&grown, top_n),
+                before,
+                "farther node changed the shortlist (seed={seed}, top_n={top_n})"
+            );
+        }
+    }
+}
+
+/// Removing any node that did not make the shortlist — alive but
+/// out-ranked, or dead and merely indexed — leaves the shortlist
+/// unchanged. (If the widening stopped with exactly `top_n` alive
+/// candidates in view, all of them *are* the shortlist, so a removed
+/// non-member cannot have been among the counted candidates at any
+/// earlier radius either.)
+#[test]
+fn removing_a_non_member_never_changes_the_shortlist() {
+    for seed in 40..48u64 {
+        let statuses = seeded_statuses(seed, 120);
+        let manager = build(&statuses);
+        let top_n = 8usize;
+        let before = shortlist(&manager, top_n);
+        let members: Vec<NodeId> = before.iter().map(|c| c.node).collect();
+        let mut checked = 0;
+        for (status, _) in &statuses {
+            if members.contains(&status.node) {
+                continue;
+            }
+            let mut shrunk = manager.clone();
+            shrunk.node_left(status.node);
+            assert_eq!(
+                shortlist(&shrunk, top_n),
+                before,
+                "removing non-member {:?} changed the shortlist (seed={seed})",
+                status.node
+            );
+            checked += 1;
+            if checked >= 25 {
+                break; // 25 removals per seed keeps the suite fast
+            }
+        }
+        assert!(checked > 0, "fleet too small to exercise removals");
+    }
+}
+
+/// Shortlist *length* is monotone in `top_n` and pinned to
+/// `min(top_n, alive_total)`; each length-`n` answer is closed over the
+/// candidates it already committed to. (Full prefix-monotonicity is
+/// deliberately NOT claimed: a larger `top_n` can widen the search
+/// further, and a newly reachable idle node may legitimately out-rank
+/// earlier picks.)
+#[test]
+fn shortlist_length_is_monotone_and_exact_in_top_n() {
+    for seed in 60..66u64 {
+        let statuses = seeded_statuses(seed, 90);
+        let manager = build(&statuses);
+        let alive_total = manager.alive_count(query_time());
+        let mut prev_len = 0usize;
+        for top_n in 0..(alive_total + 10) {
+            let got = shortlist(&manager, top_n);
+            assert_eq!(
+                got.len(),
+                top_n.min(alive_total),
+                "wrong shortlist length (seed={seed}, top_n={top_n})"
+            );
+            assert!(got.len() >= prev_len, "length regressed at top_n={top_n}");
+            prev_len = got.len();
+            // Ranked best-first under the strict (score, id) order.
+            for pair in got.windows(2) {
+                assert!(
+                    (pair[0].score, pair[0].node) < (pair[1].score, pair[1].node),
+                    "shortlist out of order (seed={seed}, top_n={top_n})"
+                );
+            }
+        }
+    }
+}
