@@ -17,6 +17,17 @@
 //!   against the fast answer, so any divergence aborts the run with a
 //!   nonzero exit — CI smoke-runs this binary exactly for that check.
 //!
+//! After the steady-state sweep, a **mutation-interleaved workload**
+//! races heartbeat moves against query batches on the same manager:
+//! each round buffers a block of heartbeat position changes, pays the
+//! incremental snapshot maintenance (delta drain + structural-sharing
+//! clone — timed separately as the `maint_ms` column), then serves a
+//! query batch through the [`armada_manager::QueryPool`] off the fresh
+//! snapshot. The final round's answers are oracle-checked (with the
+//! alive census hoisted once per snapshot), and the run asserts the
+//! manager performed **zero full index rebuilds** — mutations ride the
+//! per-cell delta path only.
+//!
 //! Defaults: `--nodes 1000,10000,100000,1000000 --queries 2000`. CI
 //! smoke-runs `--nodes 2000,20000 --queries 300`. Results land in
 //! `BENCH_discover_scale.json` with per-run measurements under each
@@ -26,7 +37,7 @@ use std::time::Instant;
 
 use armada_bench::{print_csv, print_table, trace_path, tracer_for};
 use armada_json::Json;
-use armada_manager::{CentralManager, DiscoverySnapshot, GlobalSelectionPolicy};
+use armada_manager::{CentralManager, DiscoveryQuery, GlobalSelectionPolicy, QueryPool};
 use armada_metrics::BenchReport;
 use armada_node::NodeStatus;
 use armada_trace::{f, u, Severity};
@@ -90,10 +101,10 @@ fn node_class(r: u64) -> NodeClass {
     }
 }
 
-/// Builds the seeded fleet and freezes the snapshot queries run against:
-/// register everything at t=0, heartbeat ~90% at t=30 s, query at
-/// t=31 s — the silent 10% are dead but still indexed.
-fn build_snapshot(seed: u64, nodes: usize) -> (DiscoverySnapshot, SimTime) {
+/// Builds the seeded fleet the sweep queries and mutates: register
+/// everything at t=0, heartbeat ~90% at t=30 s, query at t=31 s — the
+/// silent 10% are dead but still indexed.
+fn build_fleet(seed: u64, nodes: usize) -> (CentralManager, Vec<NodeStatus>, SimTime) {
     let mut rng = Rng::new(seed);
     let mut manager =
         CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
@@ -127,7 +138,7 @@ fn build_snapshot(seed: u64, nodes: usize) -> (DiscoverySnapshot, SimTime) {
             manager.heartbeat(*status, refresh);
         }
     }
-    (manager.snapshot(), SimTime::from_secs(31))
+    (manager, statuses, SimTime::from_secs(31))
 }
 
 /// The seeded query mix: near a metro half the time, anywhere otherwise,
@@ -167,6 +178,18 @@ struct Outcome {
     ref_p99_us: f64,
     speedup: f64,
     build_ms: f64,
+    // Mutation-interleaved workload (heartbeats racing queries).
+    churn_qps: f64,
+    churn_p50_us: f64,
+    churn_p99_us: f64,
+    /// Snapshot-maintenance cost: mean per round of delta drain +
+    /// structural-sharing snapshot clone, in milliseconds.
+    maint_ms: f64,
+    maint_ms_total: f64,
+    churn_rounds: usize,
+    moves_per_round: usize,
+    churn_checked: usize,
+    full_rebuilds: u64,
 }
 
 fn percentile(sorted: &[f64], pct: usize) -> f64 {
@@ -175,7 +198,8 @@ fn percentile(sorted: &[f64], pct: usize) -> f64 {
 
 fn run_for_nodes(nodes: usize, queries: usize) -> Outcome {
     let build_started = Instant::now();
-    let (snapshot, now) = build_snapshot(SEED ^ nodes as u64, nodes);
+    let (mut manager, statuses, now) = build_fleet(SEED ^ nodes as u64, nodes);
+    let snapshot = manager.snapshot();
     let build_ms = build_started.elapsed().as_nanos() as f64 / 1_000_000.0;
     let query_set = build_queries(SEED ^ nodes as u64, nodes, queries);
 
@@ -197,10 +221,13 @@ fn run_for_nodes(nodes: usize, queries: usize) -> Outcome {
     let ref_queries = ((REFERENCE_OP_BUDGET / nodes.max(1) as u64) as usize)
         .clamp(REFERENCE_MIN_QUERIES, query_set.len());
     let mut ref_latencies_us = Vec::with_capacity(ref_queries);
+    // The alive census is O(records) and depends only on
+    // (snapshot, now): one sweep covers the whole oracle batch.
+    let alive_now = snapshot.alive_count(now);
     let ref_started = Instant::now();
     for (q, (loc, affiliated)) in query_set.iter().take(ref_queries).enumerate() {
         let started = Instant::now();
-        let oracle = snapshot.reference_ranked(*loc, affiliated, TOP_N, now);
+        let oracle = snapshot.reference_ranked_with_alive(*loc, affiliated, TOP_N, now, alive_now);
         ref_latencies_us.push(started.elapsed().as_nanos() as f64 / 1_000.0);
         assert_eq!(
             fast_answers[q], oracle,
@@ -214,6 +241,10 @@ fn run_for_nodes(nodes: usize, queries: usize) -> Outcome {
     let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
     let qps = query_set.len() as f64 / fast_secs.max(f64::MIN_POSITIVE);
     let ref_qps = ref_queries as f64 / ref_secs.max(f64::MIN_POSITIVE);
+    drop(snapshot);
+
+    let churn = run_churn_phase(&mut manager, &statuses, &query_set, nodes, now);
+
     Outcome {
         nodes,
         queries: query_set.len(),
@@ -226,6 +257,134 @@ fn run_for_nodes(nodes: usize, queries: usize) -> Outcome {
         ref_p99_us: percentile(&ref_latencies_us, 99),
         speedup: qps / ref_qps.max(f64::MIN_POSITIVE),
         build_ms,
+        churn_qps: churn.qps,
+        churn_p50_us: churn.p50_us,
+        churn_p99_us: churn.p99_us,
+        maint_ms: churn.maint_ms,
+        maint_ms_total: churn.maint_ms_total,
+        churn_rounds: churn.rounds,
+        moves_per_round: churn.moves_per_round,
+        churn_checked: churn.checked,
+        full_rebuilds: churn.full_rebuilds,
+    }
+}
+
+struct ChurnOutcome {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    maint_ms: f64,
+    maint_ms_total: f64,
+    rounds: usize,
+    moves_per_round: usize,
+    checked: usize,
+    full_rebuilds: u64,
+}
+
+/// Rounds of heartbeat moves racing query batches on one manager: each
+/// round buffers `moves_per_round` position changes, pays the
+/// incremental snapshot maintenance (timed separately), then serves its
+/// share of `query_set` through the [`QueryPool`] off the fresh
+/// snapshot. The final round is oracle-checked; the whole phase must
+/// finish with zero full index rebuilds.
+fn run_churn_phase(
+    manager: &mut CentralManager,
+    statuses: &[NodeStatus],
+    query_set: &[(GeoPoint, Vec<NodeId>)],
+    nodes: usize,
+    now: SimTime,
+) -> ChurnOutcome {
+    const ROUNDS: usize = 10;
+    let mut rng = Rng::new(SEED ^ 0x000c_4111 ^ nodes as u64);
+    let moves_per_round = (nodes / 100).clamp(64, 10_000);
+    let refresh = SimTime::from_secs(30);
+    let pool = QueryPool::new(1); // wall-clock latency bench: serial serving
+    let rebuilds_before = manager.full_rebuilds();
+
+    let per_round = query_set.len().div_ceil(ROUNDS);
+    let mut maint_ms_total = 0.0f64;
+    let mut serve_secs = 0.0f64;
+    let mut latencies_us = Vec::with_capacity(query_set.len());
+    let mut checked = 0usize;
+    let mut rounds_run = 0usize;
+
+    for (round, round_queries) in query_set.chunks(per_round).take(ROUNDS).enumerate() {
+        rounds_run += 1;
+        // Heartbeat moves: a ~2 km drift each, racing the query batch.
+        for _ in 0..moves_per_round {
+            let status = statuses[rng.range(statuses.len() as u64) as usize];
+            let moved = NodeStatus {
+                location: status
+                    .location
+                    .offset_km(rng.next_f64() * 4.0 - 2.0, rng.next_f64() * 4.0 - 2.0),
+                ..status
+            };
+            manager.heartbeat(moved, refresh);
+        }
+
+        // Snapshot maintenance, timed on its own: drain the buffered
+        // deltas into the per-cell COW index and freeze the view.
+        let maint_started = Instant::now();
+        let snapshot = manager.snapshot();
+        maint_ms_total += maint_started.elapsed().as_nanos() as f64 / 1_000_000.0;
+
+        // Serve the round's batch through the worker pool (timed for
+        // qps), then re-time each query individually for the latency
+        // distribution — answers are identical by construction.
+        let batch: Vec<DiscoveryQuery> = round_queries
+            .iter()
+            .map(|(loc, affiliated)| DiscoveryQuery {
+                user_loc: *loc,
+                affiliations: affiliated.clone(),
+                top_n: TOP_N,
+                now,
+            })
+            .collect();
+        let serve_started = Instant::now();
+        let answers = pool.serve(&snapshot, &batch);
+        serve_secs += serve_started.elapsed().as_secs_f64();
+        for (loc, affiliated) in round_queries {
+            let started = Instant::now();
+            let ranked = snapshot.ranked(*loc, affiliated, TOP_N, now);
+            latencies_us.push(started.elapsed().as_nanos() as f64 / 1_000.0);
+            drop(ranked);
+        }
+
+        // Oracle-check the last round's answers on a budget-capped
+        // prefix, alive census hoisted once for the batch (S3).
+        if round == ROUNDS - 1 || (round + 1) * per_round >= query_set.len() {
+            let budget = ((REFERENCE_OP_BUDGET / nodes.max(1) as u64) as usize)
+                .clamp(REFERENCE_MIN_QUERIES, round_queries.len());
+            let alive_now = snapshot.alive_count(now);
+            for (q, (loc, affiliated)) in round_queries.iter().take(budget).enumerate() {
+                let oracle =
+                    snapshot.reference_ranked_with_alive(*loc, affiliated, TOP_N, now, alive_now);
+                assert_eq!(
+                    answers[q], oracle,
+                    "churn oracle mismatch at nodes={nodes} round={round} query={q}"
+                );
+                checked += 1;
+            }
+            break;
+        }
+    }
+
+    let full_rebuilds = manager.full_rebuilds() - rebuilds_before;
+    assert_eq!(
+        full_rebuilds, 0,
+        "mutation-interleaved workload must stay on the incremental delta path"
+    );
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ChurnOutcome {
+        qps: latencies_us.len() as f64 / serve_secs.max(f64::MIN_POSITIVE),
+        p50_us: percentile(&latencies_us, 50),
+        p99_us: percentile(&latencies_us, 99),
+        maint_ms: maint_ms_total / rounds_run.max(1) as f64,
+        maint_ms_total,
+        rounds: rounds_run,
+        moves_per_round,
+        checked,
+        full_rebuilds,
     }
 }
 
@@ -325,6 +484,30 @@ fn main() {
                 ),
                 ("oracle_mismatches".to_owned(), Json::Int(0)),
                 ("build_ms".to_owned(), Json::Float(outcome.build_ms)),
+                ("churn_qps".to_owned(), Json::Float(outcome.churn_qps)),
+                ("churn_p50_us".to_owned(), Json::Float(outcome.churn_p50_us)),
+                ("churn_p99_us".to_owned(), Json::Float(outcome.churn_p99_us)),
+                ("maint_ms".to_owned(), Json::Float(outcome.maint_ms)),
+                (
+                    "maint_ms_total".to_owned(),
+                    Json::Float(outcome.maint_ms_total),
+                ),
+                (
+                    "churn_rounds".to_owned(),
+                    Json::Int(outcome.churn_rounds as i64),
+                ),
+                (
+                    "moves_per_round".to_owned(),
+                    Json::Int(outcome.moves_per_round as i64),
+                ),
+                (
+                    "churn_oracle_checked".to_owned(),
+                    Json::Int(outcome.churn_checked as i64),
+                ),
+                (
+                    "full_rebuilds".to_owned(),
+                    Json::Int(outcome.full_rebuilds as i64),
+                ),
             ],
         );
         rows.push(vec![
@@ -353,7 +536,42 @@ fn main() {
     ];
     print_table("Discovery scale sweep (top_n=16)", &header, &rows);
     print_csv("discover_scale", &header, &rows);
-    println!("\noracle identity: {total_checked} queries checked, 0 mismatches");
+
+    let churn_rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            total_checked += o.churn_checked;
+            vec![
+                o.nodes.to_string(),
+                format!("{}x{}", o.churn_rounds, o.moves_per_round),
+                format!("{:.0}", o.churn_qps),
+                format!("{:.1}", o.churn_p50_us),
+                format!("{:.1}", o.churn_p99_us),
+                format!("{:.2}", o.maint_ms),
+                format!("{:.1}", o.maint_ms_total),
+                o.churn_checked.to_string(),
+                o.full_rebuilds.to_string(),
+            ]
+        })
+        .collect();
+    let churn_header = [
+        "nodes",
+        "moves",
+        "churn_qps",
+        "p50_us",
+        "p99_us",
+        "maint_ms",
+        "maint_total_ms",
+        "oracle_checked",
+        "rebuilds",
+    ];
+    print_table(
+        "Mutation-interleaved workload (heartbeats racing queries)",
+        &churn_header,
+        &churn_rows,
+    );
+    print_csv("discover_scale_churn", &churn_header, &churn_rows);
+    println!("\noracle identity: {total_checked} queries checked, 0 mismatches; 0 full rebuilds");
 
     match report.write() {
         Ok(path) => println!("\nwrote {}", path.display()),

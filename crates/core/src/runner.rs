@@ -173,12 +173,26 @@ pub(crate) fn start_probe_round(w: &mut World, ctx: &mut Ctx<'_>, user: UserId) 
         } else {
             let now = ctx.now();
             let affiliations = w.affiliations.get(&user).cloned().unwrap_or_default();
-            // Served by the incremental disk-scan + partial-select
-            // engine (armada-manager::discover_shortlist), which is
-            // byte-identical to the original full-scan procedure — so
-            // trace determinism and replay are unaffected by the scale
-            // of the registered fleet.
-            let candidates = w.manager.discover(loc, &affiliations, top_n, now);
+            // Served off a frozen snapshot through the shared query
+            // pool (one worker here: sim replay must stay
+            // deterministic) by the incremental disk-scan +
+            // partial-select engine, which is byte-identical to the
+            // original full-scan procedure — so trace determinism and
+            // replay are unaffected by the scale of the registered
+            // fleet.
+            let query = armada_manager::DiscoveryQuery {
+                user_loc: loc,
+                affiliations,
+                top_n,
+                now,
+            };
+            let candidates = w
+                .manager
+                .discover_batch(&w.query_pool, std::slice::from_ref(&query))
+                .remove(0)
+                .into_iter()
+                .map(|c| c.node)
+                .collect::<Vec<_>>();
             trace_event!(w, ctx, Severity::Debug, "mgr.discover",
                 "user" => u(user.as_u64()), "returned" => u(candidates.len() as u64));
             probe_candidates(w, ctx, user, candidates);
@@ -1045,6 +1059,7 @@ mod tests {
         World {
             net,
             manager: CentralManager::new(system, GlobalSelectionPolicy::default()),
+            query_pool: armada_manager::QueryPool::new(1),
             federation: None,
             nodes,
             clients,

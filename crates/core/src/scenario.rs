@@ -6,7 +6,7 @@ use armada_chaos::{FaultPlan, PeerClass};
 use armada_churn::ChurnTrace;
 use armada_client::EdgeClient;
 use armada_federation::{FederatedCluster, ShardMap};
-use armada_manager::{CentralManager, GlobalSelectionPolicy};
+use armada_manager::{CentralManager, GlobalSelectionPolicy, QueryPool};
 use armada_metrics::LatencyRecorder;
 use armada_net::{Addr, Endpoint};
 use armada_node::EdgeNode;
@@ -228,6 +228,7 @@ impl Scenario {
         let world = World {
             net,
             manager,
+            query_pool: QueryPool::new(1),
             federation,
             nodes,
             clients,

@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 use armada_chaos::CircuitBreaker;
 use armada_client::{EdgeClient, ProbeResult};
 use armada_federation::FederatedCluster;
-use armada_manager::CentralManager;
+use armada_manager::{CentralManager, QueryPool};
 use armada_metrics::LatencyRecorder;
 use armada_net::Network;
 use armada_node::EdgeNode;
@@ -50,6 +50,11 @@ impl PendingProbe {
 pub struct World {
     pub(crate) net: Network,
     pub(crate) manager: CentralManager,
+    /// Worker pool discovery batches are served through. The simulation
+    /// pins it to one thread — event replay must stay deterministic —
+    /// but the serving path is the same snapshot + pool code the live
+    /// manager and benches run wide.
+    pub(crate) query_pool: QueryPool,
     /// The sharded manager tier; `None` means the single
     /// [`CentralManager`] above serves everything.
     pub(crate) federation: Option<FederationRuntime>,

@@ -1,10 +1,13 @@
 //! One manager shard: an authoritative registry for its own region plus
 //! a synced view of every peer's nodes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use armada_geo::ProximityIndex;
-use armada_manager::{discover_shortlist, GlobalSelectionPolicy, NodeRegistry, ScoredCandidate};
+use armada_manager::{
+    discover_shortlist, DiscoveryQuery, DiscoverySnapshot, GlobalSelectionPolicy, NodeRecord,
+    NodeRegistry, QueryPool, RecordTable, ScoredCandidate,
+};
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, ShardId, SimDuration, SimTime, SystemConfig};
 
@@ -51,12 +54,24 @@ pub struct FederatedShard {
     config: SystemConfig,
     policy: GlobalSelectionPolicy,
     registry: NodeRegistry,
-    /// Spatial index over own *and* remote nodes.
+    /// Spatial index over own *and* remote nodes, maintained
+    /// incrementally from the buffered deltas below.
     index: ProximityIndex,
-    remote: HashMap<NodeId, NodeSummary>,
+    /// Buffered index deltas, last-write-wins per node (see
+    /// [`armada_manager::CentralManager`] for the scheme).
+    pending: BTreeMap<NodeId, Option<GeoPoint>>,
+    /// Synced peer state, as records: `registered_at` carries the
+    /// heartbeat time the home shard advertised, same as
+    /// `last_heartbeat`.
+    remote: RecordTable,
     /// Departures since the epoch, for delta extraction.
     removed_log: Vec<(SimTime, NodeId)>,
     counters: ShardCounters,
+    /// Bumped on every mutation of either view; snapshots carry it.
+    epoch: u64,
+    /// Monotone lower bound on every load score this shard has seen
+    /// (own or synced); NaN-poisoned, feeds the engine's early stop.
+    load_floor: f64,
 }
 
 impl FederatedShard {
@@ -68,10 +83,41 @@ impl FederatedShard {
             policy,
             registry: NodeRegistry::new(config.heartbeat_period, config.heartbeat_miss_limit),
             index: ProximityIndex::new(),
-            remote: HashMap::new(),
+            pending: BTreeMap::new(),
+            remote: RecordTable::new(),
             removed_log: Vec::new(),
             counters: ShardCounters::default(),
+            epoch: 0,
+            load_floor: f64::INFINITY,
         }
+    }
+
+    fn lower_floor(&mut self, load: f64) {
+        if load.is_nan() || self.load_floor.is_nan() {
+            self.load_floor = f64::NAN;
+        } else if load < self.load_floor {
+            self.load_floor = load;
+        }
+    }
+
+    fn buffer_upsert(&mut self, id: NodeId, loc: GeoPoint) {
+        if !self.pending.contains_key(&id) && self.index.position(id) == Some(loc) {
+            return;
+        }
+        self.pending.insert(id, Some(loc));
+    }
+
+    /// Applies every buffered index delta in sorted node order; returns
+    /// the number of ops applied. Called implicitly by queries and
+    /// snapshots.
+    pub fn sync_index(&mut self) -> usize {
+        let pending = std::mem::take(&mut self.pending);
+        let applied = pending.len();
+        // One batch, not `applied` single-op edits: each touched cell is
+        // rewritten once per sync, so a churn round over a dense cell
+        // costs O(cell) instead of O(moves × cell).
+        self.index.apply_batch(pending);
+        applied
     }
 
     /// This shard's identity.
@@ -87,10 +133,12 @@ impl FederatedShard {
     /// Registers one of this shard's own nodes.
     pub fn register(&mut self, status: NodeStatus, now: SimTime) {
         self.counters.registrations += 1;
+        self.epoch += 1;
+        self.lower_floor(status.load_score);
         // A node can only have one home; a registration here supersedes
         // any stale peer summary.
         self.remote.remove(&status.node);
-        self.index.insert(status.node, status.location);
+        self.buffer_upsert(status.node, status.location);
         self.registry.register(status, now);
     }
 
@@ -98,17 +146,20 @@ impl FederatedShard {
     /// senders re-register, mirroring the central manager.
     pub fn heartbeat(&mut self, status: NodeStatus, now: SimTime) {
         self.counters.heartbeats += 1;
+        self.epoch += 1;
+        self.lower_floor(status.load_score);
         if !self.registry.heartbeat(status, now) {
             self.remote.remove(&status.node);
             self.registry.register(status, now);
         }
-        self.index.insert(status.node, status.location);
+        self.buffer_upsert(status.node, status.location);
     }
 
     /// Handles a graceful departure of an own node.
     pub fn node_left(&mut self, node: NodeId, now: SimTime) {
         if self.registry.deregister(node).is_some() {
-            self.index.remove(node);
+            self.epoch += 1;
+            self.pending.insert(node, None);
             self.removed_log.push((now, node));
         }
     }
@@ -133,16 +184,16 @@ impl FederatedShard {
             + self
                 .remote
                 .values()
-                .filter(|s| self.summary_alive(s, now))
+                .filter(|r| self.record_alive(r, now))
                 .count()
     }
 
-    /// The liveness rule applied to a synced summary: identical to the
+    /// The liveness rule applied to a synced record: identical to the
     /// registry's own heartbeat deadline, evaluated on the heartbeat
     /// time the home shard advertised.
-    fn summary_alive(&self, summary: &NodeSummary, now: SimTime) -> bool {
+    fn record_alive(&self, record: &NodeRecord, now: SimTime) -> bool {
         let budget = self.config.heartbeat_period * u64::from(self.config.heartbeat_miss_limit);
-        summary.last_heartbeat >= now - budget
+        record.last_heartbeat >= now - budget
     }
 
     /// Extracts the outbound delta: own-node summaries refreshed at or
@@ -189,13 +240,23 @@ impl FederatedShard {
             if self.registry.record(node).is_some() {
                 continue;
             }
-            self.index.insert(node, summary.status.location);
-            self.remote.insert(node, *summary);
+            self.epoch += 1;
+            self.lower_floor(summary.status.load_score);
+            self.buffer_upsert(node, summary.status.location);
+            self.remote.insert(
+                node,
+                NodeRecord {
+                    status: summary.status,
+                    registered_at: summary.last_heartbeat,
+                    last_heartbeat: summary.last_heartbeat,
+                },
+            );
             self.counters.summaries_applied += 1;
         }
         for node in &delta.removed {
             if self.remote.remove(node).is_some() {
-                self.index.remove(*node);
+                self.epoch += 1;
+                self.pending.insert(*node, None);
             }
         }
     }
@@ -225,32 +286,68 @@ impl FederatedShard {
     /// Like [`FederatedShard::discover`] but returns scores, for tests
     /// and diagnostics.
     pub fn ranked_candidates(
-        &self,
+        &mut self,
         user_loc: GeoPoint,
         affiliations: &[NodeId],
         top_n: usize,
         now: SimTime,
     ) -> Vec<ScoredCandidate> {
+        self.sync_index();
+        let budget = self.config.heartbeat_period * u64::from(self.config.heartbeat_miss_limit);
+        let (registry, remote, index) = (&self.registry, &self.remote, &self.index);
         discover_shortlist(
             &self.config,
             &self.policy,
-            &self.index,
+            index.view(),
             |id| {
-                if self.registry.is_alive(id, now) {
-                    return self.registry.record(id).map(|r| r.status);
+                if registry.is_alive(id, now) {
+                    return registry.record(id).map(|r| r.status);
                 }
-                if self.registry.record(id).is_some() {
+                if registry.record(id).is_some() {
                     return None; // own node, dead: never fall through to a stale summary
                 }
-                self.remote
+                remote
                     .get(&id)
-                    .filter(|s| self.summary_alive(s, now))
-                    .map(|s| s.status)
+                    .filter(|r| r.last_heartbeat >= now - budget)
+                    .map(|r| r.status)
             },
+            self.load_floor,
             user_loc,
             affiliations,
             top_n,
         )
+    }
+
+    /// Freezes the merged view (own registry + synced peer records)
+    /// into an epoch-numbered [`DiscoverySnapshot`]. Buffered deltas
+    /// are applied first; the snapshot's merge rule mirrors the live
+    /// closure above — own records decide alone, remote records fill
+    /// the gaps with the advertised heartbeat deadline.
+    pub fn snapshot(&mut self) -> DiscoverySnapshot {
+        self.sync_index();
+        DiscoverySnapshot::new(
+            self.epoch,
+            self.config,
+            self.policy,
+            self.registry.shared(),
+            Some(self.remote.clone()),
+            self.index.view().clone(),
+            self.registry.liveness_budget(),
+            self.load_floor,
+        )
+    }
+
+    /// Serves a batch of discovery queries off one frozen snapshot via
+    /// `pool`, byte-identical to calling
+    /// [`FederatedShard::discover`] per query.
+    pub fn discover_batch(
+        &mut self,
+        pool: &QueryPool,
+        queries: &[DiscoveryQuery],
+    ) -> Vec<Vec<NodeId>> {
+        self.counters.discoveries += queries.len() as u64;
+        let snapshot = self.snapshot();
+        pool.serve_ids(&snapshot, queries)
     }
 
     /// Housekeeping: drops own registrations dead longer than `grace`
@@ -259,20 +356,24 @@ impl FederatedShard {
     pub fn prune(&mut self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
         let pruned = self.registry.prune(now, grace);
         for id in &pruned {
-            self.index.remove(*id);
+            self.pending.insert(*id, None);
             self.removed_log.push((now, *id));
         }
         let budget = self.config.heartbeat_period * u64::from(self.config.heartbeat_miss_limit);
         let cutoff = now - budget - grace;
-        let stale: Vec<NodeId> = self
+        let mut stale: Vec<NodeId> = self
             .remote
             .values()
-            .filter(|s| s.last_heartbeat < cutoff)
-            .map(|s| s.status.node)
+            .filter(|r| r.last_heartbeat < cutoff)
+            .map(|r| r.status.node)
             .collect();
+        stale.sort_unstable();
+        if !pruned.is_empty() || !stale.is_empty() {
+            self.epoch += 1;
+        }
         for id in stale {
             self.remote.remove(&id);
-            self.index.remove(id);
+            self.pending.insert(id, None);
         }
         pruned
     }

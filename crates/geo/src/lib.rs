@@ -33,4 +33,4 @@ mod geohash;
 mod search;
 
 pub use geohash::{GeoHash, MAX_PRECISION};
-pub use search::{DiskScan, ProximityIndex, RankedNeighbor, GLOBE_COVER_RADIUS_KM};
+pub use search::{DiskScan, GeoView, ProximityIndex, RankedNeighbor, GLOBE_COVER_RADIUS_KM};

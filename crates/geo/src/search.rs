@@ -1,4 +1,5 @@
-//! Geo-proximity index with widening search.
+//! Geo-proximity index with widening search and structurally-shared
+//! snapshots.
 //!
 //! The manager stores every registered node's position here and answers
 //! "which nodes are near this user?" queries. The search starts at a
@@ -7,11 +8,22 @@
 //! reachable as a last resort — exactly the behaviour described in paper
 //! §IV-B.
 //!
-//! Two query paths coexist:
+//! The index is split into a write side and a read side:
 //!
-//! * the original full-scan helpers ([`ProximityIndex::within_km`],
-//!   [`ProximityIndex::nearest`]) — exact, O(N) per call, retained as
-//!   the *reference* the differential test suite compares against, and
+//! * [`ProximityIndex`] owns the mutable bookkeeping (the `id → position`
+//!   map) and applies mutations to its embedded [`GeoView`];
+//! * [`GeoView`] is the immutable query surface: per precision level a
+//!   small fixed set of shards, each an `Arc`'d cell map whose values are
+//!   themselves `Arc`'d per-cell candidate vectors. Cloning a view is a
+//!   few hundred `Arc` bumps; a mutation while clones are held
+//!   copy-on-writes only the touched shard map and the touched cell, so
+//!   long-lived snapshots never force a whole-index deep clone.
+//!
+//! Two query paths coexist on the view:
+//!
+//! * the original full-scan helpers ([`GeoView::within_km`],
+//!   [`GeoView::nearest`]) — exact, O(N) per call, retained as the
+//!   *reference* the differential test suite compares against, and
 //! * the incremental [`DiskScan`] — an expanding cell-ring search over
 //!   multi-resolution GeoHash buckets that visits each cell at most
 //!   once across widening rounds and emits neighbors in deterministic
@@ -21,42 +33,10 @@
 //!   every radius doubling.
 
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
+use armada_types::fasthash::{FastMap, FastSet};
 use armada_types::{GeoPoint, NodeId, EARTH_RADIUS_KM};
-
-/// A splitmix64-style hasher for the index's internal maps, whose keys
-/// are all 64-bit (node ids, packed cell coordinates). The default
-/// SipHash is DoS-hardened but costs several times more per lookup, and
-/// the disk scan's inner loop does one position lookup and one
-/// seen-set insert per candidate; keys here are not attacker-chosen.
-#[derive(Debug, Default)]
-struct U64Hasher(u64);
-
-impl Hasher for U64Hasher {
-    fn finish(&self) -> u64 {
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            self.write_u64(u64::from_le_bytes(word));
-        }
-    }
-
-    fn write_u64(&mut self, n: u64) {
-        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    }
-}
-
-type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<U64Hasher>>;
-type FastSet<K> = HashSet<K, BuildHasherDefault<U64Hasher>>;
 
 /// A position pre-converted to radians with its latitude cosine cached.
 ///
@@ -113,9 +93,22 @@ const FULL_SCAN_RADIUS_KM: f64 = 10_000.0;
 /// keeping per-round work bounded no matter the radius.
 const MAX_CELLS_PER_ROUND: u64 = 256;
 
+/// Cells at least this large get a point-to-cell distance lower bound
+/// computed before their entries are touched (deferring or discarding
+/// the whole cell when the bound proves it useless); smaller cells are
+/// cheaper to just read.
+const CELL_BOUND_MIN_ENTRIES: usize = 16;
+
 /// Indexes this small are cheaper to sweep once than to cover cell by
 /// cell.
 const SMALL_INDEX_FULL_SCAN: usize = 64;
+
+/// Shards per precision level in a [`GeoView`]. Mutations copy-on-write
+/// one shard map per touched level, so a larger count shrinks the COW
+/// unit; the clone cost of a view is `levels × BUCKET_SHARDS` `Arc`
+/// bumps, so it must stay small. 64 keeps a shard map at 1M nodes
+/// around a few thousand cells.
+const BUCKET_SHARDS: usize = 64;
 
 /// A node returned by a proximity query, with its distance to the query
 /// point.
@@ -168,6 +161,13 @@ fn pack(x: u32, y: u32) -> u64 {
     (u64::from(x) << 32) | u64::from(y)
 }
 
+/// Which shard of a level's cell map a packed cell key lives in. A
+/// multiplicative mix spreads neighbouring cells across shards so a
+/// burst of mutations in one metro still touches few cells per shard.
+fn shard_of(key: u64) -> usize {
+    (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) as usize % BUCKET_SHARDS
+}
+
 /// A contiguous block of cells at one precision; longitude wraps.
 #[derive(Debug, Clone, Copy)]
 struct CellRect {
@@ -187,131 +187,115 @@ impl CellRect {
     }
 }
 
-/// An in-memory spatial index over edge-node positions.
-///
-/// Nodes are bucketed by GeoHash cell at every precision from 1 up to
-/// the index precision; queries scan matching cells and rank by true
-/// haversine distance, so results are exact while candidate generation
-/// stays cheap.
-///
-/// # Examples
-///
-/// ```
-/// use armada_geo::ProximityIndex;
-/// use armada_types::{GeoPoint, NodeId};
-///
-/// let origin = GeoPoint::new(44.98, -93.26);
-/// let mut idx = ProximityIndex::new();
-/// idx.insert(NodeId::new(1), origin.offset_km(1.0, 0.0));
-/// idx.insert(NodeId::new(2), origin.offset_km(30.0, 0.0));
-/// let ranked = idx.nearest(origin, 2);
-/// assert_eq!(ranked[0].id, NodeId::new(1));
-/// assert!(ranked[0].distance_km < ranked[1].distance_km);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct ProximityIndex {
-    /// Index precision: fine enough to bucket metro-scale deployments.
-    precision: usize,
-    /// Position plus its cached trig form (the latter feeds the disk
-    /// scan's distance computation; see [`TrigPoint`]).
-    positions: FastMap<NodeId, (GeoPoint, TrigPoint)>,
-    /// `buckets[l]` holds the cells at precision `l + 1`, keyed by
-    /// packed integer cell coordinates.
-    buckets: Vec<FastMap<u64, Vec<NodeId>>>,
+/// One cell's candidates: ids with their cached trig positions inline,
+/// so the scan's distance computation never chases a per-candidate map
+/// lookup.
+type Cell = Arc<Vec<(NodeId, TrigPoint)>>;
+
+/// One shard of a level's cell map.
+type CellShard = Arc<FastMap<u64, Cell>>;
+
+/// The cells of one bucketing precision, split into [`BUCKET_SHARDS`]
+/// independently `Arc`'d maps.
+#[derive(Debug, Clone)]
+struct Level {
+    shards: Vec<CellShard>,
 }
 
-impl ProximityIndex {
-    /// Creates an empty index at the default bucketing precision (6
-    /// characters, cells ≈ 1.2 km × 0.6 km).
-    pub fn new() -> Self {
-        Self::with_precision(6)
+impl Level {
+    fn empty() -> Level {
+        Level {
+            shards: (0..BUCKET_SHARDS)
+                .map(|_| Arc::new(FastMap::default()))
+                .collect(),
+        }
     }
 
-    /// Creates an empty index with a custom bucketing precision.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `precision` is outside `1..=MAX_PRECISION`.
-    pub fn with_precision(precision: usize) -> Self {
-        assert!(
-            (1..=crate::geohash::MAX_PRECISION).contains(&precision),
-            "invalid index precision"
-        );
-        ProximityIndex {
+    fn cell(&self, key: u64) -> Option<&Cell> {
+        self.shards[shard_of(key)].get(&key)
+    }
+
+    fn insert(&mut self, key: u64, id: NodeId, trig: TrigPoint) {
+        let shard = Arc::make_mut(&mut self.shards[shard_of(key)]);
+        let cell = shard.entry(key).or_insert_with(|| Arc::new(Vec::new()));
+        Arc::make_mut(cell).push((id, trig));
+    }
+
+    fn remove(&mut self, key: u64, id: NodeId) {
+        let shard = Arc::make_mut(&mut self.shards[shard_of(key)]);
+        if let Some(cell) = shard.get_mut(&key) {
+            let entries = Arc::make_mut(cell);
+            entries.retain(|&(n, _)| n != id);
+            if entries.is_empty() {
+                shard.remove(&key);
+            }
+        }
+    }
+}
+
+/// The immutable query surface of a [`ProximityIndex`].
+///
+/// A view is all an index's query paths ever read: per precision level,
+/// sharded cell maps whose values are per-cell candidate vectors with
+/// the trig-cached position inline. Cloning one is
+/// `levels × BUCKET_SHARDS` `Arc` bumps — cheap enough to freeze into
+/// every discovery snapshot — and mutating the owning index afterwards
+/// copy-on-writes only the shard maps and cells it actually touches,
+/// never the whole structure.
+#[derive(Debug, Clone)]
+pub struct GeoView {
+    precision: usize,
+    len: usize,
+    levels: Vec<Level>,
+}
+
+impl GeoView {
+    fn empty(precision: usize) -> GeoView {
+        GeoView {
             precision,
-            positions: FastMap::default(),
-            buckets: vec![FastMap::default(); precision],
+            len: 0,
+            levels: (0..precision).map(|_| Level::empty()).collect(),
         }
     }
 
     /// Number of indexed nodes.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.len
     }
 
     /// `true` if no nodes are indexed.
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.len == 0
     }
 
-    /// Inserts or moves a node. Returns the previous position if the node
-    /// was already present.
-    pub fn insert(&mut self, id: NodeId, point: GeoPoint) -> Option<GeoPoint> {
-        // Heartbeats from stationary nodes re-insert the same position;
-        // skip the bucket churn entirely in that common case.
-        if self.positions.get(&id).map(|&(p, _)| p) == Some(point) {
-            return Some(point);
-        }
-        let prev = self.remove(id);
-        self.positions.insert(id, (point, TrigPoint::new(point)));
-        for (level, cells) in self.buckets.iter_mut().enumerate() {
-            let key = Grid::at(level + 1).key(point);
-            cells.entry(key).or_default().push(id);
-        }
-        prev
-    }
-
-    /// Removes a node, returning its position if it was present.
-    pub fn remove(&mut self, id: NodeId) -> Option<GeoPoint> {
-        let (point, _) = self.positions.remove(&id)?;
-        for (level, cells) in self.buckets.iter_mut().enumerate() {
-            let key = Grid::at(level + 1).key(point);
-            if let Some(bucket) = cells.get_mut(&key) {
-                bucket.retain(|&n| n != id);
-                if bucket.is_empty() {
-                    cells.remove(&key);
+    /// Iterates every `(id, trig)` entry once, via the coarsest level
+    /// (every node appears exactly once per level; precision 1 has at
+    /// most 8 × 4 cells).
+    fn for_each_entry(&self, mut f: impl FnMut(NodeId, &TrigPoint)) {
+        for shard in &self.levels[0].shards {
+            for cell in shard.values() {
+                for (id, trig) in cell.iter() {
+                    f(*id, trig);
                 }
             }
         }
-        Some(point)
-    }
-
-    /// Returns the stored position of `id`, if indexed.
-    pub fn position(&self, id: NodeId) -> Option<GeoPoint> {
-        self.positions.get(&id).map(|&(p, _)| p)
-    }
-
-    /// Iterates over all `(id, position)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, GeoPoint)> + '_ {
-        self.positions.iter().map(|(&id, &(p, _))| (id, p))
     }
 
     /// All nodes within `radius_km` of `from`, sorted nearest-first
     /// (ties broken by `NodeId` for determinism).
     ///
     /// Exact but O(N): every position is scanned. The discovery hot
-    /// path uses [`ProximityIndex::disk_scan`] instead; this full scan
-    /// is the reference the differential tests compare it against.
+    /// path uses [`GeoView::disk_scan`] instead; this full scan is the
+    /// reference the differential tests compare it against.
     pub fn within_km(&self, from: GeoPoint, radius_km: f64) -> Vec<RankedNeighbor> {
-        let mut out: Vec<RankedNeighbor> = self
-            .positions
-            .iter()
-            .map(|(&id, &(p, _))| RankedNeighbor {
-                id,
-                distance_km: from.distance_km(p),
-            })
-            .filter(|n| n.distance_km <= radius_km)
-            .collect();
+        let from_trig = TrigPoint::new(from);
+        let mut out = Vec::new();
+        self.for_each_entry(|id, trig| {
+            let distance_km = from_trig.distance_km(trig);
+            if distance_km <= radius_km {
+                out.push(RankedNeighbor { id, distance_km });
+            }
+        });
         sort_ranked(&mut out);
         out
     }
@@ -319,14 +303,14 @@ impl ProximityIndex {
     /// The `count` nearest nodes to `from` regardless of distance, sorted
     /// nearest-first.
     pub fn nearest(&self, from: GeoPoint, count: usize) -> Vec<RankedNeighbor> {
-        let mut out: Vec<RankedNeighbor> = self
-            .positions
-            .iter()
-            .map(|(&id, &(p, _))| RankedNeighbor {
+        let from_trig = TrigPoint::new(from);
+        let mut out = Vec::new();
+        self.for_each_entry(|id, trig| {
+            out.push(RankedNeighbor {
                 id,
-                distance_km: from.distance_km(p),
-            })
-            .collect();
+                distance_km: from_trig.distance_km(trig),
+            });
+        });
         sort_ranked(&mut out);
         out.truncate(count);
         out
@@ -364,16 +348,239 @@ impl ProximityIndex {
     /// O(rounds × N).
     pub fn disk_scan(&self, from: GeoPoint) -> DiskScan<'_> {
         DiskScan {
-            index: self,
+            view: self,
             from,
             from_trig: TrigPoint::new(from),
             pending: Vec::new(),
             emitted: Vec::new(),
             seen: FastSet::default(),
+            claimed: 0,
             scanned: vec![None; self.precision],
+            deferred: Vec::new(),
             all_scanned: false,
             prev_radius: -1.0,
+            cutoff_km: f64::INFINITY,
         }
+    }
+}
+
+/// An in-memory spatial index over edge-node positions.
+///
+/// Nodes are bucketed by GeoHash cell at every precision from 1 up to
+/// the index precision; queries scan matching cells and rank by true
+/// haversine distance, so results are exact while candidate generation
+/// stays cheap. The query-side state lives in an embedded [`GeoView`]
+/// ([`ProximityIndex::view`]), which snapshots clone structurally.
+///
+/// # Examples
+///
+/// ```
+/// use armada_geo::ProximityIndex;
+/// use armada_types::{GeoPoint, NodeId};
+///
+/// let origin = GeoPoint::new(44.98, -93.26);
+/// let mut idx = ProximityIndex::new();
+/// idx.insert(NodeId::new(1), origin.offset_km(1.0, 0.0));
+/// idx.insert(NodeId::new(2), origin.offset_km(30.0, 0.0));
+/// let ranked = idx.nearest(origin, 2);
+/// assert_eq!(ranked[0].id, NodeId::new(1));
+/// assert!(ranked[0].distance_km < ranked[1].distance_km);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProximityIndex {
+    /// Write-side bookkeeping: where each node currently is. Queries
+    /// never read it, so it stays out of snapshots.
+    positions: FastMap<NodeId, GeoPoint>,
+    view: GeoView,
+}
+
+impl Default for ProximityIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProximityIndex {
+    /// Creates an empty index at the default bucketing precision (6
+    /// characters, cells ≈ 1.2 km × 0.6 km).
+    pub fn new() -> Self {
+        Self::with_precision(6)
+    }
+
+    /// Creates an empty index with a custom bucketing precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is outside `1..=MAX_PRECISION`.
+    pub fn with_precision(precision: usize) -> Self {
+        assert!(
+            (1..=crate::geohash::MAX_PRECISION).contains(&precision),
+            "invalid index precision"
+        );
+        ProximityIndex {
+            positions: FastMap::default(),
+            view: GeoView::empty(precision),
+        }
+    }
+
+    /// The immutable query surface. Clone it to freeze the current
+    /// contents into a snapshot; later mutations copy-on-write only the
+    /// touched cells.
+    pub fn view(&self) -> &GeoView {
+        &self.view
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if no nodes are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Inserts or moves a node. Returns the previous position if the node
+    /// was already present.
+    pub fn insert(&mut self, id: NodeId, point: GeoPoint) -> Option<GeoPoint> {
+        // Heartbeats from stationary nodes re-insert the same position;
+        // skip the bucket churn entirely in that common case.
+        if self.positions.get(&id) == Some(&point) {
+            return Some(point);
+        }
+        let prev = self.remove(id);
+        self.positions.insert(id, point);
+        let trig = TrigPoint::new(point);
+        for (level, cells) in self.view.levels.iter_mut().enumerate() {
+            cells.insert(Grid::at(level + 1).key(point), id, trig);
+        }
+        self.view.len = self.positions.len();
+        prev
+    }
+
+    /// Applies a batch of mutations — `Some(point)` upserts, `None`
+    /// removes — rewriting each touched bucket cell **once** for the
+    /// whole batch.
+    ///
+    /// Semantically identical to calling [`ProximityIndex::insert`] /
+    /// [`ProximityIndex::remove`] per entry (queries cannot observe
+    /// within-cell entry order: every query path ranks by the strict
+    /// `(distance, id)` or score order before answering). The cost
+    /// model is what changes: per-op application pays
+    /// O(cell len) per removal per level — ruinous at coarse
+    /// precisions, where a dense metro's cell holds a large fraction of
+    /// the fleet — while the batch pays each touched cell's rewrite
+    /// once, so a delta drain of `k` ops costs
+    /// O(Σ touched cell lens + k) instead of O(k × cell len).
+    ///
+    /// Each id must appear at most once in the batch (callers drain
+    /// last-write-wins delta buffers, which guarantee that).
+    pub fn apply_batch(&mut self, ops: impl IntoIterator<Item = (NodeId, Option<GeoPoint>)>) {
+        // Effective per-cell edit lists at every precision level.
+        let levels = self.view.levels.len();
+        let mut removals: Vec<FastMap<u64, Vec<NodeId>>> =
+            (0..levels).map(|_| FastMap::default()).collect();
+        let mut inserts: Vec<FastMap<u64, Vec<(NodeId, TrigPoint)>>> =
+            (0..levels).map(|_| FastMap::default()).collect();
+        for (id, op) in ops {
+            let old = self.positions.get(&id).copied();
+            match op {
+                Some(point) => {
+                    if old == Some(point) {
+                        continue; // stationary refresh: no bucket churn
+                    }
+                    if let Some(old) = old {
+                        for (level, rm) in removals.iter_mut().enumerate() {
+                            rm.entry(Grid::at(level + 1).key(old)).or_default().push(id);
+                        }
+                    }
+                    let trig = TrigPoint::new(point);
+                    for (level, ins) in inserts.iter_mut().enumerate() {
+                        ins.entry(Grid::at(level + 1).key(point))
+                            .or_default()
+                            .push((id, trig));
+                    }
+                    self.positions.insert(id, point);
+                }
+                None => {
+                    let Some(old) = old else { continue };
+                    for (level, rm) in removals.iter_mut().enumerate() {
+                        rm.entry(Grid::at(level + 1).key(old)).or_default().push(id);
+                    }
+                    self.positions.remove(&id);
+                }
+            }
+        }
+        for (level, cells) in self.view.levels.iter_mut().enumerate() {
+            // Removals first: an id moving within one cell must drop its
+            // old entry before the insert pass appends the new one.
+            for (key, ids) in &removals[level] {
+                let shard = Arc::make_mut(&mut cells.shards[shard_of(*key)]);
+                if let Some(cell) = shard.get_mut(key) {
+                    let entries = Arc::make_mut(cell);
+                    if ids.len() <= 16 {
+                        entries.retain(|(n, _)| !ids.contains(n));
+                    } else {
+                        let ids: FastSet<NodeId> = ids.iter().copied().collect();
+                        entries.retain(|(n, _)| !ids.contains(n));
+                    }
+                    if entries.is_empty() {
+                        shard.remove(key);
+                    }
+                }
+            }
+            for (key, entries) in &inserts[level] {
+                let shard = Arc::make_mut(&mut cells.shards[shard_of(*key)]);
+                let cell = shard.entry(*key).or_insert_with(|| Arc::new(Vec::new()));
+                Arc::make_mut(cell).extend_from_slice(entries);
+            }
+        }
+        self.view.len = self.positions.len();
+    }
+
+    /// Removes a node, returning its position if it was present.
+    pub fn remove(&mut self, id: NodeId) -> Option<GeoPoint> {
+        let point = self.positions.remove(&id)?;
+        for (level, cells) in self.view.levels.iter_mut().enumerate() {
+            cells.remove(Grid::at(level + 1).key(point), id);
+        }
+        self.view.len = self.positions.len();
+        Some(point)
+    }
+
+    /// Returns the stored position of `id`, if indexed.
+    pub fn position(&self, id: NodeId) -> Option<GeoPoint> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Iterates over all `(id, position)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, GeoPoint)> + '_ {
+        self.positions.iter().map(|(&id, &p)| (id, p))
+    }
+
+    /// See [`GeoView::within_km`].
+    pub fn within_km(&self, from: GeoPoint, radius_km: f64) -> Vec<RankedNeighbor> {
+        self.view.within_km(from, radius_km)
+    }
+
+    /// See [`GeoView::nearest`].
+    pub fn nearest(&self, from: GeoPoint, count: usize) -> Vec<RankedNeighbor> {
+        self.view.nearest(from, count)
+    }
+
+    /// See [`GeoView::widening_search`].
+    pub fn widening_search(
+        &self,
+        from: GeoPoint,
+        radius_km: f64,
+        min_candidates: usize,
+    ) -> Vec<RankedNeighbor> {
+        self.view.widening_search(from, radius_km, min_candidates)
+    }
+
+    /// See [`GeoView::disk_scan`].
+    pub fn disk_scan(&self, from: GeoPoint) -> DiskScan<'_> {
+        self.view.disk_scan(from)
     }
 }
 
@@ -385,6 +592,21 @@ fn sort_ranked(out: &mut [RankedNeighbor]) {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.id.cmp(&b.id))
     });
+}
+
+/// A cell whose entries were *not* read when its rect was covered,
+/// because a lower bound on the distance to any point of the cell
+/// exceeded the round radius. The cell is re-examined on every later
+/// round and read once the radius reaches the bound (or dropped for
+/// good once the prune cutoff falls below it).
+#[derive(Debug, Clone, Copy)]
+struct DeferredCell {
+    level: usize,
+    key: u64,
+    /// Lower bound (shaded down, so float rounding can only make the
+    /// scan read the cell unnecessarily) on the distance from the query
+    /// point to every entry in the cell.
+    bound_km: f64,
 }
 
 /// A candidate waiting for the scan radius to reach its distance.
@@ -411,7 +633,7 @@ impl PartialOrd for PendingEntry {
 }
 
 /// An in-progress expanding bucket-ring search (see
-/// [`ProximityIndex::disk_scan`]).
+/// [`GeoView::disk_scan`]).
 ///
 /// Internally each widening round computes the spherical-cap bounding
 /// box of the query disk, picks the finest bucketing precision whose
@@ -428,7 +650,7 @@ impl PartialOrd for PendingEntry {
 /// sift-up/sift-down.)
 #[derive(Debug)]
 pub struct DiskScan<'a> {
-    index: &'a ProximityIndex,
+    view: &'a GeoView,
     from: GeoPoint,
     /// Cached trig form of `from`; candidate distances come from
     /// [`TrigPoint::distance_km`], bit-identical to the full formula.
@@ -436,26 +658,71 @@ pub struct DiskScan<'a> {
     /// Queued candidates beyond the covered radius, unsorted. Every
     /// entry queued in round `k` lies strictly beyond round `k-1`'s
     /// radius (its cell would otherwise have been read — and the id
-    /// seen — in an earlier round's conservative cover), so sorting
-    /// each reached batch preserves the global emission order.
+    /// seen — in an earlier round's conservative cover; a *deferred*
+    /// cell's entries sit beyond its distance lower bound, which
+    /// exceeded every round radius the cell stayed deferred through),
+    /// so sorting each reached batch preserves the global emission
+    /// order.
     pending: Vec<PendingEntry>,
     emitted: Vec<RankedNeighbor>,
-    /// Nodes already queued or emitted (cells of different precisions
-    /// overlap spatially; ids must not be scanned twice).
+    /// Nodes already queued, emitted or claimed (cells of different
+    /// precisions overlap spatially; ids must not be scanned twice).
     seen: FastSet<NodeId>,
+    /// How many indexed ids were claimed out of the scan via
+    /// [`DiskScan::claim`] — they will never be emitted.
+    claimed: usize,
     /// Per-precision rect already read. Rects only grow, and the round
     /// precision only coarsens, so each cell is read at most once.
     scanned: Vec<Option<CellRect>>,
+    /// Covered-but-unread cells: their distance lower bound exceeded
+    /// the round radius when their rect was read, so touching their
+    /// entries was postponed (possibly forever — see
+    /// [`DiskScan::drain_deferred`]).
+    deferred: Vec<DeferredCell>,
     all_scanned: bool,
     prev_radius: f64,
+    /// Candidates strictly beyond this distance are discarded instead
+    /// of queued/emitted (see [`DiskScan::prune_beyond`]). `INFINITY`
+    /// until the caller proves farther candidates can't matter.
+    cutoff_km: f64,
 }
 
 impl DiskScan<'_> {
+    /// Claims `id` out of the scan before any widening has happened:
+    /// the node is marked seen (so it will never be emitted) and its
+    /// exact scan distance — computed from the *indexed* position, the
+    /// same `TrigPoint` an emission would have used — is returned.
+    ///
+    /// `hint` tells the scan where to look: it must be the position the
+    /// caller believes the node is indexed at (the node's status
+    /// location). If the node is not indexed there, nothing is claimed
+    /// and `None` is returned — the node stays eligible for normal
+    /// emission wherever it actually is, or is simply absent.
+    ///
+    /// Must be called before the first [`DiskScan::extend_to`]; claims
+    /// after widening has begun could race an already-emitted id.
+    pub fn claim(&mut self, id: NodeId, hint: GeoPoint) -> Option<f64> {
+        debug_assert!(
+            self.prev_radius < 0.0,
+            "claims must precede the first extend_to"
+        );
+        let level = &self.view.levels[self.view.precision - 1];
+        let key = Grid::at(self.view.precision).key(hint);
+        let cell = level.cell(key)?;
+        let (_, trig) = cell.iter().find(|(n, _)| *n == id)?;
+        if !self.seen.insert(id) {
+            return None;
+        }
+        self.claimed += 1;
+        Some(self.from_trig.distance_km(trig))
+    }
+
     /// Grows the covered disk to `radius_km` (which must not decrease
     /// across calls) and returns the newly covered neighbors — exactly
     /// those with `prev_radius < distance ≤ radius_km` — in
     /// `(distance, id)` order. The concatenation of all returned slices
-    /// equals `within_km(from, radius_km)`.
+    /// plus the claimed ids equals `within_km(from, radius_km)` once
+    /// the radius covers every claimed distance.
     pub fn extend_to(&mut self, radius_km: f64) -> &[RankedNeighbor] {
         debug_assert!(
             radius_km >= self.prev_radius,
@@ -463,10 +730,11 @@ impl DiskScan<'_> {
         );
         self.prev_radius = radius_km;
         if !self.all_scanned {
-            if self.index.len() <= SMALL_INDEX_FULL_SCAN || radius_km >= FULL_SCAN_RADIUS_KM {
+            if self.view.len() <= SMALL_INDEX_FULL_SCAN || radius_km >= FULL_SCAN_RADIUS_KM {
                 self.scan_everything();
             } else {
                 self.scan_cap_cover(radius_km);
+                self.drain_deferred(radius_km);
             }
         }
         let start = self.emitted.len();
@@ -493,32 +761,92 @@ impl DiskScan<'_> {
         &self.emitted
     }
 
-    /// `true` once every indexed node has been emitted — widening
-    /// further cannot find anything new.
+    /// `true` once every indexed node has been emitted or claimed —
+    /// widening further cannot find anything new.
     pub fn exhausted(&self) -> bool {
-        self.emitted.len() == self.index.len()
+        self.emitted.len() + self.claimed == self.view.len()
+            || (self.all_scanned && self.pending.is_empty())
+    }
+
+    /// Declares that neighbors strictly beyond `cutoff_km` can never
+    /// influence the caller's answer: from now on they are discarded at
+    /// queue time (and purged from the pending pool) instead of being
+    /// queued and emitted.
+    ///
+    /// The cutoff is monotone — calls can only tighten it — and once
+    /// active the scan **stops honouring the `within_km` equivalence**
+    /// for discarded candidates: this is an opt-in for callers (the
+    /// discovery engine's score bound) that can prove, from their own
+    /// ranking invariants, that a candidate past the cutoff can never
+    /// displace an already-held result. Discarded ids still count as
+    /// seen, so a later coarser-precision re-cover does not re-examine
+    /// them.
+    pub fn prune_beyond(&mut self, cutoff_km: f64) {
+        if cutoff_km >= self.cutoff_km {
+            return;
+        }
+        self.cutoff_km = cutoff_km;
+        self.pending.retain(|e| e.distance_km <= cutoff_km);
     }
 
     fn queue(
         seen: &mut FastSet<NodeId>,
         pending: &mut Vec<PendingEntry>,
         from: &TrigPoint,
+        cutoff_km: f64,
         id: NodeId,
         point: &TrigPoint,
     ) {
         if seen.insert(id) {
-            pending.push(PendingEntry {
-                distance_km: from.distance_km(point),
-                id,
-            });
+            let distance_km = from.distance_km(point);
+            if distance_km <= cutoff_km {
+                pending.push(PendingEntry { distance_km, id });
+            }
         }
     }
 
     fn scan_everything(&mut self) {
-        for (&id, (_, trig)) in &self.index.positions {
-            Self::queue(&mut self.seen, &mut self.pending, &self.from_trig, id, trig);
-        }
+        let (seen, pending, from) = (&mut self.seen, &mut self.pending, &self.from_trig);
+        let cutoff = self.cutoff_km;
+        self.view.for_each_entry(|id, trig| {
+            Self::queue(seen, pending, from, cutoff, id, trig);
+        });
+        // The exhaustive sweep visits deferred cells' entries too (the
+        // seen set keeps ids unique across levels), so the deferral
+        // bookkeeping is obsolete.
+        self.deferred.clear();
         self.all_scanned = true;
+    }
+
+    /// Revisits deferred cells: reads those the radius has reached,
+    /// discards for good those whose bound exceeds the prune cutoff
+    /// (every entry of such a cell is at least `bound_km` away, so the
+    /// per-entry cutoff filter in [`DiskScan::queue`] would discard all
+    /// of them anyway), keeps the rest deferred.
+    fn drain_deferred(&mut self, radius_km: f64) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let d = self.deferred[i];
+            if d.bound_km > self.cutoff_km {
+                self.deferred.swap_remove(i);
+            } else if d.bound_km <= radius_km {
+                self.deferred.swap_remove(i);
+                if let Some(cell) = self.view.levels[d.level].cell(d.key) {
+                    for (id, trig) in cell.iter() {
+                        Self::queue(
+                            &mut self.seen,
+                            &mut self.pending,
+                            &self.from_trig,
+                            self.cutoff_km,
+                            *id,
+                            trig,
+                        );
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Reads the not-yet-read cells of a conservative cover of the
@@ -545,7 +873,7 @@ impl DiskScan<'_> {
         // Precision 1 has at most 8 × 4 cells, so the loop always picks
         // a level; as the radius grows a level's cover only grows, so
         // the chosen level only ever coarsens across rounds.
-        for precision in (1..=self.index.precision).rev() {
+        for precision in (1..=self.view.precision).rev() {
             let grid = Grid::at(precision);
             let y0 = grid.cell_y(lat_lo.max(-90.0));
             let y1 = grid.cell_y(lat_hi.min(90.0));
@@ -568,13 +896,13 @@ impl DiskScan<'_> {
             if rect.area() > MAX_CELLS_PER_ROUND {
                 continue;
             }
-            self.scan_rect(precision, rect);
+            self.scan_rect(precision, rect, radius_km);
             return;
         }
         unreachable!("precision 1 always fits the cell budget");
     }
 
-    fn scan_rect(&mut self, precision: usize, rect: CellRect) {
+    fn scan_rect(&mut self, precision: usize, rect: CellRect, radius_km: f64) {
         let grid = Grid::at(precision);
         let level = precision - 1;
         let prev = self.scanned[level];
@@ -586,15 +914,133 @@ impl DiskScan<'_> {
                         continue;
                     }
                 }
-                if let Some(bucket) = self.index.buckets[level].get(&pack(x, y)) {
-                    for &id in bucket {
-                        let (_, trig) = &self.index.positions[&id];
-                        Self::queue(&mut self.seen, &mut self.pending, &self.from_trig, id, trig);
+                if self.covered_by_finer(level, grid, x, y) {
+                    continue;
+                }
+                if let Some(cell) = self.view.levels[level].cell(pack(x, y)) {
+                    if cell.len() >= CELL_BOUND_MIN_ENTRIES {
+                        let bound_km = self.cell_min_distance_km(grid, x, y);
+                        if bound_km > self.cutoff_km {
+                            // Every entry is at least `bound_km` away,
+                            // so the per-entry cutoff filter in `queue`
+                            // would discard the whole cell anyway;
+                            // skip it without touching an entry. The
+                            // cutoff is monotone, so the drop is final.
+                            continue;
+                        }
+                        if bound_km > radius_km {
+                            // No entry can be due for emission this
+                            // round; postpone reading the cell until
+                            // the radius reaches it (if ever).
+                            self.deferred.push(DeferredCell {
+                                level,
+                                key: pack(x, y),
+                                bound_km,
+                            });
+                            continue;
+                        }
+                    }
+                    for (id, trig) in cell.iter() {
+                        Self::queue(
+                            &mut self.seen,
+                            &mut self.pending,
+                            &self.from_trig,
+                            self.cutoff_km,
+                            *id,
+                            trig,
+                        );
                     }
                 }
             }
         }
         self.scanned[level] = Some(rect);
+    }
+
+    /// `true` when cell `(x, y)` of `grid` falls entirely inside a
+    /// finer level's already-read rect with none of that rect's cells
+    /// still deferred inside it. GeoHash grids nest exactly — every
+    /// cell is an integer block of finer-level cells, and a point's
+    /// cell coordinates at one precision are its finer coordinates
+    /// divided by the (power-of-two) cell-count ratio — so every entry
+    /// of such a cell is already in the seen set (or was provably past
+    /// the prune cutoff) and re-reading it would only burn seen-set
+    /// lookups. This is what makes re-covering an already-searched
+    /// center at a coarser precision nearly free.
+    fn covered_by_finer(&self, level: usize, grid: Grid, x: u32, y: u32) -> bool {
+        for finer in level + 1..self.scanned.len() {
+            let Some(rf) = self.scanned[finer] else {
+                continue;
+            };
+            let grid_f = Grid::at(finer + 1);
+            let fx = grid_f.lon_cells / grid.lon_cells;
+            let fy = grid_f.lat_cells / grid.lat_cells;
+            let (bx, by) = (x * fx, y * fy);
+            if by < rf.y0 || by + fy - 1 > rf.y1 {
+                continue;
+            }
+            if (bx + grid_f.lon_cells - rf.x0) % grid_f.lon_cells + fx > rf.x_count {
+                continue;
+            }
+            // A deferred finer cell inside the block means some of the
+            // block's entries were never read — the coarse cell must be
+            // scanned after all. (Deferred cells are rare and the list
+            // is short; cells dropped for good by the cutoff need no
+            // check, their entries can never matter.)
+            if self.deferred.iter().any(|d| {
+                d.level == finer && {
+                    let (dx, dy) = ((d.key >> 32) as u32, d.key as u32);
+                    dx >= bx && dx < bx + fx && dy >= by && dy < by + fy
+                }
+            }) {
+                continue;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Lower bound on the great-circle distance from the query point to
+    /// every entry of cell `(x, y)` of `grid`, shaded down so float
+    /// rounding can only under-estimate — an under-estimate merely
+    /// reads a cell early, never skips a needed entry.
+    ///
+    /// The nearest point of a lat/lon rectangle on the sphere lies
+    /// inside it (distance 0), on its nearest meridian edge, or at a
+    /// corner: along a parallel the central angle to the query grows
+    /// monotonically with the longitude gap (both latitudes are within
+    /// ±90°, so the `cos φ₁ cos φ₂ cos Δλ` term dominates), which pins
+    /// each parallel edge's minimum to its endpoint on the nearer
+    /// meridian. That reduces the search to one meridian segment, where
+    /// the minimising latitude is either the stationary point
+    /// `tan φ* = tan φ₁ / cos Δλ` of the central angle or one of the
+    /// segment ends. The distance itself is evaluated with the same
+    /// haversine form the scan uses for entries, so the bound stays
+    /// numerically faithful to the distances it is compared against.
+    fn cell_min_distance_km(&self, grid: Grid, x: u32, y: u32) -> f64 {
+        let lat_lo = f64::from(y) / f64::from(grid.lat_cells) * 180.0 - 90.0;
+        let lat_hi = f64::from(y + 1) / f64::from(grid.lat_cells) * 180.0 - 90.0;
+        let lon_lo = f64::from(x) / f64::from(grid.lon_cells) * 360.0 - 180.0;
+        let lon_hi = f64::from(x + 1) / f64::from(grid.lon_cells) * 360.0 - 180.0;
+        let lon = self.from.lon();
+        let gap = |edge: f64| ((lon - edge + 180.0).rem_euclid(360.0) - 180.0).abs();
+        let dlon = if lon >= lon_lo && lon <= lon_hi {
+            0.0
+        } else {
+            gap(lon_lo).min(gap(lon_hi))
+        };
+        let phi1 = self.from_trig.lat_rad;
+        let dl = dlon.to_radians();
+        let (a, b) = (lat_lo.to_radians(), lat_hi.to_radians());
+        // For dl == 0 the stationary point is φ₁ itself, so a query
+        // inside the cell gets bound 0.
+        let s = (phi1.tan() / dl.cos()).atan().clamp(a, b);
+        let hav = |phi2: f64| {
+            let h = ((phi2 - phi1) / 2.0).sin().powi(2)
+                + self.from_trig.cos_lat * phi2.cos() * (dl / 2.0).sin().powi(2);
+            2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+        };
+        let raw = hav(s).min(hav(a)).min(hav(b));
+        (raw * 0.999_999 - 1e-9).max(0.0)
     }
 }
 
@@ -771,6 +1217,76 @@ mod tests {
         }
     }
 
+    /// A cloned view keeps answering from the frozen state while the
+    /// owning index moves on — the structural-sharing contract every
+    /// discovery snapshot depends on.
+    #[test]
+    fn cloned_view_is_isolated_from_later_mutations() {
+        let mut idx = build(&[(1.0, 0.0), (5.0, 0.0), (700.0, 0.0)]);
+        let frozen = idx.view().clone();
+        idx.remove(NodeId::new(0));
+        idx.insert(NodeId::new(9), origin().offset_km(2.0, 0.0));
+        idx.insert(NodeId::new(1), origin().offset_km(4000.0, 0.0));
+        // The frozen view still sees the original fleet…
+        let old = frozen.within_km(origin(), 50.0);
+        assert_eq!(
+            old.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![NodeId::new(0), NodeId::new(1)]
+        );
+        assert_eq!(frozen.len(), 3);
+        // …while the live index answers with the mutated state.
+        let new = idx.within_km(origin(), 50.0);
+        assert_eq!(
+            new.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![NodeId::new(9)]
+        );
+    }
+
+    /// Claimed ids are never emitted, their returned distance is the
+    /// exact scan distance, and the scan still exhausts.
+    #[test]
+    fn claimed_ids_are_withheld_from_emission() {
+        let idx = build(&[(1.0, 0.0), (5.0, 0.0), (30.0, 0.0)]);
+        let expect = idx.within_km(origin(), 100.0);
+        let mut scan = idx.disk_scan(origin());
+        let hint = idx.position(NodeId::new(1)).unwrap();
+        let d = scan.claim(NodeId::new(1), hint).expect("indexed node");
+        assert_eq!(
+            d.to_bits(),
+            expect
+                .iter()
+                .find(|n| n.id == NodeId::new(1))
+                .unwrap()
+                .distance_km
+                .to_bits(),
+            "claim must return the exact scan distance"
+        );
+        // A second claim of the same id, and a claim of an absent id,
+        // both report nothing to seed.
+        assert!(scan.claim(NodeId::new(1), hint).is_none());
+        assert!(scan.claim(NodeId::new(77), origin()).is_none());
+        let got = scan.extend_to(100.0);
+        assert_eq!(
+            got.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![NodeId::new(0), NodeId::new(2)],
+            "claimed node must not be emitted"
+        );
+        assert!(scan.exhausted());
+    }
+
+    /// A claim whose hint does not match the indexed position claims
+    /// nothing: the node stays discoverable through normal emission.
+    #[test]
+    fn claim_with_stale_hint_leaves_node_emittable() {
+        let idx = build(&[(1.0, 0.0), (5.0, 0.0)]);
+        let mut scan = idx.disk_scan(origin());
+        assert!(scan
+            .claim(NodeId::new(0), origin().offset_km(2_000.0, 0.0))
+            .is_none());
+        let got = scan.extend_to(50.0);
+        assert_eq!(got.len(), 2, "unclaimed node still emitted");
+    }
+
     proptest! {
         /// The cached-trig distance must be *bit*-identical to
         /// `GeoPoint::distance_km`: these values flow into emitted
@@ -846,6 +1362,34 @@ mod tests {
                 }
                 radius *= 2.0;
             }
+        }
+
+        /// Incremental mutation against a from-scratch rebuild: after
+        /// any interleaving of inserts/moves/removes, a view clone
+        /// answers identically to an index rebuilt from the final
+        /// positions.
+        #[test]
+        fn mutated_view_matches_from_scratch_rebuild(
+            ops in proptest::collection::vec(
+                (0u64..40, -500.0f64..500.0, -500.0f64..500.0, 0u8..4), 1..120),
+            radius in 10.0f64..2_000.0,
+        ) {
+            let mut idx = ProximityIndex::new();
+            for &(id, e, n, kind) in &ops {
+                if kind == 3 {
+                    idx.remove(NodeId::new(id));
+                } else {
+                    idx.insert(NodeId::new(id), origin().offset_km(e, n));
+                }
+            }
+            let mut fresh = ProximityIndex::new();
+            for (id, p) in idx.iter() {
+                fresh.insert(id, p);
+            }
+            let view = idx.view().clone();
+            prop_assert_eq!(view.within_km(origin(), radius),
+                            fresh.within_km(origin(), radius));
+            prop_assert_eq!(view.len(), fresh.len());
         }
     }
 }

@@ -183,20 +183,23 @@ impl LiveManager {
                 if shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                let (from, summaries) = {
+                // Freeze the table with two refcount bumps and build the
+                // O(n) summary list *outside* the lock: a sync round must
+                // never stall a concurrent heartbeat or discovery behind
+                // an n-proportional serialization hold.
+                let (from, nodes) = {
                     let s = state.lock().expect("not poisoned");
-                    let now = Instant::now();
-                    let summaries: Vec<WireSummary> = s
-                        .nodes
-                        .values()
-                        .map(|r| WireSummary {
-                            status: r.status.clone(),
-                            listen_addr: r.listen_addr.clone(),
-                            age_us: now.duration_since(r.last_seen).as_micros() as u64,
-                        })
-                        .collect();
-                    (s.shard, summaries)
+                    (s.shard, Arc::clone(&s.nodes))
                 };
+                let now = Instant::now();
+                let summaries: Vec<WireSummary> = nodes
+                    .values()
+                    .map(|r| WireSummary {
+                        status: r.status.clone(),
+                        listen_addr: r.listen_addr.clone(),
+                        age_us: now.duration_since(r.last_seen).as_micros() as u64,
+                    })
+                    .collect();
                 let request = Request::SyncSummaries { from, summaries };
                 for peer in &peers {
                     // Backoff gate: a recently failed peer sits out until
@@ -355,12 +358,29 @@ fn serve_connection(mut stream: TcpStream, state: Arc<Mutex<ManagerState>>) -> s
     }
 }
 
+/// Ingest validation: a status whose load score is NaN or infinite is
+/// rejected outright. Scores feed straight into the ranking order;
+/// before this check a single NaN node collapsed the comparator (every
+/// comparison "equal") and scrambled live shortlists.
+fn validate_status(status: &WireNodeStatus) -> Result<(), String> {
+    if !status.load_score.is_finite() {
+        return Err(format!(
+            "node {} sent a non-finite load_score ({})",
+            status.id, status.load_score
+        ));
+    }
+    Ok(())
+}
+
 fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
     match request {
         Request::Register {
             status,
             listen_addr,
         } => {
+            if let Err(message) = validate_status(&status) {
+                return Response::Error { message };
+            }
             let mut s = state.lock().expect("not poisoned");
             let id = status.id;
             Arc::make_mut(&mut s.nodes).insert(
@@ -376,6 +396,9 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
             Response::Registered
         }
         Request::Heartbeat { status } => {
+            if let Err(message) = validate_status(&status) {
+                return Response::Error { message };
+            }
             let mut s = state.lock().expect("not poisoned");
             if !s.nodes.contains_key(&status.id) {
                 return Response::Error {
@@ -431,10 +454,12 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
                     10.0 * r.status.load_score + 0.2 * user_loc.distance_km(r.status.location);
                 (score, r)
             });
+            // `total_cmp` keeps the order strict and total even if a
+            // non-finite score ever slipped past ingest validation —
+            // `partial_cmp(..).unwrap_or(Equal)` here once let a single
+            // NaN node scramble the whole shortlist.
             let best = partial_select_by(scored, top_n, |a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.status.id.cmp(&b.1.status.id))
+                a.0.total_cmp(&b.0).then(a.1.status.id.cmp(&b.1.status.id))
             });
             let nodes: Vec<(u64, String)> = best
                 .into_iter()
@@ -455,6 +480,12 @@ fn handle_request(request: Request, state: &Mutex<ManagerState>) -> Response {
                 // A direct registration outranks a synced summary: the
                 // owner's heartbeat is first-hand.
                 if st.nodes.contains_key(&summary.status.id) {
+                    continue;
+                }
+                // Peers validate at ingest too, but a summary that
+                // somehow carries a non-finite load is dropped rather
+                // than poisoning this shard's ranking.
+                if validate_status(&summary.status).is_err() {
                     continue;
                 }
                 let last_seen = now
@@ -769,6 +800,174 @@ mod tests {
             !a.peer_is_dead(peer)
         });
         assert_eq!(a.dead_peer_count(), 0);
+    }
+
+    /// S1 regression: a peer-sync round over a large node table must
+    /// not stall a concurrent heartbeat. The table is frozen with two
+    /// refcount bumps and serialized outside the state lock, so the
+    /// worst heartbeat round-trip observed while rounds are in flight
+    /// stays far below the O(n) summary-build time the lock used to
+    /// hold.
+    #[test]
+    fn sync_round_does_not_stall_a_concurrent_heartbeat() {
+        let (mut a, addr_a) = LiveManager::bind_federated(0, Tracer::disabled()).unwrap();
+
+        // A minimal peer that acks frames without even parsing them; no
+        // manager (and no state lock) on the receiving side, so only
+        // shard A's locking is measured.
+        let peer_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer_addr = peer_listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            use std::io::Read;
+            while let Ok((mut stream, _)) = peer_listener.accept() {
+                let mut len_buf = [0u8; 4];
+                while stream.read_exact(&mut len_buf).is_ok() {
+                    let len = u32::from_be_bytes(len_buf) as usize;
+                    let mut body = vec![0u8; len];
+                    if stream.read_exact(&mut body).is_err() {
+                        break;
+                    }
+                    if write_message(&mut stream, &Response::SyncAck { applied: 0 }).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+
+        // One real node for heartbeats, plus a large injected table so
+        // each summary build is meaningfully expensive.
+        rpc(
+            addr_a,
+            Request::Register {
+                status: status(1, 0.1),
+                listen_addr: "127.0.0.1:9001".into(),
+            },
+        );
+        {
+            let mut st = a.state.lock().unwrap();
+            let now = Instant::now();
+            let table = Arc::make_mut(&mut st.nodes);
+            for id in 10..150_010u64 {
+                table.insert(
+                    id,
+                    Registration {
+                        status: status(id, 0.5),
+                        listen_addr: "127.0.0.1:9999".into(),
+                        last_seen: now,
+                    },
+                );
+            }
+        }
+
+        a.start_sync(vec![peer_addr], Duration::from_millis(5));
+        // The first round serializes ~150k summaries — give it its own
+        // generous deadline rather than `eventually`'s 2 s.
+        let first = Instant::now() + Duration::from_secs(30);
+        while a.sync_rounds() < 1 {
+            assert!(Instant::now() < first, "first sync round never completed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Hammer heartbeats until two more full rounds have gone by, so
+        // the measurements provably overlap in-flight sync work.
+        let rounds_target = a.sync_rounds() + 2;
+        let mut stream = TcpStream::connect(addr_a).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut worst = Duration::ZERO;
+        while a.sync_rounds() < rounds_target {
+            assert!(Instant::now() < deadline, "sync rounds stopped completing");
+            let t0 = Instant::now();
+            write_message(
+                &mut stream,
+                &Request::Heartbeat {
+                    status: status(1, 0.1),
+                },
+            )
+            .unwrap();
+            let resp: Response = read_message(&mut stream).unwrap();
+            assert_eq!(resp, Response::HeartbeatAck);
+            worst = worst.max(t0.elapsed());
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            worst < Duration::from_millis(100),
+            "a heartbeat stalled {worst:?} behind the sync loop"
+        );
+    }
+
+    /// S2 regression: a NaN/infinite load score must be rejected at
+    /// ingest and, defensively, can no longer scramble the shortlist
+    /// order (`total_cmp` replaced `partial_cmp(..).unwrap_or(Equal)`).
+    /// NaN is not representable in the JSON wire format, so the handler
+    /// is driven directly.
+    #[test]
+    fn non_finite_load_scores_are_rejected_at_ingest() {
+        let state = Mutex::new(ManagerState::default());
+        for id in 0..3u64 {
+            let resp = handle_request(
+                Request::Register {
+                    status: status(id, id as f64 * 0.5),
+                    listen_addr: format!("127.0.0.1:{}", 9000 + id),
+                },
+                &state,
+            );
+            assert_eq!(resp, Response::Registered);
+        }
+
+        // Registering with NaN and heartbeating with +inf both fail
+        // loudly instead of poisoning the registry.
+        let resp = handle_request(
+            Request::Register {
+                status: status(9, f64::NAN),
+                listen_addr: "127.0.0.1:9009".into(),
+            },
+            &state,
+        );
+        assert!(
+            matches!(resp, Response::Error { .. }),
+            "NaN register must fail"
+        );
+        let resp = handle_request(
+            Request::Heartbeat {
+                status: status(0, f64::INFINITY),
+            },
+            &state,
+        );
+        assert!(
+            matches!(resp, Response::Error { .. }),
+            "inf heartbeat must fail"
+        );
+
+        // A non-finite synced summary is dropped, not applied.
+        let resp = handle_request(
+            Request::SyncSummaries {
+                from: 1,
+                summaries: vec![WireSummary {
+                    status: status(8, f64::NAN),
+                    listen_addr: "127.0.0.1:9008".into(),
+                    age_us: 0,
+                }],
+            },
+            &state,
+        );
+        assert_eq!(resp, Response::SyncAck { applied: 0 });
+
+        // The shortlist still ranks by load, strictly ordered.
+        match handle_request(
+            Request::Discover {
+                user: 1,
+                lat: 44.98,
+                lon: -93.26,
+                top_n: 5,
+            },
+            &state,
+        ) {
+            Response::Candidates { nodes } => {
+                let ids: Vec<u64> = nodes.iter().map(|n| n.0).collect();
+                assert_eq!(ids, vec![0, 1, 2], "ranking must stay strict and total");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

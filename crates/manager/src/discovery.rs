@@ -8,60 +8,131 @@
 //! to the single-manager baseline: given the same view of alive nodes,
 //! both produce byte-for-byte the same shortlist.
 //!
-//! This module holds the *fast* engine: an incremental
-//! [`DiskScan`](armada_geo::DiskScan) replaces the per-round `within_km`
-//! re-scan (each geohash cell is visited at most once across all
-//! widening rounds) and a bounded partial-select replaces the full sort.
-//! The original implementation lives on in [`crate::reference`] as the
-//! differential-test oracle; `tests/discovery_equivalence.rs` holds the
-//! two byte-identical over seeded random fleets.
+//! This module holds the *fast* engine. Three mechanisms separate it
+//! from the retained oracle in [`crate::reference`]:
+//!
+//! * an incremental [`DiskScan`](armada_geo::DiskScan) replaces the
+//!   per-round `within_km` re-scan (each geohash cell is visited at
+//!   most once across all widening rounds);
+//! * an incremental bounded select ([`BoundedSelect`]) replaces the
+//!   full sort, maintaining the best `top_n` as candidates stream in;
+//! * an **admissible score bound** stops the widening as soon as no
+//!   not-yet-seen candidate can still displace the current shortlist —
+//!   on a dense metro this ends the query after a few kilometres
+//!   instead of scoring every node inside the 80 km starting radius.
+//!
+//! `tests/discovery_equivalence.rs` holds the fast engine and the
+//! oracle byte-identical over seeded random fleets.
 //!
 //! # Why the outputs are identical
 //!
-//! Both engines follow the same radius schedule (`proximity_radius_km`,
-//! doubling) and, per round, consider exactly the `within_km` member
-//! set — the disk scan's cumulative emissions equal the full scan by
-//! construction. The loop exits differ in form but not in effect:
+//! Fix a query and let `R*` be the radius at which the reference stops
+//! and `S*` the alive candidates within `R*` — the reference's answer
+//! is `top_n` of `S*` under the strict `(score, id)` order.
 //!
-//! * the reference stops once `want = top_n.min(alive_total)` alive
-//!   candidates are in view; the fast engine stops at `top_n` alive
-//!   candidates *or* scan exhaustion. When `alive_total < top_n` the
-//!   reference stops earlier (as soon as all alive nodes are inside),
-//!   but the extra rounds the fast engine runs can only surface nodes
-//!   that fail the liveness filter — every alive node is already in the
-//!   candidate set — so the ranked shortlist cannot change.
-//! * ranking is input-order-insensitive (strict total order on
-//!   `(score, id)`), so candidate arrival order is irrelevant, and the
-//!   bounded partial-select provably equals full-sort + truncate under
-//!   that same order.
+//! **Schedule.** The reference only ever evaluates its exits at the
+//! radii `R_k = base · 2^k`. The fast engine walks a finer ladder
+//! (sub-steps below `base`, a midpoint inside each octave) but checks
+//! the *count* exit (`alive seen ≥ top_n`) only at the `R_k` — so
+//! without the score bound it stops at exactly the reference's `R*`,
+//! having offered exactly `S*` (the scan's cumulative emissions equal
+//! the full scan by construction). When `alive_total < top_n` the
+//! reference stops as soon as every alive node is in view while the
+//! fast engine widens to exhaustion; the extra rounds can only surface
+//! nodes that fail the liveness filter, so the shortlist is unchanged.
+//!
+//! **Affiliation seeding.** Affiliated alive nodes are *claimed* out of
+//! the scan up front: their exact score is computed from the indexed
+//! position (bit-identical trig distance) and they are withheld from
+//! emission. A seeded candidate enters the select only once the radius
+//! reaches its distance — exactly when the reference would have seen
+//! it — so seeding changes when a score is known, never whether or at
+//! what radius it competes. Because claimed ids are never emitted, an
+//! emitted candidate needs no affiliation lookup unless some affiliated
+//! id could not be claimed (then the `contains` check stays, preserving
+//! the bonus for index/view-inconsistent corners).
+//!
+//! **Score bound.** Scores are `lw·load + dw·dist − ab·[affiliated]`.
+//! Every candidate not yet offered at radius `r` has distance strictly
+//! greater than `r` (the cap cover is conservative), so its eventual
+//! score strictly exceeds `lw·floor + dw·r` (− `ab` if an affiliated id
+//! is still unresolved), where `floor` is a caller-supplied lower bound
+//! on every load in the view. Once the select holds `top_n` candidates
+//! with worst score `W`, the engine stops when that bound is `≥ W` and
+//! every still-unflushed seeded candidate orders strictly after the
+//! worst survivor: any candidate the reference would still meet between
+//! `r` and `R*` then scores strictly above `W` and cannot enter the top
+//! `top_n`, hence `top_n(offered) = top_n(S*)`. The bound requires
+//! `dw > 0`, `lw ≥ 0` and a finite `floor`; otherwise the engine simply
+//! never takes this exit and behaves like the pre-bound implementation.
+//!
+//! **Candidate pruning.** The same bound also runs *inside* a round,
+//! under the same `early` preconditions. Once the select is full with
+//! worst score `W`, any candidate at distance `d` with
+//! `lw·floor + dw·d − slack > W` (strictly) cannot enter the shortlist:
+//! its true score is at least that bound (claimed seeds bypass the scan
+//! entirely, so an emitted candidate only carries the affinity bonus
+//! when `slack` already accounts for it). Three consequences are
+//! exploited, none of which can change the answer:
+//!
+//! * **emission break** — emissions within a round arrive sorted by
+//!   `(distance, id)` and the bound is monotone in distance, so the
+//!   first over-bound candidate ends the whole batch (`W` cannot change
+//!   while candidates are being skipped, since skipping never offers);
+//! * **queue-time cutoff** — between rounds the engine hands the scan a
+//!   distance horizon `(W − lw·floor + slack)/dw`, shaded upward so
+//!   float rounding can only over-keep; the scan then discards
+//!   over-horizon candidates instead of buffering them
+//!   ([`DiskScan::prune_beyond`](armada_geo::DiskScan::prune_beyond)).
+//!   On a metro fleet this is what keeps a sparse-area query from
+//!   materialising a 100k-entry city cell it will never rank;
+//! * **exit timing is preserved** — drops only ever happen once the
+//!   select is full, and the select only fills with alive offers, so
+//!   `alive seen ≥ top_n` is already permanently true at every later
+//!   schedule point: the count exit fires at the same radius as the
+//!   reference even though `alive_seen` stops counting skipped nodes.
+//!   `W` only tightens as offers improve, so a candidate dropped
+//!   against any intermediate `W` orders strictly after every final
+//!   survivor. The scan's exhaustion exit still terminates via its
+//!   all-cells-scanned-and-nothing-pending clause.
 //!
 //! Dropping `alive_total` from the fast path is therefore not just
 //! cosmetic: it removes an O(N) registry sweep from every query.
 
-use armada_geo::{ProximityIndex, GLOBE_COVER_RADIUS_KM};
+use std::cmp::Ordering;
+
+use armada_geo::{GeoView, GLOBE_COVER_RADIUS_KM};
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, SystemConfig};
 
-use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
+use crate::selection::{rank_order, BoundedSelect, GlobalSelectionPolicy, ScoredCandidate};
 
 /// Serves one discovery query against an arbitrary liveness view.
 ///
 /// The geo-proximity filter starts at the configured radius and widens
-/// (doubling) until at least `top_n` alive candidates are inside or the
-/// scan has covered every indexed node. `alive_status` is the view: it
+/// (doubling) until at least `top_n` alive candidates are inside, the
+/// scan has covered every indexed node, or the score bound proves the
+/// shortlist can no longer change. `alive_status` is the view: it
 /// returns the status for a node id iff that node is currently
 /// considered alive (nodes the view holds but the index doesn't are
 /// simply undiscoverable — the scan terminates regardless).
+///
+/// `load_floor` must lower-bound every `load_score` the view can return
+/// (managers maintain it monotonically across the fleet's lifetime);
+/// pass `f64::NEG_INFINITY` to disable the early-stop bound. An unsound
+/// floor can silently truncate shortlists — when in doubt, disable.
 ///
 /// Candidates are then ranked by `policy`, best first, keeping `top_n`.
 ///
 /// Byte-identical to [`crate::reference::widen_and_rank`]; see the
 /// [module docs](crate::discovery) for the argument.
+#[allow(clippy::too_many_arguments)] // free function shared across tiers; callers pass their own state
 pub fn discover_shortlist(
     config: &SystemConfig,
     policy: &GlobalSelectionPolicy,
-    index: &ProximityIndex,
+    index: &GeoView,
     alive_status: impl Fn(NodeId) -> Option<NodeStatus>,
+    load_floor: f64,
     user_loc: GeoPoint,
     affiliations: &[NodeId],
     top_n: usize,
@@ -69,28 +140,151 @@ pub fn discover_shortlist(
     if top_n == 0 {
         return Vec::new();
     }
-    let mut radius = config.proximity_radius_km.max(0.1);
+    let base = config.proximity_radius_km.max(0.1);
     let mut scan = index.disk_scan(user_loc);
-    // Each alive candidate keeps the distance the scan measured, so the
-    // ranking below never recomputes a haversine.
-    let mut alive: Vec<(NodeStatus, f64)> = Vec::new();
-    loop {
-        for neighbor in scan.extend_to(radius) {
-            if let Some(status) = alive_status(neighbor.id) {
-                alive.push((status, neighbor.distance_km));
+
+    // Claim affiliated alive nodes out of the scan: exact scores now,
+    // eligibility deferred until the radius reaches them.
+    let mut uniq: Vec<NodeId> = affiliations.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let mut seeded: Vec<ScoredCandidate> = Vec::new();
+    let mut unresolved_affiliated = false;
+    for &id in &uniq {
+        if let Some(status) = alive_status(id) {
+            match scan.claim(id, status.location) {
+                Some(distance) => seeded.push(policy.score_with_distance(&status, distance, true)),
+                // Alive but not indexed where its status says (phantom
+                // node, or a view/index inconsistency): it may still be
+                // emitted elsewhere, so the bound must allow for an
+                // affiliated late arrival.
+                None => unresolved_affiliated = true,
             }
         }
-        if alive.len() >= top_n || scan.exhausted() || radius >= GLOBE_COVER_RADIUS_KM {
+    }
+    seeded.sort_by(|a, b| {
+        a.distance_km
+            .total_cmp(&b.distance_km)
+            .then(a.node.cmp(&b.node))
+    });
+    let check_affiliation = !uniq.is_empty() && unresolved_affiliated;
+
+    // The bound is only admissible when larger distance means strictly
+    // larger score and the floor really floors.
+    let early =
+        policy.distance_weight_per_km > 0.0 && policy.load_weight >= 0.0 && load_floor.is_finite();
+    let affinity_slack = if unresolved_affiliated {
+        policy.affinity_bonus.max(0.0)
+    } else {
+        0.0
+    };
+
+    let mut select = BoundedSelect::new(top_n, rank_order);
+    let mut alive_seen = 0usize;
+    let mut next_seed = 0usize;
+    // The radius ladder: sub-steps below `base` (bound exits only),
+    // then each octave's schedule point `base·2^k` (count exit allowed)
+    // with one midpoint between octaves.
+    let mut radius = if early { base / 32.0 } else { base };
+    let mut schedule_radius = base;
+    loop {
+        for neighbor in scan.extend_to(radius) {
+            // Emissions arrive in (distance, id) order, so once one
+            // candidate's admissible lower bound exceeds the worst
+            // survivor, every later one in the batch does too — skip
+            // their liveness lookups wholesale. Only sound once the
+            // select is full (see the drop-safety argument in the
+            // module docs).
+            if early && select.is_full() {
+                if let Some(worst) = select.worst() {
+                    let bound = policy.load_weight * load_floor
+                        + policy.distance_weight_per_km * neighbor.distance_km
+                        - affinity_slack;
+                    if bound > worst.score {
+                        break;
+                    }
+                }
+            }
+            let Some(status) = alive_status(neighbor.id) else {
+                continue;
+            };
+            alive_seen += 1;
+            let affiliated = check_affiliation && uniq.contains(&neighbor.id);
+            select.offer(policy.score_with_distance(&status, neighbor.distance_km, affiliated));
+        }
+        while next_seed < seeded.len() && seeded[next_seed].distance_km <= radius {
+            select.offer(seeded[next_seed]);
+            alive_seen += 1;
+            next_seed += 1;
+        }
+        // Sub-steps reach `base` exactly (power-of-two scaling is exact
+        // in binary floating point), so equality is reliable here.
+        let at_schedule_point = radius == schedule_radius;
+        if (at_schedule_point && alive_seen >= top_n)
+            || scan.exhausted()
+            || radius >= GLOBE_COVER_RADIUS_KM
+        {
             break;
         }
-        radius *= 2.0;
+        if early && select.is_full() {
+            if let Some(worst) = select.worst() {
+                let bound = policy.load_weight * load_floor
+                    + policy.distance_weight_per_km * radius
+                    - affinity_slack;
+                if bound >= worst.score
+                    && seeded[next_seed..]
+                        .iter()
+                        .all(|s| rank_order(s, worst) == Ordering::Greater)
+                {
+                    break;
+                }
+                // Not done yet, but the worst survivor still caps how far
+                // a useful candidate can sit: beyond
+                // (worst − lw·floor + slack) / dw its admissible lower
+                // bound strictly exceeds `worst`. Tell the scan to stop
+                // buffering such candidates (shaded up so float rounding
+                // can only over-keep, never over-drop).
+                let cutoff = (worst.score - policy.load_weight * load_floor + affinity_slack)
+                    / policy.distance_weight_per_km;
+                scan.prune_beyond(cutoff * 1.000_001 + 1e-9);
+            }
+        }
+        // Advance the ladder. Any non-decreasing radius sequence that
+        // still reaches every schedule radius exactly preserves the
+        // answer (the count exit only fires at schedule points, and the
+        // cover is cumulative), so when the select is full we jump the
+        // next sub-step straight to the radius at which the bound exit
+        // becomes provable — the same cutoff the scan prunes at —
+        // instead of overshooting to the next power of two and paying
+        // for a ring that cannot change the shortlist.
+        let mut next = if radius < schedule_radius {
+            (radius * 2.0).min(schedule_radius)
+        } else if radius == schedule_radius && early {
+            schedule_radius * 1.5
+        } else {
+            schedule_radius *= 2.0;
+            schedule_radius
+        };
+        if early && select.is_full() {
+            if let Some(worst) = select.worst() {
+                let target = (worst.score - policy.load_weight * load_floor + affinity_slack)
+                    / policy.distance_weight_per_km
+                    * 1.000_001
+                    + 1e-9;
+                if target > radius && target < next {
+                    next = target;
+                }
+            }
+        }
+        radius = next;
     }
-    policy.rank_top_n_with_distances(alive, affiliations, top_n)
+    select.into_sorted()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use armada_geo::ProximityIndex;
     use armada_types::NodeClass;
     use std::collections::HashMap;
 
@@ -120,8 +314,9 @@ mod tests {
         let got = discover_shortlist(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
-            &index,
+            index.view(),
             |id| view.get(&id).copied(),
+            0.0,
             home(),
             &[],
             3,
@@ -144,8 +339,9 @@ mod tests {
         let got = discover_shortlist(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
-            &index,
+            index.view(),
             |id| view.get(&id).copied(),
+            0.0,
             home(),
             &[],
             3,
@@ -174,8 +370,9 @@ mod tests {
             let fast = discover_shortlist(
                 &config,
                 &policy,
-                &index,
+                index.view(),
                 |id| view.get(&id).copied(),
+                0.0,
                 home(),
                 &affiliations,
                 top_n,
@@ -183,7 +380,7 @@ mod tests {
             let oracle = crate::reference::widen_and_rank(
                 &config,
                 &policy,
-                &index,
+                index.view(),
                 view.len(),
                 |id| view.get(&id).copied(),
                 home(),
@@ -191,6 +388,57 @@ mod tests {
                 top_n,
             );
             assert_eq!(fast, oracle, "top_n={top_n}");
+        }
+    }
+
+    /// The score-bound early exit must stay answer-preserving when the
+    /// floor is the true minimum load, when it is lower than necessary,
+    /// and when it is disabled — including with far-away affiliated
+    /// nodes whose seeded flush crosses many octaves.
+    #[test]
+    fn early_stop_agrees_with_oracle_under_varied_floors() {
+        let mut index = ProximityIndex::new();
+        let mut view = HashMap::new();
+        for i in 0..220u64 {
+            let east = (i as f64 * 41.0) % 2400.0 - 1200.0;
+            let north = (i as f64 * 59.0) % 1600.0 - 800.0;
+            let mut s = status(i, home().offset_km(east, north));
+            // Loads in [-0.5, 2.5]: negative loads exercise the floor's
+            // obligation to track the true minimum, not zero.
+            s.load_score = ((i % 13) as f64) * 0.25 - 0.5;
+            index.insert(s.node, s.location);
+            if i % 9 != 0 {
+                view.insert(s.node, s);
+            }
+        }
+        let config = SystemConfig::default();
+        let policy = GlobalSelectionPolicy::default();
+        // One nearby and one very far affiliated node.
+        let affiliations = [NodeId::new(3), NodeId::new(219), NodeId::new(3)];
+        for floor in [-0.5, -10.0, f64::NEG_INFINITY] {
+            for top_n in [1usize, 3, 8, 32] {
+                let fast = discover_shortlist(
+                    &config,
+                    &policy,
+                    index.view(),
+                    |id| view.get(&id).copied(),
+                    floor,
+                    home(),
+                    &affiliations,
+                    top_n,
+                );
+                let oracle = crate::reference::widen_and_rank(
+                    &config,
+                    &policy,
+                    index.view(),
+                    view.len(),
+                    |id| view.get(&id).copied(),
+                    home(),
+                    &affiliations,
+                    top_n,
+                );
+                assert_eq!(fast, oracle, "floor={floor} top_n={top_n}");
+            }
         }
     }
 }

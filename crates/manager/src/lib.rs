@@ -41,6 +41,7 @@
 
 mod discovery;
 mod manager;
+mod pool;
 pub mod reference;
 mod registry;
 mod selection;
@@ -48,7 +49,8 @@ mod snapshot;
 
 pub use discovery::discover_shortlist;
 pub use manager::CentralManager;
+pub use pool::{DiscoveryQuery, QueryPool};
 pub use reference::widen_and_rank;
-pub use registry::{NodeRecord, NodeRegistry};
+pub use registry::{NodeRecord, NodeRegistry, RecordTable};
 pub use selection::{partial_select_by, GlobalSelectionPolicy, ScoredCandidate};
 pub use snapshot::DiscoverySnapshot;

@@ -1,22 +1,29 @@
 //! The Central Manager facade.
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
 
 use armada_geo::ProximityIndex;
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, SimTime, SystemConfig};
 
+use crate::pool::{DiscoveryQuery, QueryPool};
 use crate::registry::NodeRegistry;
 use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
 use crate::snapshot::DiscoverySnapshot;
 
 /// The Central Manager: registry + proximity index + global selection.
 ///
-/// Discovery is served off epoch-numbered copy-on-write snapshots
-/// ([`CentralManager::snapshot`]): the registry's record table and the
-/// proximity index both live behind [`Arc`]s, so freezing a consistent
-/// view is two refcount bumps and writers only pay a deep copy when a
-/// snapshot is still held at their next mutation.
+/// Mutations are *buffered*: register/heartbeat-move/prune ops land in
+/// a per-node last-write-wins delta map and are applied to the geo
+/// index only when a query or snapshot next needs a synced view
+/// ([`CentralManager::sync_index`]). Because the index's query surface
+/// is structurally shared per cell ([`armada_geo::GeoView`]) and the
+/// record table per shard ([`crate::RecordTable`]), holding a snapshot
+/// across mutations copy-on-writes only the touched cells/shards —
+/// never the whole index. [`CentralManager::full_rebuilds`] counts the
+/// only remaining from-scratch path (the explicit
+/// [`CentralManager::rebuild_index`] escape hatch) so benches can
+/// assert the steady state stays on the delta path.
 ///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
@@ -24,11 +31,22 @@ pub struct CentralManager {
     config: SystemConfig,
     policy: GlobalSelectionPolicy,
     registry: NodeRegistry,
-    index: Arc<ProximityIndex>,
+    index: ProximityIndex,
+    /// Buffered index deltas, last-write-wins per node: `Some(loc)` is
+    /// an upsert, `None` a removal. Sorted drain keeps the applied
+    /// order — and hence the index's internal cell layout — a pure
+    /// function of the buffered *set*, independent of arrival order.
+    pending: BTreeMap<NodeId, Option<GeoPoint>>,
     /// Bumped on every registry/index mutation; snapshots carry the
     /// epoch they froze, so equal epochs mean identical views.
     epoch: u64,
     discoveries_served: u64,
+    full_rebuilds: u64,
+    /// Lower bound on every load score this manager has ever accepted;
+    /// monotone non-increasing, poisoned to NaN by a NaN load. Feeds
+    /// the discovery engine's admissible early-stop bound (removals
+    /// never raise it, which keeps it a sound lower bound).
+    load_floor: f64,
 }
 
 impl CentralManager {
@@ -39,10 +57,33 @@ impl CentralManager {
             config,
             policy,
             registry: NodeRegistry::new(config.heartbeat_period, config.heartbeat_miss_limit),
-            index: Arc::new(ProximityIndex::new()),
+            index: ProximityIndex::new(),
+            pending: BTreeMap::new(),
             epoch: 0,
             discoveries_served: 0,
+            full_rebuilds: 0,
+            load_floor: f64::INFINITY,
         }
+    }
+
+    fn lower_floor(&mut self, load: f64) {
+        if load.is_nan() || self.load_floor.is_nan() {
+            // A NaN load poisons the floor permanently: the engine then
+            // never takes the bound exit (NaN is not finite), which is
+            // the only sound answer once scores can be NaN.
+            self.load_floor = f64::NAN;
+        } else if load < self.load_floor {
+            self.load_floor = load;
+        }
+    }
+
+    /// Buffers an index upsert, skipping the no-op case (stationary
+    /// heartbeat with nothing pending for the node).
+    fn buffer_upsert(&mut self, id: NodeId, loc: GeoPoint) {
+        if !self.pending.contains_key(&id) && self.index.position(id) == Some(loc) {
+            return;
+        }
+        self.pending.insert(id, Some(loc));
     }
 
     /// The environment configuration.
@@ -58,7 +99,8 @@ impl CentralManager {
     /// Registers a node (or refreshes it after downtime).
     pub fn register(&mut self, status: NodeStatus, now: SimTime) {
         self.epoch += 1;
-        Arc::make_mut(&mut self.index).insert(status.node, status.location);
+        self.lower_floor(status.load_score);
+        self.buffer_upsert(status.node, status.location);
         self.registry.register(status, now);
     }
 
@@ -70,8 +112,9 @@ impl CentralManager {
             self.register(status, now);
         } else {
             self.epoch += 1;
+            self.lower_floor(status.load_score);
             // Keep the spatial index in sync with mobile nodes.
-            Arc::make_mut(&mut self.index).insert(status.node, status.location);
+            self.buffer_upsert(status.node, status.location);
         }
     }
 
@@ -79,20 +122,75 @@ impl CentralManager {
     pub fn node_left(&mut self, node: NodeId) {
         self.epoch += 1;
         self.registry.deregister(node);
-        Arc::make_mut(&mut self.index).remove(node);
+        self.pending.insert(node, None);
+    }
+
+    /// Applies every buffered index delta (in sorted node order, so the
+    /// resulting index layout is deterministic for a given buffered
+    /// set). Returns the number of ops applied. Query and snapshot
+    /// paths call this implicitly; benches call it explicitly to
+    /// isolate snapshot-maintenance cost from query cost.
+    pub fn sync_index(&mut self) -> usize {
+        let pending = std::mem::take(&mut self.pending);
+        let applied = pending.len();
+        // One batch, not `applied` single-op edits: each touched cell is
+        // rewritten once per sync, so a churn round over a metro
+        // mega-cell costs O(cell) instead of O(moves × cell).
+        self.index.apply_batch(pending);
+        applied
+    }
+
+    /// Number of buffered index deltas not yet applied.
+    pub fn pending_deltas(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How many times the proximity index was rebuilt from scratch
+    /// ([`CentralManager::rebuild_index`]). The incremental delta path
+    /// never rebuilds, so in steady state this stays 0 — the
+    /// `discover_scale` bench asserts exactly that.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// Rebuilds the proximity index from the registry from scratch,
+    /// discarding any buffered deltas. No mutation or query path calls
+    /// this — [`CentralManager::sync_index`] fully maintains the index
+    /// incrementally — but it remains as a recovery escape hatch and as
+    /// the from-scratch comparator differential tests check the delta
+    /// path against. Counted by [`CentralManager::full_rebuilds`].
+    pub fn rebuild_index(&mut self) {
+        self.full_rebuilds += 1;
+        self.pending.clear();
+        let mut index = ProximityIndex::new();
+        let mut records: Vec<(NodeId, GeoPoint)> = self
+            .registry
+            .records()
+            .map(|r| (r.status.node, r.status.location))
+            .collect();
+        records.sort_unstable_by_key(|&(id, _)| id);
+        for (id, loc) in records {
+            index.insert(id, loc);
+        }
+        self.index = index;
     }
 
     /// Freezes the current discovery state into an epoch-numbered
-    /// copy-on-write snapshot. O(1); the manager stays fully mutable
-    /// and later writes never show through the snapshot.
-    pub fn snapshot(&self) -> DiscoverySnapshot {
+    /// snapshot: buffered deltas are applied, then the record table and
+    /// geo view are cloned structurally (a few hundred `Arc` bumps —
+    /// later writes copy-on-write only what they touch and never show
+    /// through the snapshot).
+    pub fn snapshot(&mut self) -> DiscoverySnapshot {
+        self.sync_index();
         DiscoverySnapshot::new(
             self.epoch,
             self.config,
             self.policy,
             self.registry.shared(),
-            Arc::clone(&self.index),
+            None,
+            self.index.view().clone(),
             self.registry.liveness_budget(),
+            self.load_floor,
         )
     }
 
@@ -118,9 +216,8 @@ impl CentralManager {
         let pruned = self.registry.prune(now, grace);
         if !pruned.is_empty() {
             self.epoch += 1;
-            let index = Arc::make_mut(&mut self.index);
             for id in &pruned {
-                index.remove(*id);
+                self.pending.insert(*id, None);
             }
         }
         pruned
@@ -155,27 +252,44 @@ impl CentralManager {
     /// Like [`CentralManager::discover`] but returns scores, for
     /// diagnostics and tests.
     pub fn ranked_candidates(
-        &self,
+        &mut self,
         user_loc: GeoPoint,
         affiliations: &[NodeId],
         top_n: usize,
         now: SimTime,
     ) -> Vec<ScoredCandidate> {
+        self.sync_index();
+        let (registry, index) = (&self.registry, &self.index);
         crate::discovery::discover_shortlist(
             &self.config,
             &self.policy,
-            &self.index,
+            index.view(),
             |id| {
-                if self.registry.is_alive(id, now) {
-                    self.registry.record(id).map(|r| r.status)
+                if registry.is_alive(id, now) {
+                    registry.record(id).map(|r| r.status)
                 } else {
                     None
                 }
             },
+            self.load_floor,
             user_loc,
             affiliations,
             top_n,
         )
+    }
+
+    /// Serves a batch of discovery queries off one frozen snapshot via
+    /// a worker pool. Every query sees the identical epoch; results
+    /// come back in input order and are byte-identical to serving each
+    /// query serially through [`CentralManager::ranked_candidates`].
+    pub fn discover_batch(
+        &mut self,
+        pool: &QueryPool,
+        queries: &[DiscoveryQuery],
+    ) -> Vec<Vec<ScoredCandidate>> {
+        self.discoveries_served += queries.len() as u64;
+        let snapshot = self.snapshot();
+        pool.serve(&snapshot, queries)
     }
 }
 

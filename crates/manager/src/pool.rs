@@ -1,0 +1,203 @@
+//! Deterministic worker-pool serving of discovery queries.
+//!
+//! A [`DiscoverySnapshot`] is immutable and structurally shared, so any
+//! number of threads can rank against it concurrently without locks.
+//! [`QueryPool`] fans a batch of queries out over OS threads using the
+//! same pattern as the `armada_bench` harness: an atomic cursor hands
+//! out query indices, each worker writes its result into a dedicated
+//! slot, and results are returned in input order. Because each query is
+//! a pure function of `(snapshot, query)`, the parallel path is
+//! byte-identical to the serial one — a property the module tests pin.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use armada_types::{GeoPoint, NodeId, SimTime};
+
+use crate::selection::ScoredCandidate;
+use crate::snapshot::DiscoverySnapshot;
+
+/// One discovery request: everything `DiscoverySnapshot::ranked` needs.
+#[derive(Debug, Clone)]
+pub struct DiscoveryQuery {
+    /// Where the requesting user is.
+    pub user_loc: GeoPoint,
+    /// Provider-affiliated nodes to favor (paper §IV-B).
+    pub affiliations: Vec<NodeId>,
+    /// Shortlist size.
+    pub top_n: usize,
+    /// Query time, for liveness filtering.
+    pub now: SimTime,
+}
+
+/// A fixed-size pool of query-serving workers.
+///
+/// `threads == 1` (or a batch of ≤ 1 query) serves inline on the
+/// calling thread with zero setup cost; larger configurations spawn
+/// scoped threads per batch. Either way the output is identical.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryPool {
+    threads: usize,
+}
+
+impl QueryPool {
+    /// Creates a pool that serves batches on `threads` workers
+    /// (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        QueryPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// How many workers a batch is spread over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves every query against one frozen snapshot, returning full
+    /// scored shortlists in input order.
+    pub fn serve(
+        &self,
+        snapshot: &DiscoverySnapshot,
+        queries: &[DiscoveryQuery],
+    ) -> Vec<Vec<ScoredCandidate>> {
+        if self.threads <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| serve_one(snapshot, q)).collect();
+        }
+        let slots: Vec<Mutex<Option<Vec<ScoredCandidate>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(queries.len()) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(query) = queries.get(i) else { break };
+                    let ranked = serve_one(snapshot, query);
+                    *slots[i].lock().expect("query slot poisoned") = Some(ranked);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("query slot poisoned")
+                    .expect("worker pool filled every slot")
+            })
+            .collect()
+    }
+
+    /// Like [`QueryPool::serve`] but returns just the node ids, the
+    /// shape `discover` calls want.
+    pub fn serve_ids(
+        &self,
+        snapshot: &DiscoverySnapshot,
+        queries: &[DiscoveryQuery],
+    ) -> Vec<Vec<NodeId>> {
+        self.serve(snapshot, queries)
+            .into_iter()
+            .map(|ranked| ranked.into_iter().map(|c| c.node).collect())
+            .collect()
+    }
+}
+
+fn serve_one(snapshot: &DiscoverySnapshot, query: &DiscoveryQuery) -> Vec<ScoredCandidate> {
+    snapshot.ranked(query.user_loc, &query.affiliations, query.top_n, query.now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::CentralManager;
+    use crate::selection::GlobalSelectionPolicy;
+    use armada_node::NodeStatus;
+    use armada_types::SystemConfig;
+
+    fn status(id: u64, loc: GeoPoint, load: f64) -> NodeStatus {
+        NodeStatus {
+            node: NodeId::new(id),
+            class: armada_types::NodeClass::Volunteer,
+            location: loc,
+            attached_users: 0,
+            load_score: load,
+        }
+    }
+
+    fn populated_manager(nodes: u64) -> CentralManager {
+        let config = SystemConfig::default();
+        let mut mgr = CentralManager::new(config, GlobalSelectionPolicy::default());
+        let origin = GeoPoint::new(44.98, -93.26);
+        for i in 0..nodes {
+            let loc = origin.offset_km(
+                ((i % 97) as f64 - 48.0) * 11.3,
+                ((i % 89) as f64 - 44.0) * 9.7,
+            );
+            mgr.register(status(i, loc, (i % 13) as f64 * 0.25), SimTime::ZERO);
+        }
+        mgr
+    }
+
+    fn query_mix(count: usize) -> Vec<DiscoveryQuery> {
+        let origin = GeoPoint::new(44.98, -93.26);
+        (0..count)
+            .map(|i| DiscoveryQuery {
+                user_loc: origin.offset_km((i as f64 - 8.0) * 37.0, (i as f64) * 13.0),
+                affiliations: if i % 3 == 0 {
+                    vec![NodeId::new(i as u64 % 40), NodeId::new(7)]
+                } else {
+                    Vec::new()
+                },
+                top_n: 1 + i % 9,
+                now: SimTime::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_batch_is_byte_identical_to_serial() {
+        let mut mgr = populated_manager(400);
+        let snapshot = mgr.snapshot();
+        let queries = query_mix(57);
+        let serial = QueryPool::new(1).serve(&snapshot, &queries);
+        for threads in [2, 3, 8] {
+            let parallel = QueryPool::new(threads).serve(&snapshot, &queries);
+            assert_eq!(serial, parallel, "threads={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let mut mgr = populated_manager(120);
+        let snapshot = mgr.snapshot();
+        let queries = query_mix(24);
+        let batched = QueryPool::new(4).serve(&snapshot, &queries);
+        assert_eq!(batched.len(), queries.len());
+        for (i, (query, ranked)) in queries.iter().zip(&batched).enumerate() {
+            let expected =
+                snapshot.ranked(query.user_loc, &query.affiliations, query.top_n, query.now);
+            assert_eq!(*ranked, expected, "slot {i} holds the wrong query's answer");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one_and_empty_batch_is_fine() {
+        let mut mgr = populated_manager(10);
+        let snapshot = mgr.snapshot();
+        let pool = QueryPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.serve(&snapshot, &[]).is_empty());
+    }
+
+    #[test]
+    fn discover_batch_matches_individual_discover_calls() {
+        let mut mgr = populated_manager(200);
+        let queries = query_mix(18);
+        let pool = QueryPool::new(3);
+        let batched = mgr.discover_batch(&pool, &queries);
+        for (query, ranked) in queries.iter().zip(&batched) {
+            let direct =
+                mgr.ranked_candidates(query.user_loc, &query.affiliations, query.top_n, query.now);
+            assert_eq!(*ranked, direct);
+        }
+    }
+}

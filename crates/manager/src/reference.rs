@@ -20,7 +20,7 @@
 //! which further widening cannot change the candidate set, so the fix
 //! is output-preserving.
 
-use armada_geo::{ProximityIndex, GLOBE_COVER_RADIUS_KM};
+use armada_geo::{GeoView, GLOBE_COVER_RADIUS_KM};
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, SystemConfig};
 
@@ -40,7 +40,7 @@ use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
 pub fn widen_and_rank(
     config: &SystemConfig,
     policy: &GlobalSelectionPolicy,
-    index: &ProximityIndex,
+    index: &GeoView,
     alive_total: usize,
     alive_status: impl Fn(NodeId) -> Option<NodeStatus>,
     user_loc: GeoPoint,
@@ -75,6 +75,7 @@ pub fn widen_and_rank(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use armada_geo::ProximityIndex;
     use armada_types::NodeClass;
     use std::collections::HashMap;
 
@@ -101,7 +102,7 @@ mod tests {
         let got = widen_and_rank(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
-            &index,
+            index.view(),
             view.len(),
             |id| view.get(&id).copied(),
             home,
@@ -127,7 +128,7 @@ mod tests {
         let got = widen_and_rank(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
-            &index,
+            index.view(),
             view.len(),
             |id| view.get(&id).copied(),
             home,
@@ -156,7 +157,7 @@ mod tests {
         let got = widen_and_rank(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
-            &index,
+            index.view(),
             view.len(), // 2: unreachable through the index
             |id| view.get(&id).copied(),
             home,
@@ -175,7 +176,7 @@ mod tests {
         let got = widen_and_rank(
             &SystemConfig::default(),
             &GlobalSelectionPolicy::default(),
-            &index,
+            index.view(),
             3, // claims three alive nodes; none are indexed
             |id| Some(status(id.as_u64(), home)),
             home,

@@ -1,10 +1,115 @@
 //! The node registry with heartbeat-based liveness.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use armada_node::NodeStatus;
+use armada_types::fasthash::FastMap;
 use armada_types::{NodeId, SimDuration, SimTime};
+
+/// Shard count of a [`RecordTable`]. Mutations copy-on-write one shard,
+/// so a larger count shrinks the unit a held snapshot forces a clone
+/// of; cloning a table costs this many `Arc` bumps.
+const RECORD_SHARDS: usize = 256;
+
+fn record_shard(id: NodeId) -> usize {
+    let mut z = id.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (z >> 56) as usize % RECORD_SHARDS
+}
+
+/// A sharded copy-on-write table of [`NodeRecord`]s.
+///
+/// The registry's record store and every discovery snapshot's record
+/// view are both `RecordTable`s: cloning one is [`RECORD_SHARDS`] `Arc`
+/// bumps, and a write while clones are held deep-copies only the one
+/// shard it lands in — never the whole table. At a million nodes that
+/// turns the per-snapshot record cost from a full-map clone into a
+/// handful of ~4k-entry shard clones per refresh interval.
+#[derive(Debug, Clone)]
+pub struct RecordTable {
+    shards: Vec<Arc<FastMap<NodeId, NodeRecord>>>,
+    len: usize,
+}
+
+impl Default for RecordTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RecordTable {
+            shards: (0..RECORD_SHARDS)
+                .map(|_| Arc::new(FastMap::default()))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The record for `id`, if present.
+    pub fn get(&self, id: &NodeId) -> Option<&NodeRecord> {
+        self.shards[record_shard(*id)].get(id)
+    }
+
+    /// `true` if `id` has a record.
+    pub fn contains_key(&self, id: &NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Mutable access to an *existing* record. Copy-on-writes the
+    /// record's shard; absent ids cost nothing.
+    pub fn get_mut(&mut self, id: &NodeId) -> Option<&mut NodeRecord> {
+        let shard = &mut self.shards[record_shard(*id)];
+        if !shard.contains_key(id) {
+            return None;
+        }
+        Arc::make_mut(shard).get_mut(id)
+    }
+
+    /// Inserts or replaces a record, returning the previous one.
+    pub fn insert(&mut self, id: NodeId, record: NodeRecord) -> Option<NodeRecord> {
+        let prev = Arc::make_mut(&mut self.shards[record_shard(id)]).insert(id, record);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes a record, returning it if present.
+    pub fn remove(&mut self, id: &NodeId) -> Option<NodeRecord> {
+        let shard = &mut self.shards[record_shard(*id)];
+        if !shard.contains_key(id) {
+            return None;
+        }
+        let prev = Arc::make_mut(shard).remove(id);
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Iterates `(id, record)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &NodeRecord)> {
+        self.shards.iter().flat_map(|s| s.iter())
+    }
+
+    /// Iterates records in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &NodeRecord> {
+        self.shards.iter().flat_map(|s| s.values())
+    }
+}
 
 /// One registered node's latest state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,13 +129,13 @@ pub struct NodeRecord {
 /// excluded from discovery until it reappears — volunteer nodes "can
 /// join and leave the system anytime without notifications".
 ///
-/// The record table is held behind an [`Arc`] so discovery can take a
-/// copy-on-write snapshot ([`NodeRegistry::shared`]) without cloning a
-/// million records: writers only pay a deep copy when a snapshot is
-/// still outstanding at the next mutation.
+/// The record store is a sharded copy-on-write [`RecordTable`] so
+/// discovery can take a snapshot ([`NodeRegistry::shared`]) without
+/// cloning a million records: writers only pay a deep copy of the one
+/// shard they touch when a snapshot is still outstanding.
 #[derive(Debug, Clone)]
 pub struct NodeRegistry {
-    nodes: Arc<HashMap<NodeId, NodeRecord>>,
+    nodes: RecordTable,
     heartbeat_period: SimDuration,
     miss_limit: u32,
 }
@@ -48,17 +153,17 @@ impl NodeRegistry {
             "heartbeat period must be positive"
         );
         NodeRegistry {
-            nodes: Arc::new(HashMap::new()),
+            nodes: RecordTable::new(),
             heartbeat_period,
             miss_limit,
         }
     }
 
-    /// A copy-on-write snapshot of the record table. Cheap (one
-    /// refcount bump); the registry stays mutable and later writes do
+    /// A copy-on-write snapshot of the record table. Cheap (one `Arc`
+    /// bump per shard); the registry stays mutable and later writes do
     /// not show through.
-    pub fn shared(&self) -> Arc<HashMap<NodeId, NodeRecord>> {
-        Arc::clone(&self.nodes)
+    pub fn shared(&self) -> RecordTable {
+        self.nodes.clone()
     }
 
     /// The liveness budget: a heartbeat older than this at query time
@@ -76,29 +181,28 @@ impl NodeRegistry {
     /// over from the expired incarnation.
     pub fn register(&mut self, status: NodeStatus, now: SimTime) {
         let deadline = self.deadline(now);
-        Arc::make_mut(&mut self.nodes)
-            .entry(status.node)
-            .and_modify(|r| {
-                if r.last_heartbeat < deadline {
-                    r.registered_at = now;
-                }
-                r.status = status;
-                r.last_heartbeat = now;
-            })
-            .or_insert(NodeRecord {
-                status,
-                registered_at: now,
-                last_heartbeat: now,
-            });
+        if let Some(r) = self.nodes.get_mut(&status.node) {
+            if r.last_heartbeat < deadline {
+                r.registered_at = now;
+            }
+            r.status = status;
+            r.last_heartbeat = now;
+        } else {
+            self.nodes.insert(
+                status.node,
+                NodeRecord {
+                    status,
+                    registered_at: now,
+                    last_heartbeat: now,
+                },
+            );
+        }
     }
 
     /// Records a heartbeat; returns `false` (and ignores it) if the node
     /// was never registered.
     pub fn heartbeat(&mut self, status: NodeStatus, now: SimTime) -> bool {
-        if !self.nodes.contains_key(&status.node) {
-            return false;
-        }
-        match Arc::make_mut(&mut self.nodes).get_mut(&status.node) {
+        match self.nodes.get_mut(&status.node) {
             Some(r) => {
                 r.status = status;
                 r.last_heartbeat = now;
@@ -110,10 +214,7 @@ impl NodeRegistry {
 
     /// Explicitly removes a node (graceful departure).
     pub fn deregister(&mut self, node: NodeId) -> Option<NodeRecord> {
-        if !self.nodes.contains_key(&node) {
-            return None;
-        }
-        Arc::make_mut(&mut self.nodes).remove(&node)
+        self.nodes.remove(&node)
     }
 
     /// The liveness deadline: heartbeats older than this many
@@ -163,20 +264,19 @@ impl NodeRegistry {
     }
 
     /// Drops records that have been dead longer than `grace`, returning
-    /// the pruned ids.
+    /// the pruned ids in ascending order (deterministic regardless of
+    /// hash-map iteration order).
     pub fn prune(&mut self, now: SimTime, grace: SimDuration) -> Vec<NodeId> {
         let cutoff = self.deadline(now) - grace;
-        let dead: Vec<NodeId> = self
+        let mut dead: Vec<NodeId> = self
             .nodes
             .iter()
             .filter(|(_, r)| r.last_heartbeat < cutoff)
             .map(|(&id, _)| id)
             .collect();
-        if !dead.is_empty() {
-            let nodes = Arc::make_mut(&mut self.nodes);
-            for id in &dead {
-                nodes.remove(id);
-            }
+        dead.sort_unstable();
+        for id in &dead {
+            self.nodes.remove(id);
         }
         dead
     }

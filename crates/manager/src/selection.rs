@@ -17,14 +17,47 @@ use armada_types::{GeoPoint, NodeId};
 pub fn partial_select_by<T>(
     items: impl IntoIterator<Item = T>,
     n: usize,
-    mut cmp: impl FnMut(&T, &T) -> Ordering,
+    cmp: impl FnMut(&T, &T) -> Ordering,
 ) -> Vec<T> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let mut heap: Vec<T> = Vec::with_capacity(n.min(1024));
+    let mut select = BoundedSelect::new(n, cmp);
     for item in items {
-        if heap.len() < n {
+        select.offer(item);
+    }
+    select.into_sorted()
+}
+
+/// The incremental form of [`partial_select_by`]: a bounded max-heap of
+/// the best `n` elements offered so far. The discovery engine feeds it
+/// candidates as the disk scan emits them, reads the current worst
+/// survivor to decide whether widening can still change the answer, and
+/// finally drains it in ascending order.
+///
+/// `into_sorted()` after any sequence of `offer`s equals
+/// `sort_by(cmp) + truncate(n)` over the offered multiset, independent
+/// of offer order, provided `cmp` is a strict total order.
+pub(crate) struct BoundedSelect<T, F: FnMut(&T, &T) -> Ordering> {
+    heap: Vec<T>,
+    cap: usize,
+    cmp: F,
+}
+
+impl<T, F: FnMut(&T, &T) -> Ordering> BoundedSelect<T, F> {
+    pub(crate) fn new(cap: usize, cmp: F) -> Self {
+        BoundedSelect {
+            heap: Vec::with_capacity(cap.min(1024)),
+            cap,
+            cmp,
+        }
+    }
+
+    /// Offers one element: kept if the heap has room or it beats the
+    /// current worst survivor, dropped otherwise.
+    pub(crate) fn offer(&mut self, item: T) {
+        if self.cap == 0 {
+            return;
+        }
+        let (heap, cmp) = (&mut self.heap, &mut self.cmp);
+        if heap.len() < self.cap {
             heap.push(item);
             let mut i = heap.len() - 1;
             while i > 0 {
@@ -56,8 +89,23 @@ pub fn partial_select_by<T>(
             }
         }
     }
-    heap.sort_by(&mut cmp);
-    heap
+
+    /// `true` once `cap` elements are held — from here on an offer only
+    /// matters if it beats [`BoundedSelect::worst`].
+    pub(crate) fn is_full(&self) -> bool {
+        self.heap.len() >= self.cap
+    }
+
+    /// The worst element currently held (the heap root), if any.
+    pub(crate) fn worst(&self) -> Option<&T> {
+        self.heap.first()
+    }
+
+    /// Drains into ascending `cmp` order.
+    pub(crate) fn into_sorted(mut self) -> Vec<T> {
+        self.heap.sort_by(&mut self.cmp);
+        self.heap
+    }
 }
 
 /// Weights of the manager-side ranking (paper §IV-B: "prioritize the
@@ -204,7 +252,7 @@ impl GlobalSelectionPolicy {
 
 /// The shortlist order: composite score, ties broken by `NodeId`. A
 /// strict total order over any candidate set with unique node ids.
-fn rank_order(a: &ScoredCandidate, b: &ScoredCandidate) -> Ordering {
+pub(crate) fn rank_order(a: &ScoredCandidate, b: &ScoredCandidate) -> Ordering {
     a.score
         .partial_cmp(&b.score)
         .unwrap_or(Ordering::Equal)

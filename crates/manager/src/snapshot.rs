@@ -1,25 +1,31 @@
-//! Epoch-numbered copy-on-write discovery snapshots.
+//! Epoch-numbered, structurally-shared discovery snapshots.
 //!
 //! A [`DiscoverySnapshot`] freezes everything a discovery query reads —
-//! the record table, the proximity index, the config and ranking policy
-//! — behind shared [`Arc`]s. Taking one is O(1); holding one costs
-//! writers at most a single copy-on-write clone at their next mutation.
-//! Queries served off a snapshot therefore never contend with heartbeat
-//! writes: a live manager can clone the `Arc`s under its lock, drop the
-//! lock, and rank outside it.
+//! the record table(s), the geo-bucket view, the config and ranking
+//! policy. Both the [`RecordTable`] and the [`GeoView`] share structure
+//! with the live state per shard / per cell, so taking a snapshot is a
+//! few hundred `Arc` bumps and holding one costs writers only the
+//! shards and cells they actually touch before the next snapshot —
+//! never a whole-index clone. Queries served off a snapshot never
+//! contend with heartbeat writes: a live manager can clone the tables
+//! under its lock, drop the lock, and rank outside it (or fan the
+//! snapshot out across a [`QueryPool`](crate::QueryPool)).
 //!
 //! The `epoch` identifies which registry state the snapshot froze: the
 //! manager bumps it on every mutation, so two snapshots with equal
 //! epochs are views of identical state and must answer identically.
+//!
+//! Federated shards freeze a second, optional record table of synced
+//! remote summaries. The merge rule mirrors the shard's live closure:
+//! an *own* record always wins — in particular a dead own record never
+//! falls through to a stale remote summary — and both tables apply the
+//! same inclusive liveness deadline.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use armada_geo::ProximityIndex;
+use armada_geo::GeoView;
 use armada_node::NodeStatus;
 use armada_types::{GeoPoint, NodeId, SimDuration, SimTime, SystemConfig};
 
-use crate::registry::NodeRecord;
+use crate::registry::RecordTable;
 use crate::selection::{GlobalSelectionPolicy, ScoredCandidate};
 
 /// An immutable, epoch-numbered view of one manager's discovery state.
@@ -32,27 +38,42 @@ pub struct DiscoverySnapshot {
     epoch: u64,
     config: SystemConfig,
     policy: GlobalSelectionPolicy,
-    records: Arc<HashMap<NodeId, NodeRecord>>,
-    index: Arc<ProximityIndex>,
+    records: RecordTable,
+    /// Synced remote summaries (federated shards only); own records
+    /// take precedence, dead own records never fall through.
+    remote: Option<RecordTable>,
+    index: GeoView,
     liveness_budget: SimDuration,
+    /// Lower bound on every load score the frozen view can return;
+    /// feeds the engine's early-stop bound.
+    load_floor: f64,
 }
 
 impl DiscoverySnapshot {
-    pub(crate) fn new(
+    /// Assembles a snapshot from already-frozen parts. Callers (the
+    /// central manager, federation shards) guarantee the parts were
+    /// captured atomically with respect to `epoch`: equal epochs must
+    /// mean identical tables and views.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
         epoch: u64,
         config: SystemConfig,
         policy: GlobalSelectionPolicy,
-        records: Arc<HashMap<NodeId, NodeRecord>>,
-        index: Arc<ProximityIndex>,
+        records: RecordTable,
+        remote: Option<RecordTable>,
+        index: GeoView,
         liveness_budget: SimDuration,
+        load_floor: f64,
     ) -> Self {
         DiscoverySnapshot {
             epoch,
             config,
             policy,
             records,
+            remote,
             index,
             liveness_budget,
+            load_floor,
         }
     }
 
@@ -61,24 +82,29 @@ impl DiscoverySnapshot {
         self.epoch
     }
 
-    /// Total records in the frozen view, alive or not.
+    /// Total records in the frozen view, alive or not (own plus synced
+    /// remote, for a federated shard's snapshot).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records.len() + self.remote.as_ref().map_or(0, RecordTable::len)
     }
 
     /// `true` if the frozen view holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
     /// The node's status iff it is alive at `now` — the same inclusive
     /// deadline rule as [`NodeRegistry::is_alive`](crate::NodeRegistry::is_alive),
-    /// evaluated on the frozen records.
+    /// evaluated on the frozen records. An own record always wins over
+    /// a synced remote summary; a dead own record never falls through
+    /// to a stale summary.
     pub fn alive_status(&self, node: NodeId, now: SimTime) -> Option<NodeStatus> {
-        self.records
-            .get(&node)
-            .filter(|r| r.last_heartbeat >= now - self.liveness_budget)
-            .map(|r| r.status)
+        let deadline = now - self.liveness_budget;
+        if let Some(r) = self.records.get(&node) {
+            return (r.last_heartbeat >= deadline).then_some(r.status);
+        }
+        let r = self.remote.as_ref()?.get(&node)?;
+        (r.last_heartbeat >= deadline).then_some(r.status)
     }
 
     /// `true` iff `node` is alive in the frozen view at `now`.
@@ -91,10 +117,15 @@ impl DiscoverySnapshot {
     /// and for feeding the reference oracle.
     pub fn alive_count(&self, now: SimTime) -> usize {
         let deadline = now - self.liveness_budget;
-        self.records
+        let own = self
+            .records
             .values()
             .filter(|r| r.last_heartbeat >= deadline)
-            .count()
+            .count();
+        let remote = self.remote.as_ref().map_or(0, |t| {
+            t.values().filter(|r| r.last_heartbeat >= deadline).count()
+        });
+        own + remote
     }
 
     /// Serves one discovery query off the frozen view via the fast
@@ -111,6 +142,7 @@ impl DiscoverySnapshot {
             &self.policy,
             &self.index,
             |id| self.alive_status(id, now),
+            self.load_floor,
             user_loc,
             affiliations,
             top_n,
@@ -143,11 +175,28 @@ impl DiscoverySnapshot {
         top_n: usize,
         now: SimTime,
     ) -> Vec<ScoredCandidate> {
+        self.reference_ranked_with_alive(user_loc, affiliations, top_n, now, self.alive_count(now))
+    }
+
+    /// [`DiscoverySnapshot::reference_ranked`] with the alive count
+    /// precomputed. The count is a full O(records) sweep and depends
+    /// only on `(snapshot, now)` — differential suites and benches that
+    /// fire thousands of oracle queries at one frozen view compute it
+    /// once via [`DiscoverySnapshot::alive_count`] and pass it here.
+    pub fn reference_ranked_with_alive(
+        &self,
+        user_loc: GeoPoint,
+        affiliations: &[NodeId],
+        top_n: usize,
+        now: SimTime,
+        alive_total: usize,
+    ) -> Vec<ScoredCandidate> {
+        debug_assert_eq!(alive_total, self.alive_count(now), "stale alive_total");
         crate::reference::widen_and_rank(
             &self.config,
             &self.policy,
             &self.index,
-            self.alive_count(now),
+            alive_total,
             |id| self.alive_status(id, now),
             user_loc,
             affiliations,

@@ -30,6 +30,7 @@
 mod config;
 mod data;
 mod error;
+pub mod fasthash;
 mod geo;
 mod hardware;
 mod id;

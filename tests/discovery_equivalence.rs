@@ -137,9 +137,12 @@ fn affiliations(rng: &mut Rng, ids: &[NodeId]) -> Vec<NodeId> {
 
 /// Runs `queries` differential queries against one fleet, panicking on
 /// the first mismatch; returns how many were checked.
-fn differential_queries(fleet: &Fleet, seed: u64, queries: usize) -> usize {
+fn differential_queries(fleet: &mut Fleet, seed: u64, queries: usize) -> usize {
     let mut rng = Rng::new(seed ^ 0xfeed_f00d);
     let snap = fleet.manager.snapshot();
+    // The alive census is O(records) and a pure function of
+    // (snapshot, now): compute it once for the whole query batch.
+    let alive_now = snap.alive_count(fleet.now);
     // The edge top_n values the satellite spec calls out, then random.
     let edge_top_n = [0usize, 1, fleet.alive_total, fleet.alive_total + 7];
     for q in 0..queries {
@@ -151,7 +154,8 @@ fn differential_queries(fleet: &Fleet, seed: u64, queries: usize) -> usize {
             1 + rng.range(48) as usize
         };
         let fast = snap.ranked(user_loc, &affiliated, top_n, fleet.now);
-        let oracle = snap.reference_ranked(user_loc, &affiliated, top_n, fleet.now);
+        let oracle =
+            snap.reference_ranked_with_alive(user_loc, &affiliated, top_n, fleet.now, alive_now);
         assert_eq!(
             fast, oracle,
             "shortlist mismatch: seed={seed} query={q} top_n={top_n} loc={user_loc}"
@@ -169,9 +173,9 @@ fn fast_engine_matches_reference_oracle_across_seeded_fleets() {
     let mut total = 0usize;
     for seed in 0..10u64 {
         for (n, clustered) in [(130, true), (130, false), (320, seed % 2 == 0)] {
-            let fleet = build_fleet(seed, n, clustered);
+            let mut fleet = build_fleet(seed, n, clustered);
             assert!(fleet.alive_total > 0, "degenerate fleet at seed {seed}");
-            total += differential_queries(&fleet, seed, 36);
+            total += differential_queries(&mut fleet, seed, 36);
         }
     }
     assert!(total >= 1000, "only {total} differential queries ran");

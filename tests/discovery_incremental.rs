@@ -1,0 +1,265 @@
+//! Differential suite for the *incrementally maintained* index (S4).
+//!
+//! The manager buffers register/heartbeat-move/prune deltas and applies
+//! them to the per-cell copy-on-write geo index; this suite drives long
+//! seeded interleavings of those ops and, at every checkpoint epoch,
+//! asserts the incremental index answers byte-identical to a
+//! from-scratch rebuild (`CentralManager::rebuild_index`) *and* to the
+//! reference oracle. Dedicated oscillator nodes cross bucket-precision
+//! boundaries (antimeridian, equator/prime-meridian corner, near-pole)
+//! every round, so cell-boundary churn is exercised on top of the
+//! random teleports.
+
+use armada::manager::{CentralManager, GlobalSelectionPolicy};
+use armada::node::NodeStatus;
+use armada::types::{GeoPoint, NodeClass, NodeId, SimDuration, SimTime, SystemConfig};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+fn world_point(rng: &mut Rng) -> GeoPoint {
+    GeoPoint::new(
+        rng.next_f64() * 170.0 - 85.0,
+        rng.next_f64() * 360.0 - 180.0,
+    )
+}
+
+fn status(id: NodeId, location: GeoPoint, load: f64) -> NodeStatus {
+    NodeStatus {
+        node: id,
+        class: NodeClass::Volunteer,
+        location,
+        attached_users: 0,
+        load_score: load,
+    }
+}
+
+/// The three boundary oscillators: each flips between two locations in
+/// different finest-precision buckets every time it heartbeats.
+fn oscillator_location(id: u64, phase: bool) -> GeoPoint {
+    match (id, phase) {
+        (0, false) => GeoPoint::new(-17.7, 179.99), // antimeridian, east side
+        (0, true) => GeoPoint::new(-17.7, -179.99), // antimeridian, west side
+        (1, false) => GeoPoint::new(0.01, 0.01),    // equator/meridian corner
+        (1, true) => GeoPoint::new(-0.01, -0.01),
+        (2, false) => GeoPoint::new(89.2, 10.0), // near-pole cap cells
+        _ => GeoPoint::new(89.2, -170.0),
+    }
+}
+
+/// Checkpoint: the incremental manager vs. its rebuilt twin vs. the
+/// oracle, on a shared batch of seeded queries.
+fn check_epoch(manager: &mut CentralManager, rng: &mut Rng, now: SimTime, label: &str) {
+    assert_eq!(manager.full_rebuilds(), 0, "delta path must never rebuild");
+    let mut rebuilt = manager.clone();
+    rebuilt.rebuild_index();
+    assert_eq!(rebuilt.full_rebuilds(), 1);
+
+    let snap_inc = manager.snapshot();
+    let snap_reb = rebuilt.snapshot();
+    assert_eq!(
+        snap_inc.epoch(),
+        snap_reb.epoch(),
+        "rebuilding is not a mutation: epochs must agree ({label})"
+    );
+    // S3 shape: one alive census per (snapshot, now) for the whole
+    // query batch.
+    let alive_now = snap_inc.alive_count(now);
+    assert_eq!(alive_now, snap_reb.alive_count(now), "{label}");
+
+    for q in 0..10 {
+        let user_loc = world_point(rng);
+        let top_n = 1 + rng.range(24) as usize;
+        let incremental = snap_inc.ranked(user_loc, &[], top_n, now);
+        let from_scratch = snap_reb.ranked(user_loc, &[], top_n, now);
+        assert_eq!(
+            incremental, from_scratch,
+            "incremental index diverged from rebuild ({label}, query {q})"
+        );
+        let oracle = snap_inc.reference_ranked_with_alive(user_loc, &[], top_n, now, alive_now);
+        assert_eq!(
+            incremental, oracle,
+            "incremental index diverged from the oracle ({label}, query {q})"
+        );
+    }
+}
+
+#[test]
+fn long_delta_sequences_match_a_from_scratch_rebuild_at_every_checkpoint() {
+    for seed in 0..5u64 {
+        let mut rng = Rng::new(seed ^ 0x1ce_bead);
+        let mut manager =
+            CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+        let mut next_id = 3u64; // 0..3 are the boundary oscillators
+        let mut live_ids: Vec<NodeId> = Vec::new();
+        let mut positions: std::collections::HashMap<NodeId, GeoPoint> =
+            std::collections::HashMap::new();
+        for osc in 0..3u64 {
+            manager.register(
+                status(NodeId::new(osc), oscillator_location(osc, false), 0.5),
+                SimTime::ZERO,
+            );
+            live_ids.push(NodeId::new(osc));
+        }
+        let mut phase = false;
+
+        for step in 0..300u64 {
+            let now = SimTime::from_secs(step);
+            // Oscillators cross a bucket boundary every step.
+            phase = !phase;
+            for osc in 0..3u64 {
+                manager.heartbeat(
+                    status(NodeId::new(osc), oscillator_location(osc, phase), 0.5),
+                    now,
+                );
+            }
+            // Periodic fleet refresh so the population survives the
+            // 6 s liveness budget and the differential checks run over
+            // a non-trivial index.
+            if step % 3 == 0 {
+                for &id in &live_ids {
+                    if id.as_u64() < 3 {
+                        continue; // oscillators already heartbeated
+                    }
+                    let location = positions[&id];
+                    manager.heartbeat(status(id, location, 0.25), now);
+                }
+            }
+            match rng.range(100) {
+                // Register a newcomer somewhere in the world.
+                0..=39 => {
+                    let id = NodeId::new(next_id);
+                    next_id += 1;
+                    let load = (rng.range(13) as f64) * 0.25;
+                    let location = world_point(&mut rng);
+                    manager.register(status(id, location, load), now);
+                    live_ids.push(id);
+                    positions.insert(id, location);
+                }
+                // Move an existing node: small drift usually, a
+                // cross-world teleport a quarter of the time.
+                40..=74 => {
+                    if let Some(&id) = live_ids.get(rng.range(live_ids.len() as u64) as usize) {
+                        let base = positions
+                            .get(&id)
+                            .copied()
+                            .unwrap_or_else(|| oscillator_location(id.as_u64(), phase));
+                        let location = if rng.range(4) == 0 {
+                            world_point(&mut rng)
+                        } else {
+                            // Small drift from the current position —
+                            // usually within the same finest bucket,
+                            // sometimes just across its edge.
+                            let east = rng.next_f64() * 8.0 - 4.0;
+                            let north = rng.next_f64() * 8.0 - 4.0;
+                            base.offset_km(east, north)
+                        };
+                        let load = (rng.range(13) as f64) * 0.25;
+                        manager.heartbeat(status(id, location, load), now);
+                        positions.insert(id, location);
+                    }
+                }
+                // Graceful departure.
+                75..=84 if !live_ids.is_empty() => {
+                    let at = rng.range(live_ids.len() as u64) as usize;
+                    let id = live_ids.swap_remove(at);
+                    manager.node_left(id);
+                }
+                // Prune whatever has gone silent past the grace window.
+                85..=92 => {
+                    let pruned = manager.prune_dead(now, SimDuration::from_secs(5));
+                    live_ids.retain(|id| !pruned.contains(id));
+                }
+                // Quiet step: only the oscillators moved.
+                _ => {}
+            }
+
+            if step % 30 == 29 {
+                check_epoch(
+                    &mut manager,
+                    &mut rng,
+                    now,
+                    &format!("seed={seed} step={step}"),
+                );
+            }
+        }
+        assert!(
+            manager.snapshot().len() > 20,
+            "seed {seed} degenerated to a trivial fleet"
+        );
+    }
+}
+
+/// Buffered deltas must be invisible: interleaving queries (which sync
+/// lazily) with buffered mutations never lets a query observe a
+/// half-applied batch, and equal epochs keep answering byte-identically
+/// even while later mutations sit in the buffer.
+#[test]
+fn queries_racing_buffered_mutations_see_consistent_epochs() {
+    let mut rng = Rng::new(0xab5_0123);
+    let mut manager =
+        CentralManager::new(SystemConfig::default(), GlobalSelectionPolicy::default());
+    for i in 0..120u64 {
+        manager.register(
+            status(
+                NodeId::new(i),
+                world_point(&mut rng),
+                (i % 13) as f64 * 0.25,
+            ),
+            SimTime::ZERO,
+        );
+    }
+    let now = SimTime::from_secs(1);
+    let snap = manager.snapshot();
+    let epoch = snap.epoch();
+    let probe = world_point(&mut rng);
+    let baseline = snap.ranked(probe, &[], 12, now);
+
+    // Mutations land in the buffer; the held snapshot must not move.
+    for i in 0..60u64 {
+        manager.heartbeat(status(NodeId::new(i), world_point(&mut rng), 0.25), now);
+    }
+    assert!(manager.pending_deltas() > 0, "mutations should be buffered");
+    assert_eq!(snap.epoch(), epoch);
+    assert_eq!(
+        snap.ranked(probe, &[], 12, now),
+        baseline,
+        "a held snapshot changed its answer after buffered mutations"
+    );
+
+    // A fresh snapshot drains the buffer and agrees with the oracle.
+    let fresh = manager.snapshot();
+    assert_eq!(manager.pending_deltas(), 0);
+    assert!(fresh.epoch() > epoch);
+    let alive_now = fresh.alive_count(now);
+    for _ in 0..12 {
+        let loc = world_point(&mut rng);
+        let top_n = 1 + rng.range(16) as usize;
+        assert_eq!(
+            fresh.ranked(loc, &[], top_n, now),
+            fresh.reference_ranked_with_alive(loc, &[], top_n, now, alive_now)
+        );
+    }
+    assert_eq!(manager.full_rebuilds(), 0);
+}

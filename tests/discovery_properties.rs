@@ -92,6 +92,10 @@ fn query_time() -> SimTime {
 }
 
 fn shortlist(manager: &CentralManager, top_n: usize) -> Vec<ScoredCandidate> {
+    // Queries sync buffered index deltas and so need `&mut`; cloning
+    // keeps each property's baseline manager untouched (the clone is
+    // cheap — structurally shared tables plus a small delta buffer).
+    let mut manager = manager.clone();
     manager.ranked_candidates(home(), &[], top_n, query_time())
 }
 
